@@ -1,0 +1,58 @@
+/**
+ * @file
+ * E8 — Fig. 7(m), BOOM CS: the CoreMark scheduling case study on the
+ * out-of-order core.
+ *
+ * Paper: instruction scheduling is far less effective on a
+ * superscalar OoO pipeline — runtime improves by only ~0.3%, with the
+ * (small) gain still visible in the Backend / Core Bound category,
+ * demonstrating the fidelity of the model.
+ */
+
+#include "bench_common.hh"
+
+using namespace icicle;
+
+int
+main()
+{
+    bench::header("Fig. 7(m): BOOM CS - CoreMark instruction "
+                  "scheduling (LargeBoomV3)");
+    BoomCore plain_core(BoomConfig::large(), workloads::coremark(false));
+    BoomCore sched_core(BoomConfig::large(), workloads::coremark(true));
+    plain_core.run(bench::kMaxCycles);
+    sched_core.run(bench::kMaxCycles);
+    const TmaResult plain = analyzeTma(plain_core);
+    const TmaResult sched = analyzeTma(sched_core);
+    bench::tmaRow("coremark", plain);
+    bench::tmaRow("coremark-sched", sched);
+
+    const double boom_gain =
+        100.0 * (1.0 - static_cast<double>(sched_core.cycle()) /
+                           static_cast<double>(plain_core.cycle()));
+
+    // Contrast with Rocket (the paper's point is the gap).
+    RocketCore rocket_plain(RocketConfig{}, workloads::coremark(false));
+    RocketCore rocket_sched(RocketConfig{}, workloads::coremark(true));
+    rocket_plain.run(bench::kMaxCycles);
+    rocket_sched.run(bench::kMaxCycles);
+    const double rocket_gain =
+        100.0 * (1.0 - static_cast<double>(rocket_sched.cycle()) /
+                           static_cast<double>(rocket_plain.cycle()));
+
+    std::printf("\nBOOM runtime gain:   %.2f%%  (paper: ~0.3%%)\n",
+                boom_gain);
+    std::printf("Rocket runtime gain: %.2f%%  (paper: ~4%%)\n",
+                rocket_gain);
+    std::printf("core bound: %.1f%% -> %.1f%%\n",
+                plain.coreBound * 100, sched.coreBound * 100);
+    std::printf("shape checks vs paper:\n");
+    std::printf("  OoO benefits far less than in-order . %s "
+                "(%.2f%% vs %.2f%%)\n",
+                boom_gain < 0.5 * rocket_gain ? "OK" : "MISS",
+                boom_gain, rocket_gain);
+    std::printf("  gain visible in Core Bound .......... %s\n",
+                sched.coreBound <= plain.coreBound + 0.002 ? "OK"
+                                                           : "MISS");
+    return 0;
+}

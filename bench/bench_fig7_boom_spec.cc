@@ -1,0 +1,83 @@
+/**
+ * @file
+ * E6 — Fig. 7(g)-(j): BOOM (LargeBoomV3) TMA on the SPEC CPU2017
+ * intrate proxy suite: top level plus all three second levels.
+ *
+ * Paper shape: 525.x264_r stands out with the highest retire rate
+ * (and the most Bad Speculation); 505.mcf_r and 523.xalancbmk_r are
+ * ~80% Backend Bound; Frontend stays minimal across the suite;
+ * Machine Clears are a small part of Bad Speculation.
+ */
+
+#include "bench_common.hh"
+
+using namespace icicle;
+
+int
+main()
+{
+    bench::header("Fig. 7(g): BOOM top-level TMA, SPEC CPU2017 "
+                  "intrate proxies (LargeBoomV3)");
+    const std::vector<std::string> suite = workloadNames("spec");
+    std::vector<TmaResult> results;
+    for (const std::string &name : suite) {
+        const TmaResult r = bench::runBoom(buildWorkload(name));
+        results.push_back(r);
+        bench::tmaRow(name, r);
+    }
+
+    bench::header("Fig. 7(h)-(j): BOOM second levels "
+                  "(badspec | frontend | backend)");
+    for (u64 i = 0; i < suite.size(); i++)
+        bench::tmaSecondLevelRow(suite[i], results[i]);
+
+    auto find = [&](const std::string &name) -> const TmaResult & {
+        for (u64 i = 0; i < suite.size(); i++)
+            if (suite[i] == name)
+                return results[i];
+        std::abort();
+    };
+    const TmaResult &mcf = find("505.mcf_r");
+    const TmaResult &xalanc = find("523.xalancbmk_r");
+    const TmaResult &x264 = find("525.x264_r");
+
+    double max_retiring = 0, max_frontend = 0;
+    for (const TmaResult &r : results) {
+        max_retiring = std::max(max_retiring, r.retiring);
+        max_frontend = std::max(max_frontend, r.frontend);
+    }
+
+    std::printf("\nshape checks vs paper:\n");
+    std::printf("  mcf heavily backend bound ............ %s "
+                "(%.1f%%, paper ~80%%)\n",
+                mcf.backend > 0.6 ? "OK" : "MISS", mcf.backend * 100);
+    std::printf("  xalancbmk heavily backend bound ...... %s "
+                "(%.1f%%, paper ~80%%)\n",
+                xalanc.backend > 0.5 ? "OK" : "MISS",
+                xalanc.backend * 100);
+    std::printf("  mcf/xalancbmk backend is mem bound ... %s "
+                "(mem %.1f%% / %.1f%%)\n",
+                mcf.memBound > mcf.coreBound ? "OK" : "MISS",
+                mcf.memBound * 100, xalanc.memBound * 100);
+    u32 retire_rank = 1;
+    for (const TmaResult &r : results)
+        if (r.retiring > x264.retiring)
+            retire_rank++;
+    std::printf("  x264 retire rate near the top ........ %s "
+                "(rank %u of %zu, %.1f%% vs max %.1f%%)\n",
+                retire_rank <= 3 ? "OK" : "MISS", retire_rank,
+                results.size(), x264.retiring * 100,
+                max_retiring * 100);
+    std::printf("  frontend small across the suite ...... %s "
+                "(max %.1f%%)\n",
+                max_frontend < 0.25 ? "OK" : "MISS",
+                max_frontend * 100);
+    bool clears_small = true;
+    for (const TmaResult &r : results)
+        if (r.machineClears > 0.5 * (r.branchMispredicts + 1e-9) &&
+            r.machineClears > 0.02)
+            clears_small = false;
+    std::printf("  machine clears a small part of badspec %s\n",
+                clears_small ? "OK" : "MISS");
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * E3 — Fig. 7(c), Rocket CS1: L1D-cache size sensitivity.
+ *
+ * 531.deepsjeng_r-proxy with 16 KiB vs 32 KiB L1D. Paper: ~7%
+ * slowdown; Backend Bound rises from near 0% to ~12%, with part of
+ * the lost slots absorbed by Bad Speculation (stall overlap).
+ */
+
+#include "bench_common.hh"
+
+using namespace icicle;
+
+namespace
+{
+
+struct Run
+{
+    TmaResult tma;
+    u64 cycles;
+};
+
+Run
+runWith(u32 l1d_kib)
+{
+    RocketConfig cfg;
+    cfg.mem.l1d.sizeBytes = l1d_kib * 1024;
+    RocketCore core(cfg, workloads::spec531DeepsjengR(24));
+    core.run(bench::kMaxCycles);
+    return Run{analyzeTma(core), core.cycle()};
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header("Fig. 7(c): Rocket CS1 - deepsjeng proxy, "
+                  "L1D 32 KiB vs 16 KiB");
+    const Run big = runWith(32);
+    const Run small = runWith(16);
+    bench::tmaRow("L1D=32KiB", big.tma);
+    bench::tmaRow("L1D=16KiB", small.tma);
+
+    const double slowdown =
+        100.0 * (static_cast<double>(small.cycles) /
+                     static_cast<double>(big.cycles) -
+                 1.0);
+    std::printf("\nslowdown with 16 KiB: %.1f%%  (paper: ~7%%)\n",
+                slowdown);
+    std::printf("backend bound: %.1f%% -> %.1f%%  "
+                "(paper: ~0%% -> ~12%%)\n",
+                big.tma.backend * 100, small.tma.backend * 100);
+    std::printf("shape checks vs paper:\n");
+    std::printf("  smaller cache is slower ............ %s\n",
+                small.cycles > big.cycles ? "OK" : "MISS");
+    std::printf("  backend share rises clearly ........ %s "
+                "(+%.1f points)\n",
+                small.tma.backend > big.tma.backend + 0.04 ? "OK"
+                                                           : "MISS",
+                (small.tma.backend - big.tma.backend) * 100);
+    std::printf("  memory-bound share rises ........... %s\n",
+                small.tma.memBound > big.tma.memBound ? "OK" : "MISS");
+    return 0;
+}

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * E12 — Fig. 8: temporal TMA examples.
+ *
+ * (a) an overlap window where an I-cache refill and a branch-miss
+ *     recovery coincide;
+ * (b) the CDF of Recovering sequence lengths: almost every sequence
+ *     lasts exactly 4 cycles (the frontend restart), with a long tail
+ *     past 30 cycles — the single longest from a fence immediately
+ *     after a mispredict — and the shortest from back-to-back
+ *     flushes.
+ */
+
+#include <map>
+
+#include "bench_common.hh"
+#include "isa/builder.hh"
+#include "trace/trace.hh"
+
+using namespace icicle;
+using namespace icicle::reg;
+
+namespace
+{
+
+/** Branchy kernel with occasional fences right after branches. */
+Program
+recoveryMix()
+{
+    ProgramBuilder b("recovery-mix");
+    Label loop = b.newLabel(), skip = b.newLabel(),
+          nofence = b.newLabel();
+    b.li(s0, 88172645463325252ll);
+    b.li(t2, 6000);
+    b.bind(loop);
+    b.slli(t0, s0, 13);
+    b.xor_(s0, s0, t0);
+    b.srli(t0, s0, 7);
+    b.xor_(s0, s0, t0);
+    b.andi(t0, s0, 1);
+    b.beqz(t0, skip); // unpredictable
+    b.addi(t3, t3, 1);
+    b.bind(skip);
+    // Rarely, a fence immediately follows the unpredictable branch.
+    b.andi(t1, s0, 1023);
+    b.bnez(t1, nofence);
+    b.fence();
+    b.bind(nofence);
+    b.addi(t2, t2, -1);
+    b.bnez(t2, loop);
+    b.halt();
+    return b.build();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header("Fig. 8: recovery sequences and overlap "
+                  "(LargeBoomV3)");
+    BoomCore core(BoomConfig::large(), recoveryMix());
+    Trace trace =
+        traceRun(core, TraceSpec::tmaBundle(core), bench::kMaxCycles);
+    TraceAnalyzer analyzer(trace);
+
+    // (a) find a window where I$-blocked overlaps recovering.
+    u64 overlap_at = 0;
+    for (u64 c = 0; c < trace.numCycles(); c++) {
+        if (trace.high(c, EventId::ICacheBlocked) &&
+            trace.high(c, EventId::Recovering)) {
+            overlap_at = c;
+            break;
+        }
+    }
+    if (overlap_at) {
+        std::printf("\n(a) I$-refill overlapping a recovery at cycle "
+                    "%llu:\n\n",
+                    static_cast<unsigned long long>(overlap_at));
+        const u64 begin = overlap_at > 10 ? overlap_at - 10 : 0;
+        std::printf("%s\n",
+                    analyzer.plot(begin, begin + 70).c_str());
+    } else {
+        std::printf("\n(a) no I$/recovery overlap found in this run\n");
+    }
+
+    // (b) CDF of recovery sequence lengths.
+    const RecoveryCdf cdf = analyzer.recoveryCdf();
+    std::map<u64, u64> histogram;
+    for (u64 length : cdf.lengths)
+        histogram[length]++;
+
+    std::printf("(b) CDF of %llu Recovering sequences:\n\n",
+                static_cast<unsigned long long>(cdf.sequences()));
+    u64 cumulative = 0;
+    for (const auto &[length, count] : histogram) {
+        cumulative += count;
+        const double cdf_pct =
+            100.0 * cumulative / cdf.sequences();
+        if (count * 50 > cdf.sequences() || length >= 20 ||
+            cdf_pct > 99.0) {
+            std::printf("  length %3llu: %6llu sequences  cdf=%6.2f%%\n",
+                        static_cast<unsigned long long>(length),
+                        static_cast<unsigned long long>(count),
+                        cdf_pct);
+        }
+    }
+
+    std::printf("\nmode=%llu  p50=%llu  p99=%llu  max=%llu\n",
+                static_cast<unsigned long long>(cdf.mode()),
+                static_cast<unsigned long long>(cdf.percentile(0.5)),
+                static_cast<unsigned long long>(cdf.percentile(0.99)),
+                static_cast<unsigned long long>(cdf.max()));
+    std::printf("shape checks vs paper:\n");
+    std::printf("  almost every sequence lasts exactly 4 cycles ... "
+                "%s (mode=%llu, p50=%llu)\n",
+                cdf.mode() == 4 && cdf.percentile(0.5) == 4 ? "OK"
+                                                            : "MISS",
+                static_cast<unsigned long long>(cdf.mode()),
+                static_cast<unsigned long long>(cdf.percentile(0.5)));
+    std::printf("  a long tail extends well past the mode ......... "
+                "%s (max=%llu)\n",
+                cdf.max() >= 20 ? "OK" : "MISS",
+                static_cast<unsigned long long>(cdf.max()));
+    std::printf("  short sequences exist (back-to-back flushes) ... "
+                "%s (min=%llu)\n",
+                !cdf.lengths.empty() && cdf.lengths.front() <= 4
+                    ? "OK"
+                    : "MISS",
+                static_cast<unsigned long long>(
+                    cdf.lengths.empty() ? 0 : cdf.lengths.front()));
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * E13/E14 — Fig. 9: post-placement physical metrics for the three
+ * counter architectures across all five BOOM sizes, using activity
+ * factors measured from an actual simulation (the paper's flow runs
+ * logic synthesis, floorplanning, and placement; here the calibrated
+ * analytical model of src/vlsi stands in).
+ *
+ * Paper numbers: max overheads of 4.15% power, 1.54% area, 9.93%
+ * wirelength; every design meets 200 MHz; the normalized longest
+ * CSR-crossing combinational delay favours AddWires at Small/Medium
+ * and DistributedCounters from Large up; instrumenting a single
+ * fetch-bubble lane shortens the longest PMU wire by ~11%.
+ */
+
+#include "bench_common.hh"
+#include "vlsi/vlsi.hh"
+
+using namespace icicle;
+
+int
+main()
+{
+    bench::header("Fig. 9: post-placement metrics "
+                  "(ASAP7-calibrated model)");
+
+    // Measure real activity factors from a representative workload.
+    BoomCore activity_core(BoomConfig::large(),
+                           workloads::coremark(false));
+    activity_core.run(bench::kMaxCycles);
+    const ActivityFactors activity = measureActivity(activity_core);
+    std::printf("\nactivity factors (events/cycle, from coremark): "
+                "issued=%.2f retired=%.2f bubbles=%.2f "
+                "d$blk=%.2f rec=%.2f\n\n",
+                activity.uopsIssued, activity.uopsRetired,
+                activity.fetchBubbles, activity.dcacheBlocked,
+                activity.recovering);
+
+    const auto reports = vlsiSweep(activity);
+    std::printf("(a) power / area / wirelength overhead and "
+                "(b) normalized CSR-crossing delay:\n\n");
+    double max_power = 0, max_area = 0, max_wire = 0;
+    bool all_meet = true;
+    for (const VlsiReport &r : reports) {
+        std::printf("  %s\n", formatVlsiRow(r).c_str());
+        max_power = std::max(max_power, r.powerOverheadPct);
+        max_area = std::max(max_area, r.areaOverheadPct);
+        max_wire = std::max(max_wire, r.wirelengthOverheadPct);
+        all_meet = all_meet && r.meets200MHz;
+    }
+
+    std::printf("\nmaxima: power +%.2f%% (paper 4.15%%), area +%.2f%% "
+                "(paper 1.54%%), wirelength +%.2f%% (paper 9.93%%)\n",
+                max_power, max_area, max_wire);
+
+    // §V-A ablation: single-lane fetch-bubble instrumentation.
+    const VlsiReport full = evaluateVlsi(
+        BoomConfig::large(), CounterArch::AddWires, activity, {},
+        true);
+    const VlsiReport single = evaluateVlsi(
+        BoomConfig::large(), CounterArch::AddWires, activity, {},
+        false);
+    const double wire_reduction =
+        100.0 * (full.longestPmuWireUm - single.longestPmuWireUm) /
+        full.longestPmuWireUm;
+    std::printf("\nsingle-lane fetch-bubble ablation: longest PMU "
+                "wire %.0f um -> %.0f um (-%.2f%%, paper -11.39%%)\n",
+                full.longestPmuWireUm, single.longestPmuWireUm,
+                wire_reduction);
+
+    auto delay = [&](const BoomConfig &cfg, CounterArch arch) {
+        return evaluateVlsi(cfg, arch, activity).csrPathDelayNs;
+    };
+    std::printf("\nshape checks vs paper:\n");
+    std::printf("  all designs meet 200 MHz ................... %s\n",
+                all_meet ? "OK" : "MISS");
+    std::printf("  adders <= distributed at small/medium ...... %s\n",
+                delay(BoomConfig::small(), CounterArch::AddWires) <=
+                            delay(BoomConfig::small(),
+                                  CounterArch::Distributed) &&
+                        delay(BoomConfig::medium(),
+                              CounterArch::AddWires) <=
+                            delay(BoomConfig::medium(),
+                                  CounterArch::Distributed)
+                    ? "OK"
+                    : "MISS");
+    std::printf("  distributed scales better from large up .... %s\n",
+                delay(BoomConfig::large(), CounterArch::AddWires) >
+                            delay(BoomConfig::large(),
+                                  CounterArch::Distributed) &&
+                        delay(BoomConfig::giga(),
+                              CounterArch::AddWires) >
+                            delay(BoomConfig::giga(),
+                                  CounterArch::Distributed)
+                    ? "OK"
+                    : "MISS");
+    std::printf("  overhead maxima within 1.5x of paper ....... %s\n",
+                max_power < 6.3 && max_area < 2.4 && max_wire < 14.9
+                    ? "OK"
+                    : "MISS");
+    return 0;
+}

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * E17 — Simulator throughput microbenchmarks (google-benchmark):
+ * cycles/second for each core configuration, plus the overhead of
+ * attaching counters and the tracer. Not a paper artifact; it
+ * documents the cost of using this library.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "boom/boom.hh"
+#include "isa/builder.hh"
+#include "perf/harness.hh"
+#include "rocket/rocket.hh"
+#include "trace/trace.hh"
+
+namespace
+{
+
+using namespace icicle;
+using namespace icicle::reg;
+
+Program
+mixLoop()
+{
+    ProgramBuilder b("mix");
+    Label buf = b.space(8192);
+    Label loop = b.newLabel(), skip = b.newLabel();
+    b.la(s0, buf);
+    b.li(t2, 1'000'000'000); // effectively endless; capped by cycles
+    b.bind(loop);
+    b.andi(t0, t2, 1023);
+    b.slli(t0, t0, 3);
+    b.add(t1, s0, t0);
+    b.ld(t3, t1, 0);
+    b.add(t3, t3, t2);
+    b.sd(t3, t1, 0);
+    b.andi(t4, t2, 7);
+    b.beqz(t4, skip);
+    b.addi(t5, t5, 1);
+    b.bind(skip);
+    b.addi(t2, t2, -1);
+    b.bnez(t2, loop);
+    b.halt();
+    return b.build();
+}
+
+void
+BM_Rocket(benchmark::State &state)
+{
+    RocketCore core(RocketConfig{}, mixLoop());
+    for (auto _ : state) {
+        core.run(state.range(0));
+        benchmark::DoNotOptimize(core.cycle());
+    }
+    state.counters["cycles/s"] = benchmark::Counter(
+        static_cast<double>(state.iterations() * state.range(0)),
+        benchmark::Counter::kIsRate);
+}
+
+void
+BM_BoomSize(benchmark::State &state)
+{
+    const BoomConfig cfg =
+        BoomConfig::allSizes()[static_cast<u64>(state.range(1))];
+    BoomCore core(cfg, mixLoop());
+    for (auto _ : state) {
+        core.run(state.range(0));
+        benchmark::DoNotOptimize(core.cycle());
+    }
+    state.SetLabel(cfg.name);
+    state.counters["cycles/s"] = benchmark::Counter(
+        static_cast<double>(state.iterations() * state.range(0)),
+        benchmark::Counter::kIsRate);
+}
+
+void
+BM_BoomWithHarness(benchmark::State &state)
+{
+    BoomConfig cfg = BoomConfig::large();
+    cfg.counterArch = CounterArch::Distributed;
+    BoomCore core(cfg, mixLoop());
+    PerfHarness harness(core);
+    harness.addTmaEvents();
+    for (auto _ : state) {
+        harness.run(state.range(0));
+        benchmark::DoNotOptimize(core.cycle());
+    }
+    state.counters["cycles/s"] = benchmark::Counter(
+        static_cast<double>(state.iterations() * state.range(0)),
+        benchmark::Counter::kIsRate);
+}
+
+void
+BM_BoomWithTracer(benchmark::State &state)
+{
+    BoomCore core(BoomConfig::large(), mixLoop());
+    const TraceSpec spec = TraceSpec::tmaBundle(core);
+    for (auto _ : state) {
+        Trace trace(spec);
+        core.run(state.range(0),
+                 [&trace](Cycle, const EventBus &bus) {
+                     trace.capture(bus);
+                 });
+        benchmark::DoNotOptimize(trace.numCycles());
+    }
+    state.counters["cycles/s"] = benchmark::Counter(
+        static_cast<double>(state.iterations() * state.range(0)),
+        benchmark::Counter::kIsRate);
+}
+
+BENCHMARK(BM_Rocket)->Arg(50000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BoomSize)
+    ->Args({50000, 0})
+    ->Args({50000, 2})
+    ->Args({50000, 4})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BoomWithHarness)
+    ->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BoomWithTracer)
+    ->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The tma_tool experience: characterize any registered workload on
+ * any core configuration, with first- and second-level TMA.
+ *
+ *   $ ./characterize_workload                 # list workloads
+ *   $ ./characterize_workload qsort           # run on default cores
+ *   $ ./characterize_workload 505.mcf_r mega  # pick a BOOM size
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/logging.hh"
+#include "core/session.hh"
+#include "perf/tma_tool.hh"
+#include "workloads/workloads.hh"
+
+using namespace icicle;
+
+namespace
+{
+
+BoomConfig
+configByName(const char *name)
+{
+    for (const BoomConfig &cfg : BoomConfig::allSizes()) {
+        std::string lowered = cfg.name; // e.g. "MegaBoomV3"
+        for (char &c : lowered)
+            c = static_cast<char>(tolower(c));
+        if (lowered.find(name) != std::string::npos)
+            return cfg;
+    }
+    fatal("unknown BOOM size: ", name,
+          " (try small/medium/large/mega/giga)");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::printf("usage: %s <workload> [small|medium|large|mega|"
+                    "giga|rocket]\n\nregistered workloads:\n",
+                    argv[0]);
+        for (const WorkloadInfo &info : allWorkloads())
+            std::printf("  %-18s (%-9s) %s\n", info.name.c_str(),
+                        info.suite.c_str(), info.description.c_str());
+        return 0;
+    }
+
+    try {
+        const Program program = buildWorkload(argv[1]);
+        std::printf("workload: %s (%llu static instructions, "
+                    "%llu B data)\n\n",
+                    argv[1],
+                    static_cast<unsigned long long>(program.numInsts()),
+                    static_cast<unsigned long long>(
+                        program.data.size()));
+
+        const bool rocket_only =
+            argc > 2 && std::strcmp(argv[2], "rocket") == 0;
+        if (rocket_only || argc <= 2) {
+            auto core = makeRocket(RocketConfig{}, program);
+            const TmaRun run =
+                runTmaAnalysis(*core, TmaSource::InBand);
+            std::printf("%s\n",
+                        tmaToolReport(run, "Rocket").c_str());
+            if (rocket_only)
+                return 0;
+        }
+
+        const BoomConfig cfg =
+            argc > 2 ? configByName(argv[2]) : BoomConfig::large();
+        auto core = makeBoom(cfg, program);
+        const TmaRun run = runTmaAnalysis(*core, TmaSource::InBand);
+        std::printf("%s\n", tmaToolReport(run, cfg.name).c_str());
+
+        // Show the raw counters behind the breakdown, the way the
+        // paper's tma_tool does.
+        const TmaCounters &c = run.counters;
+        std::printf("raw counters: cycles=%llu issued=%llu "
+                    "retired=%llu bubbles=%llu recovering=%llu "
+                    "br-miss=%llu d$blk=%llu\n",
+                    static_cast<unsigned long long>(c.cycles),
+                    static_cast<unsigned long long>(c.issuedUops),
+                    static_cast<unsigned long long>(c.retiredUops),
+                    static_cast<unsigned long long>(c.fetchBubbles),
+                    static_cast<unsigned long long>(c.recovering),
+                    static_cast<unsigned long long>(
+                        c.branchMispredicts),
+                    static_cast<unsigned long long>(c.dcacheBlocked));
+    } catch (const FatalError &error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Quickstart: build a tiny program with the ProgramBuilder DSL, run
+ * it on both cores, and print the Top-Down breakdown.
+ *
+ *   $ ./quickstart
+ */
+
+#include <cstdio>
+
+#include "core/session.hh"
+#include "isa/builder.hh"
+#include "perf/tma_tool.hh"
+
+using namespace icicle;
+using namespace icicle::reg;
+
+int
+main()
+{
+    // 1. Write a baremetal program: sum an array with an
+    //    unpredictable branch thrown in.
+    ProgramBuilder b("quickstart");
+    Label data = b.newLabel();
+    {
+        std::vector<u64> values(4096);
+        Rng rng(7);
+        for (u64 &v : values)
+            v = rng.below(100);
+        data = b.dwords(values);
+    }
+    Label loop = b.newLabel(), skip = b.newLabel();
+    b.la(s0, data);
+    b.li(s1, 4096 * 8); // bytes
+    b.li(t0, 0);        // offset
+    b.li(a0, 0);        // sum
+    b.bind(loop);
+    b.add(t1, s0, t0);
+    b.ld(t2, t1, 0);
+    b.li(t3, 50);
+    b.blt(t2, t3, skip); // data-dependent: ~50/50
+    b.add(a0, a0, t2);
+    b.bind(skip);
+    b.addi(t0, t0, 8);
+    b.blt(t0, s1, loop);
+    b.halt();
+    const Program program = b.build();
+
+    // 2. Run it on Rocket (in-order) through the perf harness: the
+    //    counters are programmed over the CSR interface exactly as
+    //    the real Icicle software stack does.
+    {
+        auto core = makeRocket(RocketConfig{}, program);
+        const TmaRun run = runTmaAnalysis(*core, TmaSource::InBand);
+        std::printf("%s\n",
+                    tmaToolReport(run, "quickstart on Rocket").c_str());
+    }
+
+    // 3. Same workload on a 3-wide out-of-order BOOM.
+    {
+        auto core = makeBoom(BoomConfig::large(), program);
+        const TmaRun run = runTmaAnalysis(*core, TmaSource::InBand);
+        std::printf("%s\n",
+                    tmaToolReport(run, "quickstart on LargeBoomV3")
+                        .c_str());
+    }
+
+    std::printf("The branch at `blt t2, t3` is data-dependent: both "
+                "cores show Bad Speculation.\nDrop it (or make the "
+                "data sorted) and watch the category vanish.\n");
+    return 0;
+}

@@ -1,0 +1,224 @@
+#include "bpred/bpred.hh"
+
+#include "common/logging.hh"
+
+namespace icicle
+{
+
+// ---------------------------------------------------------------- Bht
+
+Bht::Bht(u32 entries) : counters(entries, 1)
+{
+    if (entries == 0 || (entries & (entries - 1)) != 0)
+        fatal("BHT entry count must be a power of two");
+}
+
+u32
+Bht::index(Addr pc) const
+{
+    return static_cast<u32>((pc >> 2) & (counters.size() - 1));
+}
+
+bool
+Bht::predictTaken(Addr pc)
+{
+    return counters[index(pc)] >= 2;
+}
+
+void
+Bht::update(Addr pc, bool taken)
+{
+    u8 &counter = counters[index(pc)];
+    if (taken && counter < 3)
+        counter++;
+    else if (!taken && counter > 0)
+        counter--;
+}
+
+// --------------------------------------------------------------- Tage
+
+Tage::Tage() : allocRng(0x1c1c1eull)
+{
+    bimodal.assign(4096, 1);
+    // Four tagged components; history lengths grow geometrically and
+    // deliberately avoid multiples of the fold widths (10-bit index,
+    // 9-bit tag): a uniform history whose length is a multiple of the
+    // fold width folds to zero and aliases with the empty history.
+    const u32 history_lengths[4] = {5, 13, 37, 79};
+    for (u32 length : history_lengths) {
+        Table table;
+        table.historyLength = length;
+        table.indexBits = 10;
+        table.entries.resize(1u << table.indexBits);
+        tables.push_back(std::move(table));
+    }
+}
+
+u32
+Tage::foldHistory(u32 bits, u32 length) const
+{
+    u64 history = globalHistory & ((length >= 64) ? ~0ull
+                                                  : ((1ull << length) - 1));
+    u32 folded = 0;
+    while (history) {
+        folded ^= static_cast<u32>(history & ((1u << bits) - 1));
+        history >>= bits;
+    }
+    return folded;
+}
+
+u32
+Tage::tableIndex(const Table &table, Addr pc) const
+{
+    const u32 mask = (1u << table.indexBits) - 1;
+    return (static_cast<u32>(pc >> 2) ^
+            foldHistory(table.indexBits, table.historyLength)) &
+           mask;
+}
+
+u16
+Tage::tableTag(const Table &table, Addr pc) const
+{
+    return static_cast<u16>(
+        (static_cast<u32>(pc >> 2) ^
+         (foldHistory(9, table.historyLength) << 1)) &
+        0x1ff);
+}
+
+int
+Tage::findProvider(Addr pc, u32 *index_out, u16 *tag_out) const
+{
+    for (int t = static_cast<int>(tables.size()) - 1; t >= 0; t--) {
+        const Table &table = tables[t];
+        const u32 index = tableIndex(table, pc);
+        const u16 tag = tableTag(table, pc);
+        if (table.entries[index].tag == tag) {
+            if (index_out)
+                *index_out = index;
+            if (tag_out)
+                *tag_out = tag;
+            return t;
+        }
+    }
+    return -1;
+}
+
+bool
+Tage::predictTaken(Addr pc)
+{
+    u32 index = 0;
+    const int provider = findProvider(pc, &index, nullptr);
+    if (provider >= 0)
+        return tables[provider].entries[index].counter >= 0;
+    return bimodal[(pc >> 2) & (bimodal.size() - 1)] >= 2;
+}
+
+void
+Tage::update(Addr pc, bool taken)
+{
+    u32 index = 0;
+    const int provider = findProvider(pc, &index, nullptr);
+    const bool prediction = predictTaken(pc);
+
+    if (provider >= 0) {
+        TaggedEntry &entry = tables[provider].entries[index];
+        if (taken && entry.counter < 3)
+            entry.counter++;
+        else if (!taken && entry.counter > -4)
+            entry.counter--;
+        if (prediction == taken && entry.useful < 3)
+            entry.useful++;
+    } else {
+        u8 &counter = bimodal[(pc >> 2) & (bimodal.size() - 1)];
+        if (taken && counter < 3)
+            counter++;
+        else if (!taken && counter > 0)
+            counter--;
+    }
+
+    // Periodic aging of the useful bits (the TAGE "u reset"): without
+    // it, long-lived entries permanently starve new allocations.
+    if (++updateCount % 4096 == 0) {
+        for (Table &table : tables)
+            for (TaggedEntry &entry : table.entries)
+                if (entry.useful > 0)
+                    entry.useful--;
+    }
+
+    // Allocate a new entry in a longer-history table on mispredict.
+    // Pick uniformly among the eligible tables: deterministic
+    // first-fit makes every context fight over the same component and
+    // freshly allocated (useful == 0) entries clobber each other
+    // before they can ever provide a prediction.
+    if (prediction != taken) {
+        const int start = provider + 1;
+        std::vector<int> eligible;
+        for (int t = start; t < static_cast<int>(tables.size()); t++) {
+            Table &table = tables[t];
+            if (table.entries[tableIndex(table, pc)].useful == 0)
+                eligible.push_back(t);
+        }
+        if (!eligible.empty()) {
+            Table &table =
+                tables[eligible[allocRng.below(eligible.size())]];
+            TaggedEntry &entry =
+                table.entries[tableIndex(table, pc)];
+            entry.tag = tableTag(table, pc);
+            entry.counter = taken ? 0 : -1;
+        } else if (start < static_cast<int>(tables.size())) {
+            // Decay usefulness so future allocations can succeed.
+            const u64 pick =
+                start + allocRng.below(tables.size() - start);
+            Table &table = tables[pick];
+            TaggedEntry &entry = table.entries[tableIndex(table, pc)];
+            if (entry.useful > 0)
+                entry.useful--;
+        }
+    }
+
+    globalHistory = (globalHistory << 1) | (taken ? 1 : 0);
+}
+
+// ---------------------------------------------------------------- Btb
+
+Btb::Btb(u32 entry_count) : entries(entry_count)
+{}
+
+std::optional<Addr>
+Btb::lookup(Addr pc)
+{
+    numLookups++;
+    for (Entry &entry : entries) {
+        if (entry.valid && entry.pc == pc) {
+            entry.lruStamp = ++stamp;
+            numHits++;
+            return entry.target;
+        }
+    }
+    return std::nullopt;
+}
+
+void
+Btb::update(Addr pc, Addr target)
+{
+    Entry *victim = &entries[0];
+    for (Entry &entry : entries) {
+        if (entry.valid && entry.pc == pc) {
+            entry.target = target;
+            entry.lruStamp = ++stamp;
+            return;
+        }
+        if (!entry.valid) {
+            victim = &entry;
+            break;
+        }
+        if (entry.lruStamp < victim->lruStamp)
+            victim = &entry;
+    }
+    victim->valid = true;
+    victim->pc = pc;
+    victim->target = target;
+    victim->lruStamp = ++stamp;
+}
+
+} // namespace icicle

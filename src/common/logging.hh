@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 tradition.
+ *
+ * panic() is for internal invariant violations (simulator bugs) and
+ * aborts; fatal() is for user errors (bad configuration, malformed
+ * input) and raises a catchable exception so library embedders can
+ * recover; warn()/inform() report conditions without stopping.
+ */
+
+#ifndef ICICLE_COMMON_LOGGING_HH
+#define ICICLE_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace icicle
+{
+
+/** Exception thrown by fatal(): a user-correctable error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+namespace detail
+{
+
+inline void
+appendAll(std::ostringstream &)
+{}
+
+template <typename T, typename... Rest>
+void
+appendAll(std::ostringstream &os, const T &first, const Rest &...rest)
+{
+    os << first;
+    appendAll(os, rest...);
+}
+
+template <typename... Args>
+std::string
+format(const Args &...args)
+{
+    std::ostringstream os;
+    appendAll(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+
+/**
+ * Report a simulator bug and abort. Use for conditions that should
+ * never happen regardless of user input.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    std::fprintf(stderr, "panic: %s\n", detail::format(args...).c_str());
+    std::abort();
+}
+
+/**
+ * Report a user error. Throws FatalError so a host application can
+ * catch it; the CLI tools let it terminate the process.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    throw FatalError(detail::format(args...));
+}
+
+/** Report suspicious but survivable conditions. */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    std::fprintf(stderr, "warn: %s\n", detail::format(args...).c_str());
+}
+
+/** Report normal operating status. */
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    std::fprintf(stderr, "info: %s\n", detail::format(args...).c_str());
+}
+
+/** panic() unless the invariant holds. */
+#define ICICLE_ASSERT(cond, ...)                                          \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::icicle::panic("assertion failed: ", #cond, " ",             \
+                            ::icicle::detail::format(__VA_ARGS__));       \
+        }                                                                 \
+    } while (0)
+
+} // namespace icicle
+
+#endif // ICICLE_COMMON_LOGGING_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator.
+ *
+ * All stochastic pieces of Icicle (workload data generation, sampled
+ * trace windows) draw from this xorshift64* generator so that every
+ * experiment is bit-reproducible across runs and platforms. We avoid
+ * std::mt19937 only to guarantee a stable stream independent of the
+ * standard library implementation.
+ */
+
+#ifndef ICICLE_COMMON_RANDOM_HH
+#define ICICLE_COMMON_RANDOM_HH
+
+#include "common/types.hh"
+
+namespace icicle
+{
+
+/** xorshift64* generator with a fixed default seed. */
+class Rng
+{
+  public:
+    explicit Rng(u64 seed = 0x9e3779b97f4a7c15ull)
+        : state(seed ? seed : 1)
+    {}
+
+    /** Next raw 64-bit value. */
+    u64
+    next()
+    {
+        u64 x = state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state = x;
+        return x * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform value in [0, bound). bound must be nonzero. */
+    u64
+    below(u64 bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform value in [lo, hi]. */
+    i64
+    range(i64 lo, i64 hi)
+    {
+        return lo + static_cast<i64>(below(static_cast<u64>(hi - lo + 1)));
+    }
+
+    /** Bernoulli draw with probability num/den. */
+    bool
+    chance(u64 num, u64 den)
+    {
+        return below(den) < num;
+    }
+
+  private:
+    u64 state;
+};
+
+} // namespace icicle
+
+#endif // ICICLE_COMMON_RANDOM_HH

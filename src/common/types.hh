@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Fundamental integer typedefs used across all Icicle modules.
+ */
+
+#ifndef ICICLE_COMMON_TYPES_HH
+#define ICICLE_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace icicle
+{
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/** Byte address in the simulated machine's physical address space. */
+using Addr = u64;
+
+/** Simulated clock cycle index. */
+using Cycle = u64;
+
+} // namespace icicle
+
+#endif // ICICLE_COMMON_TYPES_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Abstract core interface implemented by both timing models.
+ *
+ * Everything above the core models (perf harness, tracer, TMA tool,
+ * benchmark drivers) programs against this interface, mirroring how
+ * the real Icicle software stack works against either Rocket or BOOM
+ * through the same CSR/event protocol.
+ */
+
+#ifndef ICICLE_CORE_CORE_HH
+#define ICICLE_CORE_CORE_HH
+
+#include <functional>
+#include <memory>
+
+#include "isa/executor.hh"
+#include "pmu/csr.hh"
+#include "pmu/event.hh"
+
+namespace icicle
+{
+
+/** Abstract simulated core. */
+class Core
+{
+  public:
+    virtual ~Core() = default;
+
+    /** Advance one clock cycle. */
+    virtual void tick() = 0;
+    /** Program halted (pipeline drained)? */
+    virtual bool done() const = 0;
+    /** Run until done or max_cycles; returns cycles simulated. */
+    virtual u64
+    run(u64 max_cycles = ~0ull,
+        const std::function<void(Cycle, const EventBus &)> &on_cycle =
+            nullptr) = 0;
+
+    virtual Cycle cycle() const = 0;
+    virtual const EventBus &bus() const = 0;
+    virtual CsrFile &csrFile() = 0;
+    virtual Executor &executor() = 0;
+
+    virtual CoreKind kind() const = 0;
+    /** Decode = commit width W_C (1 on Rocket). */
+    virtual u32 coreWidth() const = 0;
+    /** Total issue width W_I (1 on Rocket). */
+    virtual u32 issueWidth() const = 0;
+    /** Human-readable configuration name. */
+    virtual const char *name() const = 0;
+
+    /** Exact host-side event totals (out-of-band ground truth). */
+    virtual u64 total(EventId id) const = 0;
+    /** Per-source totals where the event has multiple lanes. */
+    virtual u64 laneTotal(EventId id, u32 lane) const = 0;
+};
+
+} // namespace icicle
+
+#endif // ICICLE_CORE_CORE_HH

@@ -1,0 +1,56 @@
+#include "core/session.hh"
+
+namespace icicle
+{
+
+std::unique_ptr<Core>
+makeRocket(const RocketConfig &config, const Program &program)
+{
+    return std::make_unique<RocketCore>(config, program);
+}
+
+std::unique_ptr<Core>
+makeBoom(const BoomConfig &config, const Program &program)
+{
+    return std::make_unique<BoomCore>(config, program);
+}
+
+TmaCounters
+gatherTmaCounters(const Core &core)
+{
+    TmaCounters c;
+    c.cycles = core.total(EventId::Cycles);
+    if (core.kind() == CoreKind::Boom) {
+        c.retiredUops = core.total(EventId::UopsRetired);
+        c.issuedUops = core.total(EventId::UopsIssued);
+    } else {
+        c.retiredUops = core.total(EventId::InstRetired);
+        c.issuedUops = core.total(EventId::InstIssued);
+    }
+    c.fetchBubbles = core.total(EventId::FetchBubbles);
+    c.recovering = core.total(EventId::Recovering);
+    c.branchMispredicts = core.total(EventId::BranchMispredict);
+    c.machineClears = core.total(EventId::Flush);
+    c.fencesRetired = core.total(EventId::FenceRetired);
+    c.icacheBlocked = core.total(EventId::ICacheBlocked);
+    c.dcacheBlocked = core.total(EventId::DCacheBlocked);
+    c.dcacheBlockedDram = core.total(EventId::DCacheBlockedDram);
+    return c;
+}
+
+TmaParams
+tmaParamsFor(const Core &core)
+{
+    TmaParams p;
+    p.coreWidth = core.coreWidth();
+    p.recoverLength = 4;
+    return p;
+}
+
+TmaResult
+analyzeTma(const Core &core)
+{
+    return computeTma(gatherTmaCounters(core), tmaParamsFor(core));
+}
+
+} // namespace icicle

@@ -1,0 +1,534 @@
+#include "isa/assembler.hh"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.hh"
+#include "isa/builder.hh"
+
+namespace icicle
+{
+
+namespace
+{
+
+/** How an instruction's operand list is laid out. */
+enum class Format : u8
+{
+    RType,    ///< op rd, rs1, rs2
+    IType,    ///< op rd, rs1, imm
+    Shift,    ///< op rd, rs1, shamt
+    Load,     ///< op rd, off(rs1)
+    Store,    ///< op rs2, off(rs1)
+    Branch,   ///< op rs1, rs2, label
+    UType,    ///< op rd, imm
+    Jal,      ///< op rd, label   (or: op label -> rd = ra)
+    Jalr,     ///< op rd, off(rs1)
+    Csr,      ///< op rd, csr, rs1
+    Bare,     ///< op
+};
+
+struct Mnemonic
+{
+    Op op;
+    Format format;
+};
+
+const std::map<std::string, Mnemonic> &
+mnemonics()
+{
+    static const std::map<std::string, Mnemonic> table = {
+        {"add", {Op::Add, Format::RType}},
+        {"sub", {Op::Sub, Format::RType}},
+        {"sll", {Op::Sll, Format::RType}},
+        {"slt", {Op::Slt, Format::RType}},
+        {"sltu", {Op::Sltu, Format::RType}},
+        {"xor", {Op::Xor, Format::RType}},
+        {"srl", {Op::Srl, Format::RType}},
+        {"sra", {Op::Sra, Format::RType}},
+        {"or", {Op::Or, Format::RType}},
+        {"and", {Op::And, Format::RType}},
+        {"addw", {Op::Addw, Format::RType}},
+        {"subw", {Op::Subw, Format::RType}},
+        {"sllw", {Op::Sllw, Format::RType}},
+        {"srlw", {Op::Srlw, Format::RType}},
+        {"sraw", {Op::Sraw, Format::RType}},
+        {"mul", {Op::Mul, Format::RType}},
+        {"mulh", {Op::Mulh, Format::RType}},
+        {"mulhsu", {Op::Mulhsu, Format::RType}},
+        {"mulhu", {Op::Mulhu, Format::RType}},
+        {"div", {Op::Div, Format::RType}},
+        {"divu", {Op::Divu, Format::RType}},
+        {"rem", {Op::Rem, Format::RType}},
+        {"remu", {Op::Remu, Format::RType}},
+        {"mulw", {Op::Mulw, Format::RType}},
+        {"divw", {Op::Divw, Format::RType}},
+        {"divuw", {Op::Divuw, Format::RType}},
+        {"remw", {Op::Remw, Format::RType}},
+        {"remuw", {Op::Remuw, Format::RType}},
+
+        {"addi", {Op::Addi, Format::IType}},
+        {"addiw", {Op::Addiw, Format::IType}},
+        {"slti", {Op::Slti, Format::IType}},
+        {"sltiu", {Op::Sltiu, Format::IType}},
+        {"xori", {Op::Xori, Format::IType}},
+        {"ori", {Op::Ori, Format::IType}},
+        {"andi", {Op::Andi, Format::IType}},
+        {"slli", {Op::Slli, Format::Shift}},
+        {"srli", {Op::Srli, Format::Shift}},
+        {"srai", {Op::Srai, Format::Shift}},
+        {"slliw", {Op::Slliw, Format::Shift}},
+        {"srliw", {Op::Srliw, Format::Shift}},
+        {"sraiw", {Op::Sraiw, Format::Shift}},
+
+        {"lb", {Op::Lb, Format::Load}},
+        {"lh", {Op::Lh, Format::Load}},
+        {"lw", {Op::Lw, Format::Load}},
+        {"ld", {Op::Ld, Format::Load}},
+        {"lbu", {Op::Lbu, Format::Load}},
+        {"lhu", {Op::Lhu, Format::Load}},
+        {"lwu", {Op::Lwu, Format::Load}},
+        {"sb", {Op::Sb, Format::Store}},
+        {"sh", {Op::Sh, Format::Store}},
+        {"sw", {Op::Sw, Format::Store}},
+        {"sd", {Op::Sd, Format::Store}},
+
+        {"beq", {Op::Beq, Format::Branch}},
+        {"bne", {Op::Bne, Format::Branch}},
+        {"blt", {Op::Blt, Format::Branch}},
+        {"bge", {Op::Bge, Format::Branch}},
+        {"bltu", {Op::Bltu, Format::Branch}},
+        {"bgeu", {Op::Bgeu, Format::Branch}},
+
+        {"lui", {Op::Lui, Format::UType}},
+        {"auipc", {Op::Auipc, Format::UType}},
+        {"jal", {Op::Jal, Format::Jal}},
+        {"jalr", {Op::Jalr, Format::Jalr}},
+
+        {"csrrw", {Op::Csrrw, Format::Csr}},
+        {"csrrs", {Op::Csrrs, Format::Csr}},
+        {"csrrc", {Op::Csrrc, Format::Csr}},
+
+        {"fence", {Op::Fence, Format::Bare}},
+        {"fence.i", {Op::FenceI, Format::Bare}},
+        {"ecall", {Op::Ecall, Format::Bare}},
+        {"ebreak", {Op::Ebreak, Format::Bare}},
+    };
+    return table;
+}
+
+/** Parser state for one assembly unit. */
+class Parser
+{
+  public:
+    Parser(const std::string &source, const std::string &name)
+        : builder(name), source(source)
+    {}
+
+    Program run();
+
+  private:
+    [[noreturn]] void
+    error(const std::string &message)
+    {
+        fatal("assembler: line ", lineNo, ": ", message);
+    }
+
+    Label
+    labelOf(const std::string &name)
+    {
+        auto it = labels.find(name);
+        if (it != labels.end())
+            return it->second;
+        const Label label = builder.newLabel();
+        labels.emplace(name, label);
+        return label;
+    }
+
+    u8 parseReg(const std::string &token);
+    i64 parseImm(const std::string &token);
+    /** Split "off(reg)" into offset and register. */
+    void parseMem(const std::string &token, i64 *offset, u8 *base);
+    std::vector<std::string> splitOperands(const std::string &rest);
+
+    void handleDirective(const std::string &head,
+                         const std::string &rest);
+    void handleInstruction(const std::string &head,
+                           const std::string &rest);
+    void handlePseudo(const std::string &head,
+                      const std::vector<std::string> &ops, bool *done);
+
+    ProgramBuilder builder;
+    const std::string &source;
+    std::map<std::string, Label> labels;
+    bool inData = false;
+    u32 lineNo = 0;
+};
+
+u8
+Parser::parseReg(const std::string &token)
+{
+    if (token.size() >= 2 && token[0] == 'x') {
+        bool numeric = true;
+        for (u64 i = 1; i < token.size(); i++)
+            numeric = numeric && isdigit(
+                static_cast<unsigned char>(token[i]));
+        if (numeric) {
+            const int index = std::stoi(token.substr(1));
+            if (index < 0 || index > 31)
+                error("register out of range: " + token);
+            return static_cast<u8>(index);
+        }
+    }
+    for (u8 r = 0; r < 32; r++)
+        if (token == regName(r))
+            return r;
+    if (token == "fp")
+        return reg::s0;
+    error("unknown register: " + token);
+}
+
+i64
+Parser::parseImm(const std::string &token)
+{
+    if (token.empty())
+        error("missing immediate");
+    try {
+        size_t used = 0;
+        const i64 value = std::stoll(token, &used, 0);
+        if (used != token.size())
+            error("bad immediate: " + token);
+        return value;
+    } catch (const std::exception &) {
+        error("bad immediate: " + token);
+    }
+}
+
+void
+Parser::parseMem(const std::string &token, i64 *offset, u8 *base)
+{
+    const size_t open = token.find('(');
+    const size_t close = token.find(')');
+    if (open == std::string::npos || close == std::string::npos ||
+        close < open)
+        error("expected off(reg): " + token);
+    const std::string off = token.substr(0, open);
+    *offset = off.empty() ? 0 : parseImm(off);
+    *base = parseReg(token.substr(open + 1, close - open - 1));
+}
+
+std::vector<std::string>
+Parser::splitOperands(const std::string &rest)
+{
+    std::vector<std::string> out;
+    std::string current;
+    for (char c : rest) {
+        if (c == ',') {
+            out.push_back(current);
+            current.clear();
+        } else if (!isspace(static_cast<unsigned char>(c))) {
+            current += c;
+        }
+    }
+    if (!current.empty())
+        out.push_back(current);
+    for (const std::string &token : out)
+        if (token.empty())
+            error("empty operand");
+    return out;
+}
+
+void
+Parser::handleDirective(const std::string &head, const std::string &rest)
+{
+    const std::vector<std::string> ops = splitOperands(rest);
+    if (head == ".text") {
+        inData = false;
+    } else if (head == ".data") {
+        inData = true;
+    } else if (head == ".dword" || head == ".quad") {
+        std::vector<u64> values;
+        for (const std::string &token : ops)
+            values.push_back(static_cast<u64>(parseImm(token)));
+        if (values.empty())
+            error(".dword needs at least one value");
+        builder.dwords(values);
+    } else if (head == ".word") {
+        for (const std::string &token : ops)
+            builder.word(static_cast<u32>(parseImm(token)));
+    } else if (head == ".space" || head == ".zero") {
+        if (ops.size() != 1)
+            error(".space needs one size");
+        builder.space(static_cast<u64>(parseImm(ops[0])));
+    } else if (head == ".align") {
+        if (ops.size() != 1)
+            error(".align needs one power");
+        builder.alignData(1ull << parseImm(ops[0]));
+    } else if (head == ".global" || head == ".globl" ||
+               head == ".section") {
+        // accepted and ignored
+    } else {
+        error("unknown directive: " + head);
+    }
+}
+
+void
+Parser::handlePseudo(const std::string &head,
+                     const std::vector<std::string> &ops, bool *done)
+{
+    *done = true;
+    auto need = [&](u64 count) {
+        if (ops.size() != count)
+            error(head + " expects " + std::to_string(count) +
+                  " operands");
+    };
+    if (head == "nop") {
+        need(0);
+        builder.nop();
+    } else if (head == "mv") {
+        need(2);
+        builder.mv(parseReg(ops[0]), parseReg(ops[1]));
+    } else if (head == "li") {
+        need(2);
+        builder.li(parseReg(ops[0]), parseImm(ops[1]));
+    } else if (head == "la") {
+        need(2);
+        builder.la(parseReg(ops[0]), labelOf(ops[1]));
+    } else if (head == "j") {
+        need(1);
+        builder.j(labelOf(ops[0]));
+    } else if (head == "call") {
+        need(1);
+        builder.call(labelOf(ops[0]));
+    } else if (head == "ret") {
+        need(0);
+        builder.ret();
+    } else if (head == "jr") {
+        need(1);
+        builder.jalr(reg::zero, parseReg(ops[0]), 0);
+    } else if (head == "beqz") {
+        need(2);
+        builder.beqz(parseReg(ops[0]), labelOf(ops[1]));
+    } else if (head == "bnez") {
+        need(2);
+        builder.bnez(parseReg(ops[0]), labelOf(ops[1]));
+    } else if (head == "bgt") {
+        need(3);
+        builder.bgt(parseReg(ops[0]), parseReg(ops[1]),
+                    labelOf(ops[2]));
+    } else if (head == "ble") {
+        need(3);
+        builder.ble(parseReg(ops[0]), parseReg(ops[1]),
+                    labelOf(ops[2]));
+    } else if (head == "neg") {
+        need(2);
+        builder.sub(parseReg(ops[0]), reg::zero, parseReg(ops[1]));
+    } else if (head == "not") {
+        need(2);
+        builder.xori(parseReg(ops[0]), parseReg(ops[1]), -1);
+    } else if (head == "seqz") {
+        need(2);
+        builder.sltiu(parseReg(ops[0]), parseReg(ops[1]), 1);
+    } else if (head == "snez") {
+        need(2);
+        builder.sltu(parseReg(ops[0]), reg::zero, parseReg(ops[1]));
+    } else {
+        *done = false;
+    }
+}
+
+void
+Parser::handleInstruction(const std::string &head,
+                          const std::string &rest)
+{
+    if (inData)
+        error("instruction in .data section: " + head);
+    const std::vector<std::string> ops = splitOperands(rest);
+
+    bool pseudo_done = false;
+    handlePseudo(head, ops, &pseudo_done);
+    if (pseudo_done)
+        return;
+
+    const auto it = mnemonics().find(head);
+    if (it == mnemonics().end())
+        error("unknown mnemonic: " + head);
+    const Mnemonic &m = it->second;
+
+    auto need = [&](u64 count) {
+        if (ops.size() != count)
+            error(head + " expects " + std::to_string(count) +
+                  " operands");
+    };
+
+    DecodedInst d;
+    d.op = m.op;
+    switch (m.format) {
+      case Format::RType:
+        need(3);
+        d.rd = parseReg(ops[0]);
+        d.rs1 = parseReg(ops[1]);
+        d.rs2 = parseReg(ops[2]);
+        builder.emit(d);
+        break;
+      case Format::IType:
+      case Format::Shift:
+        need(3);
+        d.rd = parseReg(ops[0]);
+        d.rs1 = parseReg(ops[1]);
+        d.imm = parseImm(ops[2]);
+        builder.emit(d);
+        break;
+      case Format::Load: {
+        need(2);
+        d.rd = parseReg(ops[0]);
+        parseMem(ops[1], &d.imm, &d.rs1);
+        builder.emit(d);
+        break;
+      }
+      case Format::Store: {
+        need(2);
+        d.rs2 = parseReg(ops[0]);
+        parseMem(ops[1], &d.imm, &d.rs1);
+        builder.emit(d);
+        break;
+      }
+      case Format::Branch:
+        need(3);
+        switch (m.op) {
+          case Op::Beq:
+            builder.beq(parseReg(ops[0]), parseReg(ops[1]),
+                        labelOf(ops[2]));
+            break;
+          case Op::Bne:
+            builder.bne(parseReg(ops[0]), parseReg(ops[1]),
+                        labelOf(ops[2]));
+            break;
+          case Op::Blt:
+            builder.blt(parseReg(ops[0]), parseReg(ops[1]),
+                        labelOf(ops[2]));
+            break;
+          case Op::Bge:
+            builder.bge(parseReg(ops[0]), parseReg(ops[1]),
+                        labelOf(ops[2]));
+            break;
+          case Op::Bltu:
+            builder.bltu(parseReg(ops[0]), parseReg(ops[1]),
+                         labelOf(ops[2]));
+            break;
+          default:
+            builder.bgeu(parseReg(ops[0]), parseReg(ops[1]),
+                         labelOf(ops[2]));
+            break;
+        }
+        break;
+      case Format::UType:
+        need(2);
+        if (m.op == Op::Lui)
+            builder.lui(parseReg(ops[0]), parseImm(ops[1]));
+        else
+            builder.auipc(parseReg(ops[0]), parseImm(ops[1]));
+        break;
+      case Format::Jal:
+        if (ops.size() == 1) {
+            builder.jal(reg::ra, labelOf(ops[0]));
+        } else {
+            need(2);
+            builder.jal(parseReg(ops[0]), labelOf(ops[1]));
+        }
+        break;
+      case Format::Jalr:
+        if (ops.size() == 1) {
+            builder.jalr(reg::ra, parseReg(ops[0]), 0);
+        } else {
+            need(2);
+            d.rd = parseReg(ops[0]);
+            parseMem(ops[1], &d.imm, &d.rs1);
+            builder.emit(d);
+        }
+        break;
+      case Format::Csr:
+        need(3);
+        d.rd = parseReg(ops[0]);
+        d.imm = parseImm(ops[1]);
+        d.rs1 = parseReg(ops[2]);
+        builder.emit(d);
+        break;
+      case Format::Bare:
+        need(0);
+        builder.emit(d);
+        break;
+    }
+}
+
+Program
+Parser::run()
+{
+    std::istringstream stream(source);
+    std::string raw_line;
+    while (std::getline(stream, raw_line)) {
+        lineNo++;
+        // Strip comments.
+        std::string line = raw_line;
+        const size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        const size_t slashes = line.find("//");
+        if (slashes != std::string::npos)
+            line = line.substr(0, slashes);
+
+        // Peel leading labels ("name:").
+        for (;;) {
+            const size_t start =
+                line.find_first_not_of(" \t\r");
+            if (start == std::string::npos) {
+                line.clear();
+                break;
+            }
+            line = line.substr(start);
+            const size_t colon = line.find(':');
+            const size_t space = line.find_first_of(" \t");
+            if (colon == std::string::npos ||
+                (space != std::string::npos && space < colon))
+                break;
+            const std::string name = line.substr(0, colon);
+            if (name.empty())
+                error("empty label name");
+            const Label label = labelOf(name);
+            if (inData)
+                builder.bindData(label);
+            else
+                builder.bind(label);
+            line = line.substr(colon + 1);
+        }
+        if (line.empty())
+            continue;
+
+        // Split head token from the operand tail.
+        const size_t head_end = line.find_first_of(" \t");
+        const std::string head =
+            head_end == std::string::npos ? line
+                                          : line.substr(0, head_end);
+        const std::string rest =
+            head_end == std::string::npos ? ""
+                                          : line.substr(head_end + 1);
+        if (head[0] == '.')
+            handleDirective(head, rest);
+        else
+            handleInstruction(head, rest);
+    }
+    return builder.build();
+}
+
+} // namespace
+
+Program
+assemble(const std::string &source, const std::string &name)
+{
+    Parser parser(source, name);
+    return parser.run();
+}
+
+} // namespace icicle

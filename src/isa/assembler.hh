@@ -1,0 +1,46 @@
+/**
+ * @file
+ * A small RISC-V text assembler producing Program images.
+ *
+ * Supports the RV64IM subset of this library with the usual
+ * pseudo-instructions (li, la, mv, j, call, ret, beqz, ...), labels,
+ * comments (# and //), and a .data section with .dword/.word/.space/
+ * .align directives. Enough to write the kind of baremetal kernels
+ * the workload suite contains as plain .s files.
+ */
+
+#ifndef ICICLE_ISA_ASSEMBLER_HH
+#define ICICLE_ISA_ASSEMBLER_HH
+
+#include <string>
+
+#include "isa/program.hh"
+
+namespace icicle
+{
+
+/**
+ * Assemble RISC-V text into a Program. fatal()s with a line-numbered
+ * message on any syntax or range error.
+ *
+ * Syntax sketch:
+ *
+ *   .data
+ *   table: .dword 1, 2, 3
+ *   buf:   .space 64
+ *   .text
+ *   main:
+ *     la   a0, table
+ *     ld   a1, 8(a0)       # second element
+ *     li   a2, 42
+ *     beqz a1, done
+ *     call helper
+ *   done:
+ *     ecall                # halt, exit code in a0
+ */
+Program assemble(const std::string &source,
+                 const std::string &name = "assembled");
+
+} // namespace icicle
+
+#endif // ICICLE_ISA_ASSEMBLER_HH

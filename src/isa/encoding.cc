@@ -1,0 +1,508 @@
+#include "isa/encoding.hh"
+
+#include "common/logging.hh"
+
+namespace icicle
+{
+
+namespace
+{
+
+// Major opcodes.
+constexpr u32 opLui = 0x37;
+constexpr u32 opAuipc = 0x17;
+constexpr u32 opJal = 0x6f;
+constexpr u32 opJalr = 0x67;
+constexpr u32 opBranch = 0x63;
+constexpr u32 opLoad = 0x03;
+constexpr u32 opStore = 0x23;
+constexpr u32 opImm = 0x13;
+constexpr u32 opImm32 = 0x1b;
+constexpr u32 opReg = 0x33;
+constexpr u32 opReg32 = 0x3b;
+constexpr u32 opMiscMem = 0x0f;
+constexpr u32 opSystem = 0x73;
+
+u32
+bits(u64 value, unsigned hi, unsigned lo)
+{
+    return static_cast<u32>((value >> lo) & ((1ull << (hi - lo + 1)) - 1));
+}
+
+void
+checkImm(i64 imm, int width, const char *what)
+{
+    const i64 lo = -(1ll << (width - 1));
+    const i64 hi = (1ll << (width - 1)) - 1;
+    if (imm < lo || imm > hi)
+        fatal("immediate ", imm, " does not fit ", width, "-bit ", what);
+}
+
+u32
+encodeR(u32 opcode, u32 funct3, u32 funct7, const DecodedInst &d)
+{
+    return opcode | (d.rd << 7) | (funct3 << 12) | (d.rs1 << 15) |
+           (d.rs2 << 20) | (funct7 << 25);
+}
+
+u32
+encodeI(u32 opcode, u32 funct3, const DecodedInst &d)
+{
+    checkImm(d.imm, 12, "I-immediate");
+    return opcode | (d.rd << 7) | (funct3 << 12) | (d.rs1 << 15) |
+           (bits(static_cast<u64>(d.imm), 11, 0) << 20);
+}
+
+u32
+encodeShift(u32 opcode, u32 funct3, u32 funct7hi, const DecodedInst &d,
+            unsigned shamt_bits)
+{
+    if (d.imm < 0 || d.imm >= (1 << shamt_bits))
+        fatal("shift amount ", d.imm, " out of range");
+    return opcode | (d.rd << 7) | (funct3 << 12) | (d.rs1 << 15) |
+           (static_cast<u32>(d.imm) << 20) | (funct7hi << 26);
+}
+
+u32
+encodeS(u32 funct3, const DecodedInst &d)
+{
+    checkImm(d.imm, 12, "S-immediate");
+    const u64 imm = static_cast<u64>(d.imm);
+    return opStore | (bits(imm, 4, 0) << 7) | (funct3 << 12) |
+           (d.rs1 << 15) | (d.rs2 << 20) | (bits(imm, 11, 5) << 25);
+}
+
+u32
+encodeB(u32 funct3, const DecodedInst &d)
+{
+    checkImm(d.imm, 13, "B-immediate");
+    if (d.imm & 1)
+        fatal("branch offset must be even");
+    const u64 imm = static_cast<u64>(d.imm);
+    return opBranch | (bits(imm, 11, 11) << 7) | (bits(imm, 4, 1) << 8) |
+           (funct3 << 12) | (d.rs1 << 15) | (d.rs2 << 20) |
+           (bits(imm, 10, 5) << 25) | (bits(imm, 12, 12) << 31);
+}
+
+u32
+encodeU(u32 opcode, const DecodedInst &d)
+{
+    checkImm(d.imm, 32, "U-immediate");
+    if (d.imm & 0xfff)
+        fatal("U-type immediate must be 4 KiB aligned: ", d.imm);
+    return opcode | (d.rd << 7) |
+           (bits(static_cast<u64>(d.imm), 31, 12) << 12);
+}
+
+u32
+encodeJ(const DecodedInst &d)
+{
+    checkImm(d.imm, 21, "J-immediate");
+    if (d.imm & 1)
+        fatal("jump offset must be even");
+    const u64 imm = static_cast<u64>(d.imm);
+    return opJal | (d.rd << 7) | (bits(imm, 19, 12) << 12) |
+           (bits(imm, 11, 11) << 20) | (bits(imm, 10, 1) << 21) |
+           (bits(imm, 20, 20) << 31);
+}
+
+u32
+encodeCsr(u32 funct3, const DecodedInst &d)
+{
+    if (d.imm < 0 || d.imm > 0xfff)
+        fatal("CSR number out of range: ", d.imm);
+    return opSystem | (d.rd << 7) | (funct3 << 12) | (d.rs1 << 15) |
+           (static_cast<u32>(d.imm) << 20);
+}
+
+i64
+signExtend(u64 value, unsigned width)
+{
+    const u64 sign = 1ull << (width - 1);
+    return static_cast<i64>((value ^ sign) - sign);
+}
+
+i64
+immI(u32 raw)
+{
+    return signExtend(bits(raw, 31, 20), 12);
+}
+
+i64
+immS(u32 raw)
+{
+    return signExtend((bits(raw, 31, 25) << 5) | bits(raw, 11, 7), 12);
+}
+
+i64
+immB(u32 raw)
+{
+    return signExtend((bits(raw, 31, 31) << 12) | (bits(raw, 7, 7) << 11) |
+                          (bits(raw, 30, 25) << 5) | (bits(raw, 11, 8) << 1),
+                      13);
+}
+
+i64
+immU(u32 raw)
+{
+    return signExtend(bits(raw, 31, 12) << 12, 32);
+}
+
+i64
+immJ(u32 raw)
+{
+    return signExtend((bits(raw, 31, 31) << 20) | (bits(raw, 19, 12) << 12) |
+                          (bits(raw, 20, 20) << 11) |
+                          (bits(raw, 30, 21) << 1),
+                      21);
+}
+
+} // namespace
+
+u32
+encode(const DecodedInst &d)
+{
+    switch (d.op) {
+      case Op::Lui: return encodeU(opLui, d);
+      case Op::Auipc: return encodeU(opAuipc, d);
+      case Op::Jal: return encodeJ(d);
+      case Op::Jalr: return encodeI(opJalr, 0, d);
+
+      case Op::Beq: return encodeB(0, d);
+      case Op::Bne: return encodeB(1, d);
+      case Op::Blt: return encodeB(4, d);
+      case Op::Bge: return encodeB(5, d);
+      case Op::Bltu: return encodeB(6, d);
+      case Op::Bgeu: return encodeB(7, d);
+
+      case Op::Lb: return encodeI(opLoad, 0, d);
+      case Op::Lh: return encodeI(opLoad, 1, d);
+      case Op::Lw: return encodeI(opLoad, 2, d);
+      case Op::Ld: return encodeI(opLoad, 3, d);
+      case Op::Lbu: return encodeI(opLoad, 4, d);
+      case Op::Lhu: return encodeI(opLoad, 5, d);
+      case Op::Lwu: return encodeI(opLoad, 6, d);
+
+      case Op::Sb: return encodeS(0, d);
+      case Op::Sh: return encodeS(1, d);
+      case Op::Sw: return encodeS(2, d);
+      case Op::Sd: return encodeS(3, d);
+
+      case Op::Addi: return encodeI(opImm, 0, d);
+      case Op::Slti: return encodeI(opImm, 2, d);
+      case Op::Sltiu: return encodeI(opImm, 3, d);
+      case Op::Xori: return encodeI(opImm, 4, d);
+      case Op::Ori: return encodeI(opImm, 6, d);
+      case Op::Andi: return encodeI(opImm, 7, d);
+      case Op::Slli: return encodeShift(opImm, 1, 0x00, d, 6);
+      case Op::Srli: return encodeShift(opImm, 5, 0x00, d, 6);
+      case Op::Srai: return encodeShift(opImm, 5, 0x10, d, 6);
+
+      case Op::Addiw: return encodeI(opImm32, 0, d);
+      case Op::Slliw: return encodeShift(opImm32, 1, 0x00, d, 5);
+      case Op::Srliw: return encodeShift(opImm32, 5, 0x00, d, 5);
+      case Op::Sraiw: return encodeShift(opImm32, 5, 0x10, d, 5);
+
+      case Op::Add: return encodeR(opReg, 0, 0x00, d);
+      case Op::Sub: return encodeR(opReg, 0, 0x20, d);
+      case Op::Sll: return encodeR(opReg, 1, 0x00, d);
+      case Op::Slt: return encodeR(opReg, 2, 0x00, d);
+      case Op::Sltu: return encodeR(opReg, 3, 0x00, d);
+      case Op::Xor: return encodeR(opReg, 4, 0x00, d);
+      case Op::Srl: return encodeR(opReg, 5, 0x00, d);
+      case Op::Sra: return encodeR(opReg, 5, 0x20, d);
+      case Op::Or: return encodeR(opReg, 6, 0x00, d);
+      case Op::And: return encodeR(opReg, 7, 0x00, d);
+
+      case Op::Addw: return encodeR(opReg32, 0, 0x00, d);
+      case Op::Subw: return encodeR(opReg32, 0, 0x20, d);
+      case Op::Sllw: return encodeR(opReg32, 1, 0x00, d);
+      case Op::Srlw: return encodeR(opReg32, 5, 0x00, d);
+      case Op::Sraw: return encodeR(opReg32, 5, 0x20, d);
+
+      case Op::Mul: return encodeR(opReg, 0, 0x01, d);
+      case Op::Mulh: return encodeR(opReg, 1, 0x01, d);
+      case Op::Mulhsu: return encodeR(opReg, 2, 0x01, d);
+      case Op::Mulhu: return encodeR(opReg, 3, 0x01, d);
+      case Op::Div: return encodeR(opReg, 4, 0x01, d);
+      case Op::Divu: return encodeR(opReg, 5, 0x01, d);
+      case Op::Rem: return encodeR(opReg, 6, 0x01, d);
+      case Op::Remu: return encodeR(opReg, 7, 0x01, d);
+
+      case Op::Mulw: return encodeR(opReg32, 0, 0x01, d);
+      case Op::Divw: return encodeR(opReg32, 4, 0x01, d);
+      case Op::Divuw: return encodeR(opReg32, 5, 0x01, d);
+      case Op::Remw: return encodeR(opReg32, 6, 0x01, d);
+      case Op::Remuw: return encodeR(opReg32, 7, 0x01, d);
+
+      case Op::Fence: return opMiscMem | (0 << 12) | 0x0ff00000;
+      case Op::FenceI: return opMiscMem | (1 << 12);
+      case Op::Ecall: return opSystem;
+      case Op::Ebreak: return opSystem | (1 << 20);
+
+      case Op::Csrrw: return encodeCsr(1, d);
+      case Op::Csrrs: return encodeCsr(2, d);
+      case Op::Csrrc: return encodeCsr(3, d);
+      case Op::Csrrwi: return encodeCsr(5, d);
+      case Op::Csrrsi: return encodeCsr(6, d);
+      case Op::Csrrci: return encodeCsr(7, d);
+
+      default:
+        fatal("cannot encode op ", opName(d.op));
+    }
+}
+
+namespace
+{
+
+/**
+ * Zero register fields the op does not use, so decoded instructions
+ * compare equal to builder-constructed ones (I-type encodings carry
+ * immediate bits in the rs2 field, U/J types in rs1/rs2, etc.).
+ */
+DecodedInst
+normalize(DecodedInst d)
+{
+    const bool keeps_zimm = d.op == Op::Csrrwi || d.op == Op::Csrrsi ||
+                            d.op == Op::Csrrci;
+    if (!writesRd(d.op))
+        d.rd = 0;
+    if (!readsRs1(d.op) && !keeps_zimm)
+        d.rs1 = 0;
+    if (!readsRs2(d.op))
+        d.rs2 = 0;
+    return d;
+}
+
+DecodedInst decodeRaw(u32 raw);
+
+} // namespace
+
+DecodedInst
+decode(u32 raw)
+{
+    return normalize(decodeRaw(raw));
+}
+
+namespace
+{
+
+DecodedInst
+decodeRaw(u32 raw)
+{
+    DecodedInst d;
+    d.raw = raw;
+    d.rd = static_cast<u8>(bits(raw, 11, 7));
+    d.rs1 = static_cast<u8>(bits(raw, 19, 15));
+    d.rs2 = static_cast<u8>(bits(raw, 24, 20));
+    const u32 opcode = bits(raw, 6, 0);
+    const u32 funct3 = bits(raw, 14, 12);
+    const u32 funct7 = bits(raw, 31, 25);
+
+    auto illegal = [&d] {
+        d.op = Op::Illegal;
+        d.rd = d.rs1 = d.rs2 = 0;
+        d.imm = 0;
+        return d;
+    };
+
+    switch (opcode) {
+      case opLui:
+        d.op = Op::Lui;
+        d.imm = immU(raw);
+        return d;
+      case opAuipc:
+        d.op = Op::Auipc;
+        d.imm = immU(raw);
+        return d;
+      case opJal:
+        d.op = Op::Jal;
+        d.imm = immJ(raw);
+        return d;
+      case opJalr:
+        if (funct3 != 0)
+            return illegal();
+        d.op = Op::Jalr;
+        d.imm = immI(raw);
+        return d;
+      case opBranch: {
+        static const Op table[8] = {Op::Beq, Op::Bne, Op::Illegal,
+                                    Op::Illegal, Op::Blt, Op::Bge,
+                                    Op::Bltu, Op::Bgeu};
+        if (table[funct3] == Op::Illegal)
+            return illegal();
+        d.op = table[funct3];
+        d.imm = immB(raw);
+        return d;
+      }
+      case opLoad: {
+        static const Op table[8] = {Op::Lb, Op::Lh, Op::Lw, Op::Ld,
+                                    Op::Lbu, Op::Lhu, Op::Lwu, Op::Illegal};
+        if (table[funct3] == Op::Illegal)
+            return illegal();
+        d.op = table[funct3];
+        d.imm = immI(raw);
+        return d;
+      }
+      case opStore: {
+        static const Op table[8] = {Op::Sb, Op::Sh, Op::Sw, Op::Sd,
+                                    Op::Illegal, Op::Illegal, Op::Illegal,
+                                    Op::Illegal};
+        if (table[funct3] == Op::Illegal)
+            return illegal();
+        d.op = table[funct3];
+        d.imm = immS(raw);
+        return d;
+      }
+      case opImm:
+        switch (funct3) {
+          case 0: d.op = Op::Addi; break;
+          case 2: d.op = Op::Slti; break;
+          case 3: d.op = Op::Sltiu; break;
+          case 4: d.op = Op::Xori; break;
+          case 6: d.op = Op::Ori; break;
+          case 7: d.op = Op::Andi; break;
+          case 1:
+            if (bits(raw, 31, 26) != 0)
+                return illegal();
+            d.op = Op::Slli;
+            d.imm = bits(raw, 25, 20);
+            return d;
+          case 5:
+            if (bits(raw, 31, 26) == 0x00)
+                d.op = Op::Srli;
+            else if (bits(raw, 31, 26) == 0x10)
+                d.op = Op::Srai;
+            else
+                return illegal();
+            d.imm = bits(raw, 25, 20);
+            return d;
+          default:
+            return illegal();
+        }
+        d.imm = immI(raw);
+        return d;
+      case opImm32:
+        switch (funct3) {
+          case 0:
+            d.op = Op::Addiw;
+            d.imm = immI(raw);
+            return d;
+          case 1:
+            if (funct7 != 0)
+                return illegal();
+            d.op = Op::Slliw;
+            d.imm = bits(raw, 24, 20);
+            return d;
+          case 5:
+            if (funct7 == 0x00)
+                d.op = Op::Srliw;
+            else if (funct7 == 0x20)
+                d.op = Op::Sraiw;
+            else
+                return illegal();
+            d.imm = bits(raw, 24, 20);
+            return d;
+          default:
+            return illegal();
+        }
+      case opReg:
+        if (funct7 == 0x01) {
+            static const Op table[8] = {Op::Mul, Op::Mulh, Op::Mulhsu,
+                                        Op::Mulhu, Op::Div, Op::Divu,
+                                        Op::Rem, Op::Remu};
+            d.op = table[funct3];
+            return d;
+        }
+        if (funct7 == 0x00) {
+            static const Op table[8] = {Op::Add, Op::Sll, Op::Slt,
+                                        Op::Sltu, Op::Xor, Op::Srl,
+                                        Op::Or, Op::And};
+            d.op = table[funct3];
+            return d;
+        }
+        if (funct7 == 0x20) {
+            if (funct3 == 0) {
+                d.op = Op::Sub;
+                return d;
+            }
+            if (funct3 == 5) {
+                d.op = Op::Sra;
+                return d;
+            }
+        }
+        return illegal();
+      case opReg32:
+        if (funct7 == 0x01) {
+            static const Op table[8] = {Op::Mulw, Op::Illegal, Op::Illegal,
+                                        Op::Illegal, Op::Divw, Op::Divuw,
+                                        Op::Remw, Op::Remuw};
+            if (table[funct3] == Op::Illegal)
+                return illegal();
+            d.op = table[funct3];
+            return d;
+        }
+        if (funct7 == 0x00) {
+            static const Op table[8] = {Op::Addw, Op::Sllw, Op::Illegal,
+                                        Op::Illegal, Op::Illegal, Op::Srlw,
+                                        Op::Illegal, Op::Illegal};
+            if (table[funct3] == Op::Illegal)
+                return illegal();
+            d.op = table[funct3];
+            return d;
+        }
+        if (funct7 == 0x20) {
+            if (funct3 == 0) {
+                d.op = Op::Subw;
+                return d;
+            }
+            if (funct3 == 5) {
+                d.op = Op::Sraw;
+                return d;
+            }
+        }
+        return illegal();
+      case opMiscMem:
+        if (funct3 == 0) {
+            d.op = Op::Fence;
+            d.rd = d.rs1 = d.rs2 = 0;
+            d.imm = 0;
+            return d;
+        }
+        if (funct3 == 1) {
+            d.op = Op::FenceI;
+            d.rd = d.rs1 = d.rs2 = 0;
+            d.imm = 0;
+            return d;
+        }
+        return illegal();
+      case opSystem:
+        if (funct3 == 0) {
+            if (raw == opSystem) {
+                d.op = Op::Ecall;
+                return d;
+            }
+            if (raw == (opSystem | (1u << 20))) {
+                d.op = Op::Ebreak;
+                return d;
+            }
+            return illegal();
+        }
+        {
+            static const Op table[8] = {Op::Illegal, Op::Csrrw, Op::Csrrs,
+                                        Op::Csrrc, Op::Illegal, Op::Csrrwi,
+                                        Op::Csrrsi, Op::Csrrci};
+            if (table[funct3] == Op::Illegal)
+                return illegal();
+            d.op = table[funct3];
+            d.imm = bits(raw, 31, 20);
+            return d;
+        }
+      default:
+        return illegal();
+    }
+}
+
+} // namespace
+
+} // namespace icicle

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * RISC-V 32-bit instruction encoding and decoding for the RV64IM
+ * subset that Icicle supports.
+ */
+
+#ifndef ICICLE_ISA_ENCODING_HH
+#define ICICLE_ISA_ENCODING_HH
+
+#include "common/types.hh"
+#include "isa/inst.hh"
+
+namespace icicle
+{
+
+/**
+ * Encode a decoded instruction into its canonical RV64 machine word.
+ * Calls fatal() for immediates that do not fit the format.
+ */
+u32 encode(const DecodedInst &inst);
+
+/**
+ * Decode a 32-bit machine word. Unrecognized encodings decode to
+ * Op::Illegal rather than raising, matching hardware behaviour.
+ */
+DecodedInst decode(u32 raw);
+
+} // namespace icicle
+
+#endif // ICICLE_ISA_ENCODING_HH

@@ -1,0 +1,255 @@
+#include "isa/inst.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace icicle
+{
+
+InstClass
+classOf(Op op)
+{
+    switch (op) {
+      case Op::Lui:
+      case Op::Auipc:
+      case Op::Addi: case Op::Slti: case Op::Sltiu: case Op::Xori:
+      case Op::Ori: case Op::Andi: case Op::Slli: case Op::Srli:
+      case Op::Srai:
+      case Op::Addiw: case Op::Slliw: case Op::Srliw: case Op::Sraiw:
+      case Op::Add: case Op::Sub: case Op::Sll: case Op::Slt:
+      case Op::Sltu: case Op::Xor: case Op::Srl: case Op::Sra:
+      case Op::Or: case Op::And:
+      case Op::Addw: case Op::Subw: case Op::Sllw: case Op::Srlw:
+      case Op::Sraw:
+        return InstClass::IntAlu;
+      case Op::Mul: case Op::Mulh: case Op::Mulhsu: case Op::Mulhu:
+      case Op::Mulw:
+        return InstClass::Mul;
+      case Op::Div: case Op::Divu: case Op::Rem: case Op::Remu:
+      case Op::Divw: case Op::Divuw: case Op::Remw: case Op::Remuw:
+        return InstClass::Div;
+      case Op::Lb: case Op::Lh: case Op::Lw: case Op::Ld:
+      case Op::Lbu: case Op::Lhu: case Op::Lwu:
+        return InstClass::Load;
+      case Op::Sb: case Op::Sh: case Op::Sw: case Op::Sd:
+        return InstClass::Store;
+      case Op::Beq: case Op::Bne: case Op::Blt: case Op::Bge:
+      case Op::Bltu: case Op::Bgeu:
+        return InstClass::Branch;
+      case Op::Jal:
+        return InstClass::Jump;
+      case Op::Jalr:
+        return InstClass::JumpReg;
+      case Op::Csrrw: case Op::Csrrs: case Op::Csrrc:
+      case Op::Csrrwi: case Op::Csrrsi: case Op::Csrrci:
+        return InstClass::Csr;
+      case Op::Fence: case Op::FenceI:
+        return InstClass::Fence;
+      case Op::Ecall: case Op::Ebreak:
+        return InstClass::System;
+      default:
+        return InstClass::IntAlu;
+    }
+}
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::Lui: return "lui";
+      case Op::Auipc: return "auipc";
+      case Op::Jal: return "jal";
+      case Op::Jalr: return "jalr";
+      case Op::Beq: return "beq";
+      case Op::Bne: return "bne";
+      case Op::Blt: return "blt";
+      case Op::Bge: return "bge";
+      case Op::Bltu: return "bltu";
+      case Op::Bgeu: return "bgeu";
+      case Op::Lb: return "lb";
+      case Op::Lh: return "lh";
+      case Op::Lw: return "lw";
+      case Op::Ld: return "ld";
+      case Op::Lbu: return "lbu";
+      case Op::Lhu: return "lhu";
+      case Op::Lwu: return "lwu";
+      case Op::Sb: return "sb";
+      case Op::Sh: return "sh";
+      case Op::Sw: return "sw";
+      case Op::Sd: return "sd";
+      case Op::Addi: return "addi";
+      case Op::Slti: return "slti";
+      case Op::Sltiu: return "sltiu";
+      case Op::Xori: return "xori";
+      case Op::Ori: return "ori";
+      case Op::Andi: return "andi";
+      case Op::Slli: return "slli";
+      case Op::Srli: return "srli";
+      case Op::Srai: return "srai";
+      case Op::Addiw: return "addiw";
+      case Op::Slliw: return "slliw";
+      case Op::Srliw: return "srliw";
+      case Op::Sraiw: return "sraiw";
+      case Op::Add: return "add";
+      case Op::Sub: return "sub";
+      case Op::Sll: return "sll";
+      case Op::Slt: return "slt";
+      case Op::Sltu: return "sltu";
+      case Op::Xor: return "xor";
+      case Op::Srl: return "srl";
+      case Op::Sra: return "sra";
+      case Op::Or: return "or";
+      case Op::And: return "and";
+      case Op::Addw: return "addw";
+      case Op::Subw: return "subw";
+      case Op::Sllw: return "sllw";
+      case Op::Srlw: return "srlw";
+      case Op::Sraw: return "sraw";
+      case Op::Mul: return "mul";
+      case Op::Mulh: return "mulh";
+      case Op::Mulhsu: return "mulhsu";
+      case Op::Mulhu: return "mulhu";
+      case Op::Div: return "div";
+      case Op::Divu: return "divu";
+      case Op::Rem: return "rem";
+      case Op::Remu: return "remu";
+      case Op::Mulw: return "mulw";
+      case Op::Divw: return "divw";
+      case Op::Divuw: return "divuw";
+      case Op::Remw: return "remw";
+      case Op::Remuw: return "remuw";
+      case Op::Fence: return "fence";
+      case Op::FenceI: return "fence.i";
+      case Op::Ecall: return "ecall";
+      case Op::Ebreak: return "ebreak";
+      case Op::Csrrw: return "csrrw";
+      case Op::Csrrs: return "csrrs";
+      case Op::Csrrc: return "csrrc";
+      case Op::Csrrwi: return "csrrwi";
+      case Op::Csrrsi: return "csrrsi";
+      case Op::Csrrci: return "csrrci";
+      case Op::Illegal: return "illegal";
+      default: return "?";
+    }
+}
+
+const char *
+regName(u8 r)
+{
+    static const char *names[32] = {
+        "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+        "s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+        "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+        "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+    };
+    ICICLE_ASSERT(r < 32, "register index out of range");
+    return names[r];
+}
+
+bool
+readsRs1(Op op)
+{
+    switch (op) {
+      case Op::Lui: case Op::Auipc: case Op::Jal:
+      case Op::Fence: case Op::FenceI: case Op::Ecall: case Op::Ebreak:
+      case Op::Csrrwi: case Op::Csrrsi: case Op::Csrrci:
+      case Op::Illegal:
+        return false;
+      default:
+        return true;
+    }
+}
+
+bool
+readsRs2(Op op)
+{
+    switch (classOf(op)) {
+      case InstClass::Branch:
+      case InstClass::Store:
+        return true;
+      default:
+        break;
+    }
+    switch (op) {
+      case Op::Add: case Op::Sub: case Op::Sll: case Op::Slt:
+      case Op::Sltu: case Op::Xor: case Op::Srl: case Op::Sra:
+      case Op::Or: case Op::And:
+      case Op::Addw: case Op::Subw: case Op::Sllw: case Op::Srlw:
+      case Op::Sraw:
+      case Op::Mul: case Op::Mulh: case Op::Mulhsu: case Op::Mulhu:
+      case Op::Div: case Op::Divu: case Op::Rem: case Op::Remu:
+      case Op::Mulw: case Op::Divw: case Op::Divuw: case Op::Remw:
+      case Op::Remuw:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+writesRd(Op op)
+{
+    switch (classOf(op)) {
+      case InstClass::Branch:
+      case InstClass::Store:
+      case InstClass::Fence:
+      case InstClass::System:
+        return false;
+      default:
+        return true;
+    }
+}
+
+std::string
+disassemble(const DecodedInst &inst)
+{
+    std::ostringstream os;
+    os << opName(inst.op);
+    switch (classOf(inst.op)) {
+      case InstClass::IntAlu:
+        if (inst.op == Op::Lui || inst.op == Op::Auipc) {
+            os << " " << regName(inst.rd) << ", " << inst.imm;
+        } else if (readsRs2(inst.op)) {
+            os << " " << regName(inst.rd) << ", " << regName(inst.rs1)
+               << ", " << regName(inst.rs2);
+        } else {
+            os << " " << regName(inst.rd) << ", " << regName(inst.rs1)
+               << ", " << inst.imm;
+        }
+        break;
+      case InstClass::Mul:
+      case InstClass::Div:
+        os << " " << regName(inst.rd) << ", " << regName(inst.rs1)
+           << ", " << regName(inst.rs2);
+        break;
+      case InstClass::Load:
+        os << " " << regName(inst.rd) << ", " << inst.imm << "("
+           << regName(inst.rs1) << ")";
+        break;
+      case InstClass::Store:
+        os << " " << regName(inst.rs2) << ", " << inst.imm << "("
+           << regName(inst.rs1) << ")";
+        break;
+      case InstClass::Branch:
+        os << " " << regName(inst.rs1) << ", " << regName(inst.rs2)
+           << ", " << inst.imm;
+        break;
+      case InstClass::Jump:
+        os << " " << regName(inst.rd) << ", " << inst.imm;
+        break;
+      case InstClass::JumpReg:
+        os << " " << regName(inst.rd) << ", " << inst.imm << "("
+           << regName(inst.rs1) << ")";
+        break;
+      case InstClass::Csr:
+        os << " " << regName(inst.rd) << ", 0x" << std::hex << inst.imm
+           << std::dec << ", " << regName(inst.rs1);
+        break;
+      default:
+        break;
+    }
+    return os.str();
+}
+
+} // namespace icicle

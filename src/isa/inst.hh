@@ -1,0 +1,113 @@
+/**
+ * @file
+ * RV64IM(+Zicsr) instruction definitions shared by the encoder,
+ * functional executor, and the timing models.
+ *
+ * Icicle's cores consume *decoded* instructions; the raw 32-bit
+ * encodings exist so programs look like real RISC-V images (and so the
+ * assembler/encoder can round-trip), matching the paper's use of
+ * riscv64-gcc binaries.
+ */
+
+#ifndef ICICLE_ISA_INST_HH
+#define ICICLE_ISA_INST_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace icicle
+{
+
+/** Every operation in the supported RV64IM+Zicsr subset. */
+enum class Op : u8
+{
+    Lui, Auipc, Jal, Jalr,
+    Beq, Bne, Blt, Bge, Bltu, Bgeu,
+    Lb, Lh, Lw, Ld, Lbu, Lhu, Lwu,
+    Sb, Sh, Sw, Sd,
+    Addi, Slti, Sltiu, Xori, Ori, Andi, Slli, Srli, Srai,
+    Addiw, Slliw, Srliw, Sraiw,
+    Add, Sub, Sll, Slt, Sltu, Xor, Srl, Sra, Or, And,
+    Addw, Subw, Sllw, Srlw, Sraw,
+    Mul, Mulh, Mulhsu, Mulhu, Div, Divu, Rem, Remu,
+    Mulw, Divw, Divuw, Remw, Remuw,
+    Fence, FenceI, Ecall, Ebreak,
+    Csrrw, Csrrs, Csrrc, Csrrwi, Csrrsi, Csrrci,
+    Illegal,
+    NumOps
+};
+
+/**
+ * Functional-unit class used by the timing models to pick latencies
+ * and issue-queue routing.
+ */
+enum class InstClass : u8
+{
+    IntAlu,   ///< single-cycle integer op (also LUI/AUIPC)
+    Mul,      ///< pipelined multiplier
+    Div,      ///< unpipelined divider
+    Load,
+    Store,
+    Branch,   ///< conditional branch
+    Jump,     ///< JAL (direct, unconditional)
+    JumpReg,  ///< JALR (indirect)
+    Csr,
+    Fence,
+    System,   ///< ECALL / EBREAK
+};
+
+/** A fully decoded instruction. */
+struct DecodedInst
+{
+    Op op = Op::Illegal;
+    u8 rd = 0;
+    u8 rs1 = 0;
+    u8 rs2 = 0;
+    /** Sign-extended immediate (CSR number for Zicsr ops). */
+    i64 imm = 0;
+    /** Original 32-bit encoding, when one exists. */
+    u32 raw = 0;
+
+    bool operator==(const DecodedInst &other) const
+    {
+        return op == other.op && rd == other.rd && rs1 == other.rs1 &&
+               rs2 == other.rs2 && imm == other.imm;
+    }
+};
+
+/** Map an Op to its functional-unit class. */
+InstClass classOf(Op op);
+
+/** Mnemonic string ("addi", "bne", ...). */
+const char *opName(Op op);
+
+/** ABI register name ("zero", "ra", "sp", "a0", ...). */
+const char *regName(u8 reg);
+
+/** Human-readable disassembly of a decoded instruction. */
+std::string disassemble(const DecodedInst &inst);
+
+/** True for ops that read rs1. */
+bool readsRs1(Op op);
+/** True for ops that read rs2. */
+bool readsRs2(Op op);
+/** True for ops that write rd. */
+bool writesRd(Op op);
+
+/** ABI register numbers, for readable program-builder code. */
+namespace reg
+{
+constexpr u8 zero = 0, ra = 1, sp = 2, gp = 3, tp = 4;
+constexpr u8 t0 = 5, t1 = 6, t2 = 7;
+constexpr u8 s0 = 8, s1 = 9;
+constexpr u8 a0 = 10, a1 = 11, a2 = 12, a3 = 13;
+constexpr u8 a4 = 14, a5 = 15, a6 = 16, a7 = 17;
+constexpr u8 s2 = 18, s3 = 19, s4 = 20, s5 = 21, s6 = 22, s7 = 23;
+constexpr u8 s8 = 24, s9 = 25, s10 = 26, s11 = 27;
+constexpr u8 t3 = 28, t4 = 29, t5 = 30, t6 = 31;
+} // namespace reg
+
+} // namespace icicle
+
+#endif // ICICLE_ISA_INST_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * A loadable program image: code, initialized data, and layout.
+ */
+
+#ifndef ICICLE_ISA_PROGRAM_HH
+#define ICICLE_ISA_PROGRAM_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace icicle
+{
+
+/**
+ * A complete baremetal program image produced by the ProgramBuilder or
+ * the Assembler and consumed by the functional Executor and the core
+ * timing models.
+ */
+struct Program
+{
+    std::string name = "program";
+    /** Load address of the first code word. */
+    Addr codeBase = 0x10000;
+    /** Load address of the initialized data segment. */
+    Addr dataBase = 0x200000;
+    /** Raw 32-bit instruction words, in order. */
+    std::vector<u32> code;
+    /** Initialized data bytes, loaded at dataBase. */
+    std::vector<u8> data;
+    /** Entry point (defaults to codeBase). */
+    Addr entry = 0x10000;
+    /** Size of the simulated flat physical memory. */
+    u64 memSize = 16ull << 20;
+
+    /** Number of static instructions. */
+    u64 numInsts() const { return code.size(); }
+    /** Static code footprint in bytes. */
+    u64 codeBytes() const { return code.size() * 4; }
+};
+
+} // namespace icicle
+
+#endif // ICICLE_ISA_PROGRAM_HH

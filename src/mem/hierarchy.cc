@@ -1,0 +1,70 @@
+#include "mem/hierarchy.hh"
+
+namespace icicle
+{
+
+MemHierarchy::MemHierarchy(const MemConfig &config)
+    : cfg(config), l1iCache(config.l1i), l1dCache(config.l1d),
+      l2Cache(config.l2), tlbHierarchy(config.tlb)
+{}
+
+u32
+MemHierarchy::refill(Addr addr)
+{
+    const CacheAccess l2Access = l2Cache.access(addr, false);
+    if (l2Access.hit)
+        return cfg.l2.hitLatency;
+    return cfg.l2.hitLatency + cfg.dramLatency;
+}
+
+MemResult
+MemHierarchy::fetch(Addr addr)
+{
+    MemResult result;
+    const TlbResult translation = tlbHierarchy.fetch(addr);
+    result.tlbMiss = !translation.l1Hit;
+    result.l2TlbMiss = !translation.l2Hit;
+    result.latency += translation.latency;
+    const CacheAccess access = l1iCache.access(addr, false);
+    if (access.hit) {
+        result.l1Hit = true;
+        result.latency += cfg.l1i.hitLatency;
+        return result;
+    }
+    const u32 beyond = refill(addr);
+    result.l2Hit = beyond == cfg.l2.hitLatency;
+    result.latency += cfg.l1i.hitLatency + beyond;
+    if (cfg.icachePrefetch) {
+        // Tagged next-line prefetch: pull the following block into L1I
+        // alongside the demand refill.
+        const Addr next_block = addr + cfg.l1i.blockBytes;
+        if (!l1iCache.probe(next_block)) {
+            l2Cache.access(next_block, false);
+            l1iCache.insert(next_block);
+        }
+    }
+    return result;
+}
+
+MemResult
+MemHierarchy::data(Addr addr, bool is_write)
+{
+    MemResult result;
+    const TlbResult translation = tlbHierarchy.data(addr);
+    result.tlbMiss = !translation.l1Hit;
+    result.l2TlbMiss = !translation.l2Hit;
+    result.latency += translation.latency;
+    const CacheAccess access = l1dCache.access(addr, is_write);
+    result.writeback = access.writeback;
+    if (access.hit) {
+        result.l1Hit = true;
+        result.latency += cfg.l1d.hitLatency;
+        return result;
+    }
+    const u32 beyond = refill(addr);
+    result.l2Hit = beyond == cfg.l2.hitLatency;
+    result.latency += cfg.l1d.hitLatency + beyond;
+    return result;
+}
+
+} // namespace icicle

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * L1 / L2 / DRAM hierarchy shared by both core models.
+ *
+ * Matches the paper's Table IV common configuration: 32 KiB 8-way
+ * 64 B L1 I/D, 512 KiB 8-way 64 B L2, no LLC, FASED-style fixed DRAM
+ * latency.
+ */
+
+#ifndef ICICLE_MEM_HIERARCHY_HH
+#define ICICLE_MEM_HIERARCHY_HH
+
+#include "mem/cache.hh"
+#include "mem/tlb.hh"
+
+namespace icicle
+{
+
+/** Full hierarchy configuration. */
+struct MemConfig
+{
+    CacheConfig l1i{32 * 1024, 8, 64, 1};
+    CacheConfig l1d{32 * 1024, 8, 64, 2};
+    CacheConfig l2{512 * 1024, 8, 64, 14};
+    /** DRAM access latency (cycles beyond the L2 lookup). */
+    u32 dramLatency = 48;
+    /** Next-line instruction prefetch on I$ refills. */
+    bool icachePrefetch = false;
+    /** Address translation (disabled by default; §IV-A future work). */
+    TlbConfig tlb;
+};
+
+/** Outcome of an L1 request, including the computed refill latency. */
+struct MemResult
+{
+    bool l1Hit = false;
+    bool l2Hit = false;
+    /** Total cycles until data is available (includes L1 hit time). */
+    u32 latency = 0;
+    /** Dirty-line eviction happened in L1 (D$-release). */
+    bool writeback = false;
+    /** L1 TLB missed (ITLB-miss / DTLB-miss event source). */
+    bool tlbMiss = false;
+    /** L2 TLB also missed (L2-TLB-miss event source). */
+    bool l2TlbMiss = false;
+};
+
+/**
+ * Two L1s in front of a unified L2. Timing-only: all requests are
+ * resolved immediately at access time with a computed latency; the
+ * caller (core model) is responsible for holding the request until
+ * that latency has elapsed (blocking Rocket) or tracking it in an
+ * MSHR (BOOM).
+ */
+class MemHierarchy
+{
+  public:
+    explicit MemHierarchy(const MemConfig &config);
+
+    /** Instruction fetch of the block containing addr. */
+    MemResult fetch(Addr addr);
+    /** Data access. */
+    MemResult data(Addr addr, bool is_write);
+
+    /** fence.i semantics: drop all instruction-cache state. */
+    void flushICache() { l1iCache.flushAll(); }
+
+    const MemConfig &config() const { return cfg; }
+    Cache &l1i() { return l1iCache; }
+    Cache &l1d() { return l1dCache; }
+    Cache &l2() { return l2Cache; }
+    TlbHierarchy &tlbs() { return tlbHierarchy; }
+
+  private:
+    u32 refill(Addr addr);
+
+    MemConfig cfg;
+    Cache l1iCache;
+    Cache l1dCache;
+    Cache l2Cache;
+    TlbHierarchy tlbHierarchy;
+};
+
+} // namespace icicle
+
+#endif // ICICLE_MEM_HIERARCHY_HH

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Miss Status Holding Registers for BOOM's non-blocking data cache.
+ *
+ * The D$-blocked TMA event (§IV-A of the paper) keys off "at least
+ * one MSHR is currently handling a cache miss", so the MSHR file is a
+ * first-class, observable structure here.
+ */
+
+#ifndef ICICLE_MEM_MSHR_HH
+#define ICICLE_MEM_MSHR_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace icicle
+{
+
+/** A file of miss status holding registers. */
+class MshrFile
+{
+  public:
+    explicit MshrFile(u32 count) : entries(count) {}
+
+    /**
+     * Try to track a miss for block_addr completing at ready_cycle.
+     * Merges with an existing entry for the same block (secondary
+     * miss). Returns false if the file is full (structural stall).
+     */
+    bool
+    allocate(u64 block_addr, Cycle ready_cycle, bool from_dram = false)
+    {
+        Mshr *free_slot = nullptr;
+        for (Mshr &mshr : entries) {
+            if (mshr.valid && mshr.blockAddr == block_addr)
+                return true; // merged into the primary miss
+            if (!mshr.valid && !free_slot)
+                free_slot = &mshr;
+        }
+        if (!free_slot)
+            return false;
+        free_slot->valid = true;
+        free_slot->blockAddr = block_addr;
+        free_slot->readyCycle = ready_cycle;
+        free_slot->fromDram = from_dram;
+        return true;
+    }
+
+    /** Retire every entry whose refill has arrived by now. */
+    void
+    drain(Cycle now)
+    {
+        for (Mshr &mshr : entries) {
+            if (mshr.valid && mshr.readyCycle <= now)
+                mshr.valid = false;
+        }
+    }
+
+    /** Is a miss for this block in flight? */
+    bool
+    pending(u64 block_addr) const
+    {
+        for (const Mshr &mshr : entries)
+            if (mshr.valid && mshr.blockAddr == block_addr)
+                return true;
+        return false;
+    }
+
+    /** Completion cycle of the in-flight miss for this block. */
+    Cycle
+    readyCycle(u64 block_addr) const
+    {
+        for (const Mshr &mshr : entries)
+            if (mshr.valid && mshr.blockAddr == block_addr)
+                return mshr.readyCycle;
+        return 0;
+    }
+
+    /** No free entry available (structural stall for new misses). */
+    bool
+    full() const
+    {
+        for (const Mshr &mshr : entries)
+            if (!mshr.valid)
+                return false;
+        return true;
+    }
+
+    /** Any miss outstanding? (D$-blocked event condition 3.) */
+    bool
+    anyBusy() const
+    {
+        for (const Mshr &mshr : entries)
+            if (mshr.valid)
+                return true;
+        return false;
+    }
+
+    /** Any outstanding miss being served by DRAM (third-level TMA)? */
+    bool
+    anyDramBusy() const
+    {
+        for (const Mshr &mshr : entries)
+            if (mshr.valid && mshr.fromDram)
+                return true;
+        return false;
+    }
+
+    u32
+    busyCount() const
+    {
+        u32 n = 0;
+        for (const Mshr &mshr : entries)
+            n += mshr.valid ? 1 : 0;
+        return n;
+    }
+
+    u32 capacity() const { return static_cast<u32>(entries.size()); }
+
+    void
+    reset()
+    {
+        for (Mshr &mshr : entries)
+            mshr.valid = false;
+    }
+
+  private:
+    struct Mshr
+    {
+        bool valid = false;
+        u64 blockAddr = 0;
+        Cycle readyCycle = 0;
+        bool fromDram = false;
+    };
+
+    std::vector<Mshr> entries;
+};
+
+} // namespace icicle
+
+#endif // ICICLE_MEM_MSHR_HH

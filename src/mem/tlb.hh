@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Translation lookaside buffers.
+ *
+ * The paper's Table I reserves ITLB-miss / DTLB-miss / L2-TLB-miss
+ * events but defers TLB treatment in the TMA model to future work
+ * (§IV-A). This module implements that future work: fully
+ * associative L1 TLBs backed by a shared L2 TLB and a fixed-latency
+ * page-table walk. Disabled by default so the baseline models match
+ * the paper's configuration; enable via MemConfig::tlb.enabled.
+ */
+
+#ifndef ICICLE_MEM_TLB_HH
+#define ICICLE_MEM_TLB_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace icicle
+{
+
+/** TLB system configuration. */
+struct TlbConfig
+{
+    bool enabled = false;
+    u32 l1Entries = 32;
+    u32 l2Entries = 512;
+    u32 pageBytes = 4096;
+    /** Extra cycles on an L1 TLB miss that hits the L2 TLB. */
+    u32 l2HitLatency = 2;
+    /** Extra cycles for a full page-table walk. */
+    u32 walkLatency = 25;
+};
+
+/** Result of one translation. */
+struct TlbResult
+{
+    bool l1Hit = true;
+    bool l2Hit = true;
+    /** Extra latency added to the access. */
+    u32 latency = 0;
+};
+
+/** One fully associative, LRU TLB level. */
+class Tlb
+{
+  public:
+    Tlb(u32 entries, u32 page_bytes)
+        : pageBytes(page_bytes), slots(entries)
+    {}
+
+    bool
+    access(Addr addr)
+    {
+        const u64 vpn = addr / pageBytes;
+        Slot *victim = &slots[0];
+        for (Slot &slot : slots) {
+            if (slot.valid && slot.vpn == vpn) {
+                slot.stamp = ++clock;
+                return true;
+            }
+            if (!slot.valid || slot.stamp < victim->stamp)
+                victim = &slot;
+        }
+        victim->valid = true;
+        victim->vpn = vpn;
+        victim->stamp = ++clock;
+        return false;
+    }
+
+    void
+    flush()
+    {
+        for (Slot &slot : slots)
+            slot.valid = false;
+    }
+
+  private:
+    struct Slot
+    {
+        bool valid = false;
+        u64 vpn = 0;
+        u64 stamp = 0;
+    };
+
+    u32 pageBytes;
+    std::vector<Slot> slots;
+    u64 clock = 0;
+};
+
+/** An L1 I/D TLB pair over a shared L2 TLB. */
+class TlbHierarchy
+{
+  public:
+    explicit TlbHierarchy(const TlbConfig &config)
+        : cfg(config), itlb(config.l1Entries, config.pageBytes),
+          dtlb(config.l1Entries, config.pageBytes),
+          l2(config.l2Entries, config.pageBytes)
+    {}
+
+    TlbResult
+    fetch(Addr addr)
+    {
+        return translate(itlb, addr);
+    }
+
+    TlbResult
+    data(Addr addr)
+    {
+        return translate(dtlb, addr);
+    }
+
+    const TlbConfig &config() const { return cfg; }
+
+  private:
+    TlbResult
+    translate(Tlb &l1, Addr addr)
+    {
+        TlbResult result;
+        if (!cfg.enabled)
+            return result;
+        if (l1.access(addr))
+            return result;
+        result.l1Hit = false;
+        if (l2.access(addr)) {
+            result.latency = cfg.l2HitLatency;
+            return result;
+        }
+        result.l2Hit = false;
+        result.latency = cfg.l2HitLatency + cfg.walkLatency;
+        return result;
+    }
+
+    TlbConfig cfg;
+    Tlb itlb;
+    Tlb dtlb;
+    Tlb l2;
+};
+
+} // namespace icicle
+
+#endif // ICICLE_MEM_TLB_HH

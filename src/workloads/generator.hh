@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Parameterized synthetic workload generator.
+ *
+ * Performance-characterization research needs workloads whose
+ * bottleneck composition is a controlled variable rather than an
+ * accident of some benchmark. This generator emits kernels with
+ * independently tunable pressure on every TMA class:
+ *
+ *   - ILP chains / chain depth   -> Retiring vs Core Bound
+ *   - multiplies / divides       -> Core Bound (long latency)
+ *   - loads x data footprint     -> Mem Bound (L1 / L2 / DRAM)
+ *   - unpredictable branches     -> Bad Speculation
+ *   - code bloat (call fan-out)  -> Frontend (I$ pressure)
+ *
+ * The generated program self-checks a fold of its accumulators and
+ * exits 0 on success, like every other workload in the suite.
+ */
+
+#ifndef ICICLE_WORKLOADS_GENERATOR_HH
+#define ICICLE_WORKLOADS_GENERATOR_HH
+
+#include "isa/program.hh"
+
+namespace icicle
+{
+
+/** Knobs for one synthetic kernel. */
+struct SyntheticSpec
+{
+    /** Main-loop iterations. */
+    u64 iterations = 2000;
+    /** Independent ALU dependency chains per iteration. */
+    u32 ilpChains = 4;
+    /** Dependent ALU ops per chain per iteration. */
+    u32 chainDepth = 2;
+    /** Multiplies per iteration (pipelined long latency). */
+    u32 muls = 0;
+    /** Divides per iteration (unpipelined long latency). */
+    u32 divs = 0;
+    /** Loads per iteration, striding through the data footprint. */
+    u32 loads = 0;
+    /** Data footprint the loads walk (drives the miss level). */
+    u64 dataKiB = 16;
+    /** Data-dependent 50/50 branches per iteration. */
+    u32 unpredictableBranches = 0;
+    /** Statically biased (easily predicted) branches per iteration. */
+    u32 predictableBranches = 0;
+    /** Distinct callee functions called round-robin per iteration
+     *  (code footprint = roughly codeBloatFuncs x 60 instructions). */
+    u32 codeBloatFuncs = 0;
+    /** RNG seed for the branch-driving xorshift stream. */
+    u64 seed = 0x5eed;
+};
+
+/** Emit the kernel described by the spec. */
+Program generateSynthetic(const SyntheticSpec &spec);
+
+} // namespace icicle
+
+#endif // ICICLE_WORKLOADS_GENERATOR_HH

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Assembler tests: text programs must assemble, execute, and agree
+ * with builder-constructed equivalents; syntax errors must be
+ * reported with line numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "isa/assembler.hh"
+#include "isa/builder.hh"
+#include "isa/executor.hh"
+#include "rocket/rocket.hh"
+
+namespace icicle
+{
+namespace
+{
+
+TEST(Assembler, CountdownLoop)
+{
+    const Program program = assemble(R"(
+        # count down from 10, return 42
+        li   t0, 10
+    loop:
+        addi t0, t0, -1
+        bnez t0, loop
+        li   a0, 42
+        ecall
+    )");
+    Executor exec(program);
+    exec.run();
+    ASSERT_TRUE(exec.halted());
+    EXPECT_EQ(exec.exitCode(), 42u);
+}
+
+TEST(Assembler, DataSectionAndLoads)
+{
+    const Program program = assemble(R"(
+        .data
+    table:  .dword 7, 11, 13
+    buf:    .space 16
+        .text
+    main:
+        la   a1, table
+        ld   a0, 8(a1)       # 11
+        la   a2, buf
+        sd   a0, 0(a2)
+        ld   a0, 0(a2)
+        ecall
+    )");
+    Executor exec(program);
+    exec.run();
+    EXPECT_EQ(exec.exitCode(), 11u);
+}
+
+TEST(Assembler, CallRetAndPseudos)
+{
+    const Program program = assemble(R"(
+        j    main
+    double:                  // doubles a0
+        add  a0, a0, a0
+        ret
+    main:
+        li   a0, 3
+        call double
+        call double
+        mv   a1, a0
+        snez a2, a1          # 1
+        add  a0, a1, a2      # 13
+        ecall
+    )");
+    Executor exec(program);
+    exec.run();
+    EXPECT_EQ(exec.exitCode(), 13u);
+}
+
+TEST(Assembler, AllBranchForms)
+{
+    const Program program = assemble(R"(
+        li t0, 5
+        li t1, 9
+        li a0, 0
+        blt  t0, t1, l1
+        ecall
+    l1: bge  t1, t0, l2
+        ecall
+    l2: bltu t0, t1, l3
+        ecall
+    l3: bgeu t1, t0, l4
+        ecall
+    l4: beq  t0, t0, l5
+        ecall
+    l5: bne  t0, t1, l6
+        ecall
+    l6: bgt  t1, t0, l7
+        ecall
+    l7: ble  t0, t1, okay
+        ecall
+    okay:
+        li a0, 1
+        ecall
+    )");
+    Executor exec(program);
+    exec.run();
+    EXPECT_EQ(exec.exitCode(), 1u);
+}
+
+TEST(Assembler, NumericAndAbiRegisters)
+{
+    const Program program = assemble(R"(
+        li   x5, 100         # t0
+        mv   a0, x5
+        addi a0, a0, 1
+        ecall
+    )");
+    Executor exec(program);
+    exec.run();
+    EXPECT_EQ(exec.exitCode(), 101u);
+}
+
+TEST(Assembler, HexAndNegativeImmediates)
+{
+    const Program program = assemble(R"(
+        li   t0, 0x100
+        addi t0, t0, -0x10
+        mv   a0, t0
+        ecall
+    )");
+    Executor exec(program);
+    exec.run();
+    EXPECT_EQ(exec.exitCode(), 0xF0u);
+}
+
+TEST(Assembler, MatchesBuilderEncoding)
+{
+    const Program assembled = assemble(R"(
+        add  t0, t1, t2
+        addi a0, a1, 42
+        ld   a2, 16(sp)
+        sd   a2, -8(sp)
+        lui  s0, 0x12345000
+        fence
+    )");
+    ProgramBuilder b("ref");
+    using namespace reg;
+    b.add(t0, t1, t2);
+    b.addi(a0, a1, 42);
+    b.ld(a2, sp, 16);
+    b.sd(a2, sp, -8);
+    b.lui(s0, 0x12345000);
+    b.fence();
+    EXPECT_EQ(assembled.code, b.build().code);
+}
+
+TEST(Assembler, RunsOnTimingModel)
+{
+    const Program program = assemble(R"(
+        .data
+    arr: .dword 4, 3, 2, 1
+        .text
+        la   s0, arr
+        li   s1, 0           # sum
+        li   t0, 0
+    loop:
+        slli t1, t0, 3
+        add  t1, t1, s0
+        ld   t2, 0(t1)
+        add  s1, s1, t2
+        addi t0, t0, 1
+        li   t3, 4
+        blt  t0, t3, loop
+        mv   a0, s1
+        ecall
+    )");
+    RocketCore core(RocketConfig{}, program);
+    core.run(100000);
+    ASSERT_TRUE(core.done());
+    EXPECT_EQ(core.executor().exitCode(), 10u);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers)
+{
+    try {
+        assemble("nop\nbogus_mnemonic t0, t1\n");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &error) {
+        const std::string what = error.what();
+        EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+        EXPECT_NE(what.find("bogus_mnemonic"), std::string::npos);
+    }
+}
+
+TEST(Assembler, RejectsBadOperandCounts)
+{
+    EXPECT_THROW(assemble("add t0, t1\necall\n"), FatalError);
+    EXPECT_THROW(assemble("ld t0, t1, t2\necall\n"), FatalError);
+}
+
+TEST(Assembler, RejectsUnknownRegister)
+{
+    EXPECT_THROW(assemble("addi q7, t0, 1\necall\n"), FatalError);
+}
+
+TEST(Assembler, RejectsInstructionInData)
+{
+    EXPECT_THROW(assemble(".data\nnop\n"), FatalError);
+}
+
+TEST(Assembler, ForwardDataReference)
+{
+    const Program program = assemble(R"(
+        la   a1, later
+        ld   a0, 0(a1)
+        ecall
+        .data
+    later: .dword 77
+    )");
+    Executor exec(program);
+    exec.run();
+    EXPECT_EQ(exec.exitCode(), 77u);
+}
+
+TEST(Assembler, CsrAccess)
+{
+    // Reads mcycle twice around a delay loop (in-band counting).
+    const Program program = assemble(R"(
+        csrrs a1, 0xB00, zero
+        li   t0, 50
+    spin:
+        addi t0, t0, -1
+        bnez t0, spin
+        csrrs a2, 0xB00, zero
+        sub  a0, a2, a1
+        ecall
+    )");
+    RocketCore core(RocketConfig{}, program);
+    core.csrFile().setInhibit(false);
+    core.run(100000);
+    ASSERT_TRUE(core.done());
+    EXPECT_GT(core.executor().exitCode(), 40u);
+}
+
+} // namespace
+} // namespace icicle

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Synthetic-workload generator tests: every knob must move its TMA
+ * class in the expected direction — the property that makes the
+ * generator useful for characterization research.
+ */
+
+#include <gtest/gtest.h>
+
+#include "boom/boom.hh"
+#include "common/logging.hh"
+#include "core/session.hh"
+#include "isa/executor.hh"
+#include "rocket/rocket.hh"
+#include "workloads/generator.hh"
+
+namespace icicle
+{
+namespace
+{
+
+TmaResult
+runOnBoom(const SyntheticSpec &spec)
+{
+    BoomCore core(BoomConfig::large(), generateSynthetic(spec));
+    core.run(50'000'000);
+    EXPECT_TRUE(core.done());
+    EXPECT_EQ(core.executor().exitCode(), 0u);
+    return analyzeTma(core);
+}
+
+TEST(Generator, DefaultSpecSelfChecks)
+{
+    Executor exec(generateSynthetic(SyntheticSpec{}));
+    exec.run(100'000'000);
+    ASSERT_TRUE(exec.halted());
+    EXPECT_EQ(exec.exitCode(), 0u);
+}
+
+TEST(Generator, PureIlpIsRetiringDominated)
+{
+    SyntheticSpec spec;
+    spec.ilpChains = 6;
+    spec.chainDepth = 4;
+    const TmaResult r = runOnBoom(spec);
+    EXPECT_GT(r.retiring, 0.6) << formatTmaLine(r);
+}
+
+TEST(Generator, UnpredictableBranchesRaiseBadSpec)
+{
+    SyntheticSpec calm;
+    SyntheticSpec branchy = calm;
+    branchy.unpredictableBranches = 4;
+    const TmaResult r_calm = runOnBoom(calm);
+    const TmaResult r_branchy = runOnBoom(branchy);
+    EXPECT_GT(r_branchy.badSpeculation,
+              r_calm.badSpeculation + 0.10)
+        << formatTmaLine(r_branchy);
+}
+
+TEST(Generator, PredictableBranchesDoNot)
+{
+    SyntheticSpec calm;
+    SyntheticSpec branchy = calm;
+    branchy.predictableBranches = 4;
+    const TmaResult r_calm = runOnBoom(calm);
+    const TmaResult r_branchy = runOnBoom(branchy);
+    EXPECT_LT(r_branchy.badSpeculation,
+              r_calm.badSpeculation + 0.05);
+}
+
+TEST(Generator, BigFootprintLoadsRaiseMemBound)
+{
+    SyntheticSpec small;
+    small.loads = 4;
+    small.dataKiB = 16; // L1-resident
+    SyntheticSpec big = small;
+    big.dataKiB = 2048; // beyond L2
+    const TmaResult r_small = runOnBoom(small);
+    const TmaResult r_big = runOnBoom(big);
+    EXPECT_GT(r_big.memBound, r_small.memBound + 0.15)
+        << formatTmaLine(r_big);
+    EXPECT_GT(r_big.memBoundDram, r_big.memBoundL2);
+}
+
+TEST(Generator, DividesRaiseCoreBound)
+{
+    SyntheticSpec calm;
+    SyntheticSpec divy = calm;
+    divy.divs = 2;
+    const TmaResult r_calm = runOnBoom(calm);
+    const TmaResult r_divy = runOnBoom(divy);
+    EXPECT_GT(r_divy.coreBound, r_calm.coreBound + 0.10)
+        << formatTmaLine(r_divy);
+}
+
+TEST(Generator, CodeBloatRaisesFrontend)
+{
+    SyntheticSpec lean;
+    lean.iterations = 400;
+    SyntheticSpec bloated = lean;
+    bloated.codeBloatFuncs = 160; // ~37 KiB of code > 32 KiB L1I
+    const TmaResult r_lean = runOnBoom(lean);
+    const TmaResult r_bloated = runOnBoom(bloated);
+    EXPECT_GT(r_bloated.frontend, r_lean.frontend + 0.05)
+        << formatTmaLine(r_bloated);
+    EXPECT_GT(r_bloated.fetchLatency, 0.0);
+}
+
+TEST(Generator, RunsOnRocketToo)
+{
+    SyntheticSpec spec;
+    spec.unpredictableBranches = 1;
+    spec.loads = 1;
+    RocketCore core(RocketConfig{}, generateSynthetic(spec));
+    core.run(50'000'000);
+    ASSERT_TRUE(core.done());
+    EXPECT_EQ(core.executor().exitCode(), 0u);
+}
+
+TEST(Generator, RejectsDegenerateSpecs)
+{
+    SyntheticSpec zero;
+    zero.iterations = 0;
+    EXPECT_THROW(generateSynthetic(zero), FatalError);
+    SyntheticSpec wide;
+    wide.ilpChains = 7;
+    EXPECT_THROW(generateSynthetic(wide), FatalError);
+}
+
+TEST(Generator, DeterministicAcrossCalls)
+{
+    SyntheticSpec spec;
+    spec.unpredictableBranches = 2;
+    const Program a = generateSynthetic(spec);
+    const Program b = generateSynthetic(spec);
+    EXPECT_EQ(a.code, b.code);
+    EXPECT_EQ(a.data, b.data);
+}
+
+} // namespace
+} // namespace icicle

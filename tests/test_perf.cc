@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Perf harness and tma_tool tests: the in-band CSR counting path must
+ * agree with out-of-band ground truth for every counter architecture,
+ * counter allocation must respect the 29-counter budget, and
+ * multiplexing must produce sane scaled estimates.
+ */
+
+#include <gtest/gtest.h>
+
+#include "boom/boom.hh"
+#include "common/logging.hh"
+#include "core/session.hh"
+#include "perf/harness.hh"
+#include "perf/tma_tool.hh"
+#include "rocket/rocket.hh"
+#include "workloads/workloads.hh"
+
+namespace icicle
+{
+namespace
+{
+
+class HarnessByArch : public ::testing::TestWithParam<int>
+{
+  protected:
+    CounterArch arch() const
+    { return static_cast<CounterArch>(GetParam()); }
+};
+
+TEST_P(HarnessByArch, InBandMatchesOutOfBandOnBoom)
+{
+    BoomConfig cfg = BoomConfig::large();
+    cfg.counterArch = arch();
+    BoomCore core(cfg, workloads::qsortKernel());
+    PerfHarness harness(core);
+    harness.addTmaEvents();
+    harness.run(50'000'000);
+    ASSERT_TRUE(core.done());
+
+    // corrected() values must equal the exact host-side totals for
+    // all three architectures (distributed via post-processing).
+    for (EventId event :
+         {EventId::UopsRetired, EventId::UopsIssued,
+          EventId::FetchBubbles, EventId::Recovering,
+          EventId::BranchMispredict, EventId::FenceRetired,
+          EventId::DCacheBlocked}) {
+        EXPECT_EQ(harness.value(event), core.total(event))
+            << eventName(event) << " under "
+            << counterArchName(arch());
+    }
+}
+
+TEST_P(HarnessByArch, InBandMatchesOutOfBandOnRocket)
+{
+    RocketConfig cfg;
+    cfg.counterArch = arch();
+    RocketCore core(cfg, workloads::rsort());
+    PerfHarness harness(core);
+    harness.addTmaEvents();
+    harness.run(50'000'000);
+    ASSERT_TRUE(core.done());
+    for (EventId event :
+         {EventId::InstRetired, EventId::InstIssued,
+          EventId::FetchBubbles, EventId::Recovering,
+          EventId::ICacheBlocked, EventId::DCacheBlocked}) {
+        EXPECT_EQ(harness.value(event), core.total(event))
+            << eventName(event);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Archs, HarnessByArch, ::testing::Range(0, 3),
+                         [](const auto &info) {
+                             std::string name = counterArchName(
+                                 static_cast<CounterArch>(info.param));
+                             for (char &c : name)
+                                 if (c == '-')
+                                     c = '_';
+                             return name;
+                         });
+
+TEST(PerfHarness, ScalarGigaTmaSetFitsExactly)
+{
+    // Scalar counters on GigaBOOM: 9 issue lanes + 3x5 commit-width
+    // lanes + 5 singles = 29 counters, exactly the budget.
+    BoomConfig cfg = BoomConfig::giga();
+    cfg.counterArch = CounterArch::Scalar;
+    BoomCore core(cfg, workloads::towers());
+    PerfHarness harness(core);
+    harness.addTmaEvents(/*level3=*/false);
+    harness.run(10'000'000);
+    ASSERT_TRUE(core.done());
+    EXPECT_EQ(harness.numGroups(), 1u);
+    EXPECT_EQ(harness.countersUsed(), 29u);
+}
+
+TEST(PerfHarness, Level3ExtensionForcesMultiplexingOnScalarGiga)
+{
+    // The Mem-Bound split adds W_C more per-lane counters: the scalar
+    // architecture overflows the 29-counter budget and the harness
+    // falls back to time multiplexing.
+    BoomConfig cfg = BoomConfig::giga();
+    cfg.counterArch = CounterArch::Scalar;
+    BoomCore core(cfg, workloads::towers());
+    PerfHarness harness(core);
+    harness.addTmaEvents(/*level3=*/true);
+    harness.run(10'000'000);
+    ASSERT_TRUE(core.done());
+    EXPECT_GT(harness.numGroups(), 1u);
+}
+
+TEST(PerfHarness, AddWiresUsesOneCounterPerEvent)
+{
+    BoomConfig cfg = BoomConfig::giga();
+    cfg.counterArch = CounterArch::AddWires;
+    BoomCore core(cfg, workloads::towers());
+    PerfHarness harness(core);
+    harness.addTmaEvents(/*level3=*/false);
+    harness.run(10'000'000);
+    EXPECT_EQ(harness.countersUsed(), 9u);
+}
+
+TEST(PerfHarness, MultiplexingScalesEstimates)
+{
+    // Force two groups by requesting the TMA set plus enough extra
+    // per-lane events to exceed 29 counters.
+    BoomConfig cfg = BoomConfig::giga();
+    cfg.counterArch = CounterArch::Scalar;
+    BoomCore core(cfg, workloads::spec525X264R());
+    PerfHarness harness(core);
+    harness.addTmaEvents();
+    harness.addEvent(EventId::ICacheMiss);
+    harness.addEvent(EventId::DCacheMiss);
+    harness.addEvent(EventId::BranchResolved);
+    harness.run(50'000'000, 2000);
+    ASSERT_TRUE(core.done());
+    EXPECT_GT(harness.numGroups(), 1u);
+    // Multiplexed estimates are extrapolations: allow generous error
+    // but demand the right order of magnitude on a steady event.
+    const u64 estimated = harness.value(EventId::UopsRetired);
+    const u64 truth = core.total(EventId::UopsRetired);
+    EXPECT_GT(estimated, truth / 2);
+    EXPECT_LT(estimated, truth * 2);
+}
+
+TEST(PerfHarness, RejectsUnsupportedEvent)
+{
+    BoomCore core(BoomConfig::large(), workloads::towers());
+    PerfHarness harness(core);
+    EXPECT_THROW(harness.addEvent(EventId::LoadUseInterlock),
+                 FatalError);
+}
+
+TEST(TmaTool, InBandAndOutOfBandAgree)
+{
+    BoomConfig cfg = BoomConfig::large();
+    cfg.counterArch = CounterArch::AddWires;
+    BoomCore in_band_core(cfg, workloads::mergesort());
+    BoomCore oob_core(cfg, workloads::mergesort());
+    const TmaRun in_band =
+        runTmaAnalysis(in_band_core, TmaSource::InBand, 50'000'000);
+    const TmaRun oob =
+        runTmaAnalysis(oob_core, TmaSource::OutOfBand, 50'000'000);
+    ASSERT_TRUE(in_band.finished);
+    ASSERT_TRUE(oob.finished);
+    EXPECT_NEAR(in_band.tma.retiring, oob.tma.retiring, 1e-9);
+    EXPECT_NEAR(in_band.tma.backend, oob.tma.backend, 1e-9);
+    EXPECT_NEAR(in_band.tma.frontend, oob.tma.frontend, 1e-9);
+}
+
+TEST(TmaTool, ReportMentionsCompletion)
+{
+    RocketCore core(RocketConfig{}, workloads::towers());
+    const TmaRun run = runTmaAnalysis(core, TmaSource::OutOfBand);
+    const std::string report = tmaToolReport(run, "towers");
+    EXPECT_NE(report.find("towers"), std::string::npos);
+    EXPECT_EQ(report.find("did not run"), std::string::npos);
+}
+
+} // namespace
+} // namespace icicle

@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Rocket core timing-model tests: pipeline invariants, interlock
+ * events, branch-mispredict behaviour, and cache-blocking events.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hh"
+#include "rocket/rocket.hh"
+
+namespace icicle
+{
+namespace
+{
+
+using namespace reg;
+
+Program
+countdownLoop(u64 iterations)
+{
+    ProgramBuilder b("countdown");
+    Label loop = b.newLabel();
+    b.li(t0, static_cast<i64>(iterations));
+    b.bind(loop);
+    b.addi(t0, t0, -1);
+    b.bnez(t0, loop);
+    b.li(a0, 0);
+    b.halt();
+    return b.build();
+}
+
+TEST(Rocket, RunsToCompletion)
+{
+    RocketCore core(RocketConfig{}, countdownLoop(100));
+    const u64 cycles = core.run(100000);
+    EXPECT_TRUE(core.done());
+    EXPECT_GT(cycles, 0u);
+    EXPECT_TRUE(core.executor().halted());
+    EXPECT_EQ(core.executor().exitCode(), 0u);
+}
+
+TEST(Rocket, CyclesEventMatchesCycleCount)
+{
+    RocketCore core(RocketConfig{}, countdownLoop(50));
+    const u64 cycles = core.run(100000);
+    EXPECT_EQ(core.total(EventId::Cycles), cycles);
+}
+
+TEST(Rocket, RetiredMatchesExecutor)
+{
+    RocketCore core(RocketConfig{}, countdownLoop(200));
+    core.run(1000000);
+    EXPECT_EQ(core.total(EventId::InstRetired),
+              core.executor().instsRetired());
+}
+
+TEST(Rocket, IssuedAtLeastRetired)
+{
+    RocketCore core(RocketConfig{}, countdownLoop(200));
+    core.run(1000000);
+    EXPECT_GE(core.total(EventId::InstIssued),
+              core.total(EventId::InstRetired));
+}
+
+TEST(Rocket, IpcIsAtMostOne)
+{
+    RocketCore core(RocketConfig{}, countdownLoop(1000));
+    core.run(10000000);
+    EXPECT_LE(core.total(EventId::InstRetired),
+              core.total(EventId::Cycles));
+}
+
+TEST(Rocket, TightLoopIsNearIdealIpc)
+{
+    // A predictable countdown loop should retire close to one
+    // instruction per cycle once the BHT warms up.
+    RocketCore core(RocketConfig{}, countdownLoop(5000));
+    core.run(10000000);
+    const double ipc =
+        static_cast<double>(core.total(EventId::InstRetired)) /
+        static_cast<double>(core.total(EventId::Cycles));
+    EXPECT_GT(ipc, 0.8) << "ipc=" << ipc;
+}
+
+TEST(Rocket, LoadUseInterlockRaised)
+{
+    ProgramBuilder b("loaduse");
+    Label buf = b.dword(42);
+    b.la(t0, buf);
+    Label loop = b.newLabel();
+    b.li(t2, 200);
+    b.bind(loop);
+    b.ld(t1, t0, 0);
+    b.add(t3, t1, t1); // immediate consumer: load-use interlock
+    b.addi(t2, t2, -1);
+    b.bnez(t2, loop);
+    b.halt();
+    RocketCore core(RocketConfig{}, b.build());
+    core.run(1000000);
+    EXPECT_GT(core.total(EventId::LoadUseInterlock), 100u);
+}
+
+TEST(Rocket, NoLoadUseInterlockWhenScheduled)
+{
+    ProgramBuilder b("scheduled");
+    Label buf = b.dword(42);
+    b.la(t0, buf);
+    Label loop = b.newLabel();
+    b.li(t2, 200);
+    b.bind(loop);
+    b.ld(t1, t0, 0);
+    b.addi(t2, t2, -1); // independent op fills the load-use slot
+    b.add(t3, t1, t1);
+    b.bnez(t2, loop);
+    b.halt();
+    RocketCore core(RocketConfig{}, b.build());
+    core.run(1000000);
+    EXPECT_LT(core.total(EventId::LoadUseInterlock), 10u);
+}
+
+TEST(Rocket, DivRaisesLongLatencyInterlock)
+{
+    ProgramBuilder b("div");
+    b.li(t0, 1000);
+    b.li(t1, 7);
+    Label loop = b.newLabel();
+    b.li(t2, 50);
+    b.bind(loop);
+    b.div(t3, t0, t1);
+    b.add(t4, t3, t3); // waits ~32 cycles on the divider
+    b.addi(t2, t2, -1);
+    b.bnez(t2, loop);
+    b.halt();
+    RocketCore core(RocketConfig{}, b.build());
+    core.run(1000000);
+    EXPECT_GT(core.total(EventId::LongLatencyInterlock), 50 * 20u);
+    EXPECT_GT(core.total(EventId::MulDivInterlock), 50 * 20u);
+}
+
+TEST(Rocket, UnpredictableBranchesCauseMispredicts)
+{
+    // Data-dependent branch on an LCG pseudo-random bit.
+    ProgramBuilder b("brrandom");
+    Label loop = b.newLabel();
+    Label skip = b.newLabel();
+    b.li(s0, 12345);
+    b.li(s1, 1103515245);
+    b.li(s2, 12345);
+    b.li(t2, 2000);
+    b.bind(loop);
+    b.mul(s0, s0, s1);
+    b.add(s0, s0, s2);
+    b.srli(t0, s0, 16);
+    b.andi(t0, t0, 1);
+    b.beqz(t0, skip);
+    b.addi(t3, t3, 1);
+    b.bind(skip);
+    b.addi(t2, t2, -1);
+    b.bnez(t2, loop);
+    b.halt();
+    RocketCore core(RocketConfig{}, b.build());
+    core.run(10000000);
+    // ~50% mispredict rate on 2000 random branches.
+    EXPECT_GT(core.total(EventId::BranchMispredict), 400u);
+    EXPECT_GT(core.total(EventId::Recovering), 400u);
+}
+
+TEST(Rocket, PredictableBranchesMostlyPredicted)
+{
+    RocketCore core(RocketConfig{}, countdownLoop(2000));
+    core.run(10000000);
+    EXPECT_LT(core.total(EventId::BranchMispredict), 20u);
+}
+
+TEST(Rocket, ColdICacheMissesThenWarm)
+{
+    RocketCore core(RocketConfig{}, countdownLoop(500));
+    core.run(1000000);
+    // The loop fits in one or two blocks: a couple of cold misses.
+    EXPECT_GE(core.total(EventId::ICacheMiss), 1u);
+    EXPECT_LT(core.total(EventId::ICacheMiss), 10u);
+    EXPECT_GT(core.total(EventId::ICacheBlocked), 0u);
+}
+
+TEST(Rocket, DCacheMissOnLargeStride)
+{
+    ProgramBuilder b("stride");
+    Label buf = b.space(64 * 1024);
+    b.la(t0, buf);
+    b.li(t1, 0);
+    b.li(t2, 512);
+    Label loop = b.newLabel();
+    b.bind(loop);
+    b.add(t3, t0, t1);
+    b.ld(t4, t3, 0);
+    b.addi(t1, t1, 128); // stride > block: every access misses
+    b.addi(t2, t2, -1);
+    b.bnez(t2, loop);
+    b.halt();
+    RocketCore core(RocketConfig{}, b.build());
+    core.run(10000000);
+    EXPECT_GT(core.total(EventId::DCacheMiss), 400u);
+    EXPECT_GT(core.total(EventId::DCacheBlocked), 400u);
+}
+
+TEST(Rocket, FetchBubblesFromICacheStress)
+{
+    // Jump through many functions spread over > 32 KiB of code.
+    ProgramBuilder b("icstress");
+    const int num_funcs = 96;
+    std::vector<Label> funcs;
+    Label main = b.newLabel();
+    b.j(main);
+    for (int f = 0; f < num_funcs; f++) {
+        funcs.push_back(b.here());
+        for (int i = 0; i < 100; i++)
+            b.addi(t0, t0, 1);
+        b.ret();
+    }
+    b.bind(main);
+    b.li(s0, 3);
+    Label outer = b.newLabel();
+    b.bind(outer);
+    for (int f = 0; f < num_funcs; f++)
+        b.call(funcs[f]);
+    b.addi(s0, s0, -1);
+    b.bnez(s0, outer);
+    b.halt();
+
+    RocketCore core(RocketConfig{}, b.build());
+    core.run(20000000);
+    EXPECT_TRUE(core.done());
+    EXPECT_GT(core.total(EventId::ICacheMiss), 1000u);
+    EXPECT_GT(core.total(EventId::FetchBubbles), 0u);
+}
+
+TEST(Rocket, SlotAccountingNeverExceedsCycles)
+{
+    RocketCore core(RocketConfig{}, countdownLoop(300));
+    core.run(1000000);
+    // Single-issue: issued slots can never exceed cycles.
+    EXPECT_LE(core.total(EventId::InstIssued),
+              core.total(EventId::Cycles));
+    EXPECT_LE(core.total(EventId::FetchBubbles),
+              core.total(EventId::Cycles));
+}
+
+TEST(Rocket, FenceRaisesFlushAndRetires)
+{
+    ProgramBuilder b("fence");
+    b.li(t0, 10);
+    Label loop = b.newLabel();
+    b.bind(loop);
+    b.fence();
+    b.addi(t0, t0, -1);
+    b.bnez(t0, loop);
+    b.halt();
+    RocketCore core(RocketConfig{}, b.build());
+    core.run(1000000);
+    EXPECT_EQ(core.total(EventId::FenceRetired), 10u);
+    // Fences are intended flushes: not machine clears.
+    EXPECT_EQ(core.total(EventId::Flush), 0u);
+}
+
+TEST(Rocket, SmallerDCacheMoreMisses)
+{
+    // Working set of 24 KiB: fits in 32 KiB, thrashes 16 KiB.
+    auto make = [] {
+        ProgramBuilder b("wset");
+        Label buf = b.space(24 * 1024);
+        b.la(s0, buf);
+        b.li(s1, 30); // passes
+        Label outer = b.newLabel(), inner = b.newLabel();
+        b.bind(outer);
+        b.li(t1, 0);
+        b.bind(inner);
+        b.add(t2, s0, t1);
+        b.ld(t3, t2, 0);
+        b.addi(t1, t1, 64);
+        b.li(t4, 24 * 1024);
+        b.blt(t1, t4, inner);
+        b.addi(s1, s1, -1);
+        b.bnez(s1, outer);
+        b.halt();
+        return b.build();
+    };
+    RocketConfig big;
+    RocketConfig small;
+    small.mem.l1d.sizeBytes = 16 * 1024;
+    RocketCore big_core(big, make());
+    RocketCore small_core(small, make());
+    big_core.run(10000000);
+    small_core.run(10000000);
+    EXPECT_GT(small_core.total(EventId::DCacheMiss),
+              2 * big_core.total(EventId::DCacheMiss));
+    EXPECT_GT(small_core.total(EventId::Cycles),
+              big_core.total(EventId::Cycles));
+}
+
+TEST(Rocket, InBandCsrCounterRead)
+{
+    // Software reads mcycle via CSR instructions while running.
+    ProgramBuilder b("csrread");
+    b.csrrs(a1, csr::mcycle, zero);
+    b.li(t0, 100);
+    Label loop = b.newLabel();
+    b.bind(loop);
+    b.addi(t0, t0, -1);
+    b.bnez(t0, loop);
+    b.csrrs(a2, csr::mcycle, zero);
+    b.sub(a0, a2, a1);
+    b.halt();
+    RocketConfig cfg;
+    RocketCore core(cfg, b.build());
+    core.csrFile().setInhibit(false);
+    core.run(1000000);
+    // Elapsed mcycle between the two reads must be positive and less
+    // than the total cycle count.
+    EXPECT_GT(core.executor().exitCode(), 100u);
+    EXPECT_LT(core.executor().exitCode(), core.cycle());
+}
+
+} // namespace
+} // namespace icicle

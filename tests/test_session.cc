@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Session / umbrella-API tests: the factories, counter gathering,
+ * parameter plumbing, and configuration variations a downstream user
+ * exercises first.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/session.hh"
+#include "isa/builder.hh"
+#include "workloads/workloads.hh"
+
+namespace icicle
+{
+namespace
+{
+
+TEST(Session, FactoriesProduceWorkingCores)
+{
+    const Program program = buildWorkload("towers");
+    auto rocket = makeRocket(RocketConfig{}, program);
+    auto boom = makeBoom(BoomConfig::medium(), program);
+    EXPECT_EQ(rocket->kind(), CoreKind::Rocket);
+    EXPECT_EQ(boom->kind(), CoreKind::Boom);
+    EXPECT_STREQ(rocket->name(), "Rocket");
+    EXPECT_STREQ(boom->name(), "MediumBoomV3");
+    EXPECT_EQ(rocket->coreWidth(), 1u);
+    EXPECT_EQ(boom->coreWidth(), 2u);
+    EXPECT_EQ(boom->issueWidth(), 4u);
+
+    rocket->run(10'000'000);
+    boom->run(10'000'000);
+    EXPECT_TRUE(rocket->done());
+    EXPECT_TRUE(boom->done());
+    EXPECT_EQ(rocket->executor().exitCode(), 0u);
+    EXPECT_EQ(boom->executor().exitCode(), 0u);
+}
+
+TEST(Session, GatheredCountersMatchCoreTotals)
+{
+    auto core = makeBoom(BoomConfig::large(), buildWorkload("qsort"));
+    core->run(50'000'000);
+    ASSERT_TRUE(core->done());
+    const TmaCounters c = gatherTmaCounters(*core);
+    EXPECT_EQ(c.cycles, core->total(EventId::Cycles));
+    EXPECT_EQ(c.retiredUops, core->total(EventId::UopsRetired));
+    EXPECT_EQ(c.issuedUops, core->total(EventId::UopsIssued));
+    EXPECT_EQ(c.fetchBubbles, core->total(EventId::FetchBubbles));
+    EXPECT_EQ(c.dcacheBlockedDram,
+              core->total(EventId::DCacheBlockedDram));
+}
+
+TEST(Session, ParamsFollowCoreWidth)
+{
+    auto small = makeBoom(BoomConfig::small(), buildWorkload("towers"));
+    auto giga = makeBoom(BoomConfig::giga(), buildWorkload("towers"));
+    EXPECT_EQ(tmaParamsFor(*small).coreWidth, 1u);
+    EXPECT_EQ(tmaParamsFor(*giga).coreWidth, 5u);
+    EXPECT_EQ(tmaParamsFor(*small).recoverLength, 4u);
+}
+
+TEST(Session, AnalyzeTmaIsAPartition)
+{
+    auto core =
+        makeRocket(RocketConfig{}, buildWorkload("coremark"));
+    core->run(50'000'000);
+    ASSERT_TRUE(core->done());
+    const TmaResult r = analyzeTma(*core);
+    EXPECT_NEAR(r.retiring + r.badSpeculation + r.frontend + r.backend,
+                1.0, 1e-9);
+    EXPECT_GT(r.ipc, 0.0);
+}
+
+TEST(Session, TableIVSizesAreOrderedByCapability)
+{
+    // Wider machines must not be slower on an ILP-rich workload.
+    u64 prev_cycles = ~0ull;
+    for (const BoomConfig &cfg : BoomConfig::allSizes()) {
+        auto core = makeBoom(cfg, buildWorkload("mm"));
+        core->run(80'000'000);
+        ASSERT_TRUE(core->done()) << cfg.name;
+        // Allow small non-monotonicity (predictor warmup noise).
+        EXPECT_LT(core->cycle(), prev_cycles * 11 / 10) << cfg.name;
+        prev_cycles = core->cycle();
+    }
+}
+
+TEST(Session, RocketConfigKnobsApply)
+{
+    RocketConfig tiny;
+    tiny.bhtEntries = 64;
+    tiny.btbEntries = 4;
+    tiny.ibufEntries = 2;
+    tiny.mem.l1d.sizeBytes = 4 * 1024;
+    auto constrained = makeRocket(tiny, buildWorkload("qsort"));
+    auto standard = makeRocket(RocketConfig{}, buildWorkload("qsort"));
+    constrained->run(80'000'000);
+    standard->run(80'000'000);
+    ASSERT_TRUE(constrained->done() && standard->done());
+    EXPECT_EQ(constrained->executor().exitCode(), 0u);
+    // The degraded frontend/caches must cost cycles.
+    EXPECT_GT(constrained->cycle(), standard->cycle());
+}
+
+TEST(Session, DivLatencyKnobApplies)
+{
+    RocketConfig slow;
+    slow.divLatency = 64;
+    RocketConfig fast;
+    fast.divLatency = 8;
+    Program program = [] {
+        ProgramBuilder b("divloop");
+        using namespace reg;
+        Label loop = b.newLabel();
+        b.li(t0, 300);
+        b.li(t1, 97);
+        b.bind(loop);
+        b.div(t2, t1, t0);
+        b.addi(t0, t0, -1);
+        b.bnez(t0, loop);
+        b.li(a0, 0);
+        b.halt();
+        return b.build();
+    }();
+    auto slow_core = makeRocket(slow, program);
+    auto fast_core = makeRocket(fast, program);
+    slow_core->run(10'000'000);
+    fast_core->run(10'000'000);
+    ASSERT_TRUE(slow_core->done() && fast_core->done());
+    EXPECT_GT(slow_core->cycle(), fast_core->cycle() * 2);
+}
+
+} // namespace
+} // namespace icicle

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * TLB extension tests (the paper's §IV-A future work): translation
+ * levels, LRU behaviour, event plumbing through both cores, and the
+ * disabled-by-default guarantee.
+ */
+
+#include <gtest/gtest.h>
+
+#include "boom/boom.hh"
+#include "isa/builder.hh"
+#include "mem/tlb.hh"
+#include "rocket/rocket.hh"
+
+namespace icicle
+{
+namespace
+{
+
+using namespace reg;
+
+TlbConfig
+enabledTlb()
+{
+    TlbConfig cfg;
+    cfg.enabled = true;
+    return cfg;
+}
+
+TEST(Tlb, MissThenHit)
+{
+    Tlb tlb(4, 4096);
+    EXPECT_FALSE(tlb.access(0x10000));
+    EXPECT_TRUE(tlb.access(0x10000));
+    EXPECT_TRUE(tlb.access(0x10FFF)); // same page
+    EXPECT_FALSE(tlb.access(0x11000)); // next page
+}
+
+TEST(Tlb, LruEviction)
+{
+    Tlb tlb(2, 4096);
+    tlb.access(0x1000);
+    tlb.access(0x2000);
+    tlb.access(0x1000);  // refresh
+    tlb.access(0x3000);  // evicts 0x2000
+    EXPECT_TRUE(tlb.access(0x1000));
+    EXPECT_FALSE(tlb.access(0x2000));
+}
+
+TEST(Tlb, HierarchyLatencies)
+{
+    TlbHierarchy tlbs(enabledTlb());
+    const TlbResult cold = tlbs.data(0x400000);
+    EXPECT_FALSE(cold.l1Hit);
+    EXPECT_FALSE(cold.l2Hit);
+    EXPECT_EQ(cold.latency, enabledTlb().l2HitLatency +
+                                enabledTlb().walkLatency);
+    const TlbResult warm = tlbs.data(0x400000);
+    EXPECT_TRUE(warm.l1Hit);
+    EXPECT_EQ(warm.latency, 0u);
+}
+
+TEST(Tlb, L2CatchesL1Evictions)
+{
+    TlbConfig cfg = enabledTlb();
+    cfg.l1Entries = 2;
+    TlbHierarchy tlbs(cfg);
+    tlbs.data(0x100000);
+    tlbs.data(0x200000);
+    tlbs.data(0x300000); // evicts 0x100000 from L1
+    const TlbResult result = tlbs.data(0x100000);
+    EXPECT_FALSE(result.l1Hit);
+    EXPECT_TRUE(result.l2Hit);
+    EXPECT_EQ(result.latency, cfg.l2HitLatency);
+}
+
+TEST(Tlb, DisabledIsFree)
+{
+    TlbHierarchy tlbs(TlbConfig{});
+    const TlbResult result = tlbs.fetch(0x123456);
+    EXPECT_TRUE(result.l1Hit);
+    EXPECT_EQ(result.latency, 0u);
+}
+
+namespace
+{
+
+/** Strided loads across `pages` distinct pages, `rounds` times. */
+Program
+pageWalker(u32 pages, u32 rounds)
+{
+    ProgramBuilder b("pagewalk");
+    Label buf = b.space(static_cast<u64>(pages) * 4096);
+    b.la(s0, buf);
+    b.li(s1, rounds);
+    Label outer = b.newLabel(), inner = b.newLabel();
+    b.bind(outer);
+    b.mv(t0, s0);
+    b.li(t1, pages);
+    b.bind(inner);
+    b.ld(t2, t0, 0);
+    b.li(t3, 4096);
+    b.add(t0, t0, t3);
+    b.addi(t1, t1, -1);
+    b.bnez(t1, inner);
+    b.addi(s1, s1, -1);
+    b.bnez(s1, outer);
+    b.li(a0, 0);
+    b.halt();
+    return b.build();
+}
+
+} // namespace
+
+TEST(Tlb, RocketRaisesDtlbMissEvents)
+{
+    RocketConfig cfg;
+    cfg.mem.tlb.enabled = true;
+    cfg.mem.tlb.l1Entries = 16;
+    // 64 pages: thrashes a 16-entry DTLB but fits the 512-entry L2.
+    RocketCore core(cfg, pageWalker(64, 10));
+    core.run(10'000'000);
+    ASSERT_TRUE(core.done());
+    EXPECT_GT(core.total(EventId::DTlbMiss), 500u);
+    EXPECT_GT(core.total(EventId::L2TlbMiss), 50u);
+    EXPECT_GT(core.total(EventId::ITlbMiss), 0u);
+}
+
+TEST(Tlb, BoomRaisesDtlbMissEvents)
+{
+    BoomConfig cfg = BoomConfig::large();
+    cfg.mem.tlb.enabled = true;
+    cfg.mem.tlb.l1Entries = 16;
+    BoomCore core(cfg, pageWalker(64, 10));
+    core.run(10'000'000);
+    ASSERT_TRUE(core.done());
+    EXPECT_GT(core.total(EventId::DTlbMiss), 500u);
+}
+
+TEST(Tlb, TlbPressureCostsCycles)
+{
+    RocketConfig off;
+    RocketConfig on;
+    on.mem.tlb.enabled = true;
+    on.mem.tlb.l1Entries = 8;
+    RocketCore off_core(off, pageWalker(64, 10));
+    RocketCore on_core(on, pageWalker(64, 10));
+    off_core.run(10'000'000);
+    on_core.run(10'000'000);
+    ASSERT_TRUE(off_core.done() && on_core.done());
+    EXPECT_GT(on_core.cycle(), off_core.cycle());
+    EXPECT_EQ(off_core.total(EventId::DTlbMiss), 0u);
+}
+
+TEST(Tlb, SmallFootprintBarelyMisses)
+{
+    RocketConfig cfg;
+    cfg.mem.tlb.enabled = true;
+    // 8 pages fit comfortably in a 32-entry DTLB.
+    RocketCore core(cfg, pageWalker(8, 20));
+    core.run(10'000'000);
+    ASSERT_TRUE(core.done());
+    // Only compulsory misses.
+    EXPECT_LE(core.total(EventId::DTlbMiss), 8u + 2u);
+}
+
+} // namespace
+} // namespace icicle

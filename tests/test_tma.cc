@@ -1,0 +1,307 @@
+/**
+ * @file
+ * TMA model tests: Table II formula behaviour, slot conservation,
+ * clamping, and end-to-end agreement with the simulated cores.
+ */
+
+#include <gtest/gtest.h>
+
+#include "boom/boom.hh"
+#include "core/session.hh"
+#include "isa/builder.hh"
+#include "rocket/rocket.hh"
+#include "tma/tma.hh"
+#include "workloads/workloads.hh"
+
+namespace icicle
+{
+namespace
+{
+
+using namespace reg;
+
+TmaParams
+boomParams(u32 width = 3)
+{
+    TmaParams p;
+    p.coreWidth = width;
+    return p;
+}
+
+TEST(TmaModel, TopLevelSumsToOne)
+{
+    TmaCounters c;
+    c.cycles = 1000;
+    c.retiredUops = 1200;
+    c.issuedUops = 1500;
+    c.fetchBubbles = 300;
+    c.recovering = 80;
+    c.branchMispredicts = 20;
+    c.machineClears = 2;
+    c.fencesRetired = 1;
+    c.icacheBlocked = 50;
+    c.dcacheBlocked = 200;
+    const TmaResult r = computeTma(c, boomParams());
+    EXPECT_NEAR(r.retiring + r.badSpeculation + r.frontend + r.backend,
+                1.0, 1e-9);
+    EXPECT_GT(r.retiring, 0.0);
+    EXPECT_GT(r.badSpeculation, 0.0);
+    EXPECT_GT(r.frontend, 0.0);
+}
+
+TEST(TmaModel, PureRetirementIsAllRetiring)
+{
+    TmaCounters c;
+    c.cycles = 1000;
+    c.retiredUops = 3000; // exactly W_C per cycle
+    c.issuedUops = 3000;
+    const TmaResult r = computeTma(c, boomParams());
+    EXPECT_NEAR(r.retiring, 1.0, 1e-9);
+    EXPECT_NEAR(r.badSpeculation, 0.0, 1e-9);
+    EXPECT_NEAR(r.frontend, 0.0, 1e-9);
+    EXPECT_NEAR(r.backend, 0.0, 1e-9);
+    EXPECT_NEAR(r.ipc, 3.0, 1e-9);
+}
+
+TEST(TmaModel, FetchBubblesDriveFrontend)
+{
+    TmaCounters c;
+    c.cycles = 1000;
+    c.retiredUops = 1500;
+    c.issuedUops = 1500;
+    c.fetchBubbles = 1500; // half the slots
+    const TmaResult r = computeTma(c, boomParams());
+    EXPECT_NEAR(r.frontend, 0.5, 1e-9);
+    EXPECT_NEAR(r.retiring, 0.5, 1e-9);
+}
+
+TEST(TmaModel, FlushedUopsDriveBadSpeculation)
+{
+    TmaCounters c;
+    c.cycles = 1000;
+    c.retiredUops = 1000;
+    c.issuedUops = 2000; // 1000 flushed
+    c.branchMispredicts = 50;
+    c.recovering = 100;
+    const TmaResult r = computeTma(c, boomParams());
+    EXPECT_GT(r.badSpeculation, 0.3);
+    EXPECT_GT(r.branchMispredicts, 0.0);
+}
+
+TEST(TmaModel, FenceFlushesExcludedFromBadSpec)
+{
+    // Same flushed-uop count, but all flushes are fences: the
+    // non-fence flush ratio zeroes the flushed-slot contribution.
+    TmaCounters fence_only;
+    fence_only.cycles = 1000;
+    fence_only.retiredUops = 1000;
+    fence_only.issuedUops = 1400;
+    fence_only.fencesRetired = 40;
+
+    TmaCounters mispredicts = fence_only;
+    mispredicts.fencesRetired = 0;
+    mispredicts.branchMispredicts = 40;
+
+    const TmaResult rf = computeTma(fence_only, boomParams());
+    const TmaResult rm = computeTma(mispredicts, boomParams());
+    EXPECT_LT(rf.badSpeculation, rm.badSpeculation);
+}
+
+TEST(TmaModel, MemBoundNeverExceedsBackend)
+{
+    TmaCounters c;
+    c.cycles = 1000;
+    c.retiredUops = 2500;
+    c.issuedUops = 2500;
+    c.dcacheBlocked = 2900; // more blocked slots than backend slots
+    const TmaResult r = computeTma(c, boomParams());
+    EXPECT_LE(r.memBound, r.backend + 1e-9);
+    EXPECT_GE(r.coreBound, 0.0);
+}
+
+TEST(TmaModel, FetchLatencyNeverExceedsFrontend)
+{
+    TmaCounters c;
+    c.cycles = 1000;
+    c.retiredUops = 2000;
+    c.issuedUops = 2000;
+    c.fetchBubbles = 100;
+    c.icacheBlocked = 900;
+    const TmaResult r = computeTma(c, boomParams());
+    EXPECT_LE(r.fetchLatency, r.frontend + 1e-9);
+    EXPECT_GE(r.pcResteer, 0.0);
+}
+
+TEST(TmaModel, ZeroCyclesIsSafe)
+{
+    const TmaResult r = computeTma(TmaCounters{}, boomParams());
+    EXPECT_EQ(r.totalSlots, 0u);
+    EXPECT_EQ(r.retiring, 0.0);
+}
+
+TEST(TmaModel, RecoverLengthTermOverestimatesBadSpec)
+{
+    // §IV-A: the M_rl * C_bm term deliberately overestimates.
+    TmaCounters c;
+    c.cycles = 1000;
+    c.retiredUops = 1000;
+    c.issuedUops = 1000;
+    c.branchMispredicts = 50;
+    TmaParams p0 = boomParams();
+    p0.recoverLength = 0;
+    TmaParams p4 = boomParams();
+    const TmaResult r0 = computeTma(c, p0);
+    const TmaResult r4 = computeTma(c, p4);
+    EXPECT_GT(r4.badSpeculation, r0.badSpeculation);
+}
+
+TEST(TmaModel, ReportFormatting)
+{
+    TmaCounters c;
+    c.cycles = 100;
+    c.retiredUops = 150;
+    c.issuedUops = 180;
+    c.fetchBubbles = 30;
+    const TmaResult r = computeTma(c, boomParams());
+    const std::string report = formatTmaReport(r, "unit-test");
+    EXPECT_NE(report.find("Retiring"), std::string::npos);
+    EXPECT_NE(report.find("Bad Speculation"), std::string::npos);
+    EXPECT_NE(report.find("Mem Bound"), std::string::npos);
+    EXPECT_NE(report.find("unit-test"), std::string::npos);
+    EXPECT_NE(formatTmaLine(r).find("ipc"), std::string::npos);
+}
+
+// ------------------------------- end-to-end sanity on the cores
+
+TEST(TmaEndToEnd, MemoryBoundWorkloadIsBackendBound)
+{
+    BoomCore core(BoomConfig::large(),
+                  workloads::pointerChase(16384, 6000));
+    core.run(50'000'000);
+    ASSERT_TRUE(core.done());
+    const TmaResult r = analyzeTma(core);
+    EXPECT_GT(r.backend, 0.5) << formatTmaLine(r);
+    EXPECT_GT(r.memBound, 0.3) << formatTmaLine(r);
+}
+
+TEST(TmaEndToEnd, IlpWorkloadIsRetiringHeavy)
+{
+    ProgramBuilder b("ilp");
+    Label loop = b.newLabel();
+    b.li(t0, 30000);
+    b.bind(loop);
+    b.addi(s0, s0, 1);
+    b.addi(s1, s1, 2);
+    b.addi(s2, s2, 3);
+    b.addi(s3, s3, 4);
+    b.addi(s4, s4, 5);
+    b.addi(t0, t0, -1);
+    b.bnez(t0, loop);
+    b.halt();
+    BoomCore core(BoomConfig::large(), b.build());
+    core.run(10'000'000);
+    ASSERT_TRUE(core.done());
+    const TmaResult r = analyzeTma(core);
+    EXPECT_GT(r.retiring, 0.5) << formatTmaLine(r);
+}
+
+TEST(TmaEndToEnd, RandomBranchesShowBadSpeculation)
+{
+    ProgramBuilder b("brrand");
+    Label loop = b.newLabel(), skip = b.newLabel();
+    b.li(s0, 88172645463325252ll);
+    b.li(t2, 4000);
+    b.bind(loop);
+    b.slli(t0, s0, 13);
+    b.xor_(s0, s0, t0);
+    b.srli(t0, s0, 7);
+    b.xor_(s0, s0, t0);
+    b.andi(t0, s0, 1);
+    b.beqz(t0, skip);
+    b.addi(t3, t3, 1);
+    b.bind(skip);
+    b.addi(t2, t2, -1);
+    b.bnez(t2, loop);
+    b.halt();
+    BoomCore core(BoomConfig::large(), b.build());
+    core.run(10'000'000);
+    ASSERT_TRUE(core.done());
+    const TmaResult r = analyzeTma(core);
+    EXPECT_GT(r.badSpeculation, 0.15) << formatTmaLine(r);
+}
+
+TEST(TmaEndToEnd, RocketQsortBadSpecDominatesLostSlots)
+{
+    // The paper's Rocket highlight: qsort's lost slots are dominated
+    // by Bad Speculation.
+    RocketCore core(RocketConfig{}, workloads::qsortKernel());
+    core.run(50'000'000);
+    ASSERT_TRUE(core.done());
+    const TmaResult r = analyzeTma(core);
+    EXPECT_GT(r.badSpeculation, r.frontend) << formatTmaLine(r);
+    EXPECT_GT(r.badSpeculation, 0.05) << formatTmaLine(r);
+}
+
+TEST(TmaModel, Level3MemBoundSplit)
+{
+    TmaCounters c;
+    c.cycles = 1000;
+    c.retiredUops = 1000;
+    c.issuedUops = 1000;
+    c.dcacheBlocked = 900;
+    c.dcacheBlockedDram = 600;
+    const TmaResult r = computeTma(c, boomParams());
+    EXPECT_NEAR(r.memBoundDram, 600.0 / 3000.0, 1e-9);
+    EXPECT_NEAR(r.memBoundL2, 300.0 / 3000.0, 1e-9);
+    EXPECT_NEAR(r.memBoundL2 + r.memBoundDram, r.memBound, 1e-9);
+}
+
+TEST(TmaModel, Level3DramNeverExceedsMemBound)
+{
+    TmaCounters c;
+    c.cycles = 1000;
+    c.retiredUops = 2900;
+    c.issuedUops = 2900;
+    c.dcacheBlocked = 50;
+    c.dcacheBlockedDram = 500; // inconsistent input: must clamp
+    const TmaResult r = computeTma(c, boomParams());
+    EXPECT_LE(r.memBoundDram, r.memBound + 1e-12);
+}
+
+TEST(TmaEndToEnd, PointerChaseIsDramBound)
+{
+    // Out-of-L2 chasing: the Mem Bound slots are DRAM-level.
+    BoomCore core(BoomConfig::large(),
+                  workloads::pointerChase(16384, 5000));
+    core.run(50'000'000);
+    ASSERT_TRUE(core.done());
+    const TmaResult r = analyzeTma(core);
+    EXPECT_GT(r.memBoundDram, r.memBoundL2) << formatTmaLine(r);
+    EXPECT_GT(r.memBoundDram, 0.3) << formatTmaLine(r);
+}
+
+TEST(TmaEndToEnd, L2ResidentWorkingSetIsL2Bound)
+{
+    // A working set that thrashes a small L1D but fits the L2: the
+    // Mem Bound slots are L2-level, not DRAM-level.
+    BoomConfig cfg = BoomConfig::large();
+    cfg.mem.l1d.sizeBytes = 8 * 1024;
+    BoomCore core(cfg, workloads::spec531DeepsjengR(64));
+    core.run(50'000'000);
+    ASSERT_TRUE(core.done());
+    const TmaResult r = analyzeTma(core);
+    EXPECT_GT(r.memBound, 0.03) << formatTmaLine(r);
+    EXPECT_GT(r.memBoundL2, r.memBoundDram) << formatTmaLine(r);
+}
+
+TEST(TmaEndToEnd, RocketRsortNearIdealIpc)
+{
+    RocketCore core(RocketConfig{}, workloads::rsort());
+    core.run(50'000'000);
+    ASSERT_TRUE(core.done());
+    const TmaResult r = analyzeTma(core);
+    EXPECT_GT(r.retiring, 0.6) << formatTmaLine(r);
+}
+
+} // namespace
+} // namespace icicle

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Trace infrastructure tests: bundle capture fidelity (trace counts
+ * equal live counter totals — the property Icicle's validation relies
+ * on), binary round-trips, run detection, recovery CDFs, overlap
+ * bounds, and windowed temporal TMA.
+ */
+
+#include <cstdio>
+#include <gtest/gtest.h>
+
+#include "boom/boom.hh"
+#include "common/logging.hh"
+#include "core/session.hh"
+#include "isa/builder.hh"
+#include "rocket/rocket.hh"
+#include "trace/trace.hh"
+#include "workloads/workloads.hh"
+
+namespace icicle
+{
+namespace
+{
+
+using namespace reg;
+
+Program
+branchyLoop(u64 iterations)
+{
+    ProgramBuilder b("branchy");
+    Label loop = b.newLabel(), skip = b.newLabel();
+    b.li(s0, 88172645463325252ll);
+    b.li(t2, static_cast<i64>(iterations));
+    b.bind(loop);
+    b.slli(t0, s0, 13);
+    b.xor_(s0, s0, t0);
+    b.srli(t0, s0, 7);
+    b.xor_(s0, s0, t0);
+    b.andi(t0, s0, 1);
+    b.beqz(t0, skip);
+    b.addi(t3, t3, 1);
+    b.bind(skip);
+    b.addi(t2, t2, -1);
+    b.bnez(t2, loop);
+    b.halt();
+    return b.build();
+}
+
+TEST(TraceSpec, IndexAndDeduplication)
+{
+    TraceSpec spec;
+    spec.addLane(EventId::Recovering, 0);
+    spec.addLane(EventId::Recovering, 0); // duplicate ignored
+    spec.addLane(EventId::FetchBubbles, 1);
+    EXPECT_EQ(spec.numFields(), 2u);
+    EXPECT_EQ(spec.indexOf(EventId::Recovering), 0);
+    EXPECT_EQ(spec.indexOf(EventId::FetchBubbles, 1), 1);
+    EXPECT_EQ(spec.indexOf(EventId::FetchBubbles, 0), -1);
+}
+
+TEST(Trace, CountsMatchLiveCounters)
+{
+    // In-band counters and out-of-band trace sample the same bus:
+    // totals must agree exactly.
+    BoomCore core(BoomConfig::large(), branchyLoop(2000));
+    TraceSpec spec = TraceSpec::tmaBundle(core);
+    Trace trace = traceRun(core, spec, 10'000'000);
+    ASSERT_TRUE(core.done());
+    EXPECT_EQ(trace.numCycles(), core.cycle());
+    EXPECT_EQ(trace.countAllLanes(EventId::UopsIssued),
+              core.total(EventId::UopsIssued));
+    EXPECT_EQ(trace.countAllLanes(EventId::FetchBubbles),
+              core.total(EventId::FetchBubbles));
+    EXPECT_EQ(trace.count(EventId::Recovering),
+              core.total(EventId::Recovering));
+    EXPECT_EQ(trace.count(EventId::BranchMispredict),
+              core.total(EventId::BranchMispredict));
+}
+
+TEST(Trace, BinaryRoundTrip)
+{
+    RocketCore core(RocketConfig{}, branchyLoop(300));
+    Trace trace =
+        traceRun(core, TraceSpec::frontendBundle(), 1'000'000);
+    const std::string path = "/tmp/icicle_test_trace.bin";
+    writeTrace(trace, path);
+    Trace loaded = readTrace(path);
+    ASSERT_EQ(loaded.numCycles(), trace.numCycles());
+    ASSERT_EQ(loaded.spec().numFields(), trace.spec().numFields());
+    EXPECT_EQ(loaded.raw(), trace.raw());
+    std::remove(path.c_str());
+}
+
+TEST(Trace, ReadRejectsGarbage)
+{
+    const std::string path = "/tmp/icicle_bad_trace.bin";
+    FILE *f = fopen(path.c_str(), "wb");
+    fputs("not a trace", f);
+    fclose(f);
+    EXPECT_THROW(readTrace(path), FatalError);
+    std::remove(path.c_str());
+}
+
+TEST(TraceAnalyzer, RunDetection)
+{
+    TraceSpec spec;
+    spec.addLane(EventId::Recovering, 0);
+    Trace trace(spec);
+    // Pattern: 0 1 1 1 0 0 1 0 1 1
+    for (int bit : {0, 1, 1, 1, 0, 0, 1, 0, 1, 1})
+        trace.append(static_cast<u64>(bit));
+    TraceAnalyzer analyzer(trace);
+    const auto runs = analyzer.runsOf(EventId::Recovering);
+    ASSERT_EQ(runs.size(), 3u);
+    EXPECT_EQ(runs[0].start, 1u);
+    EXPECT_EQ(runs[0].length, 3u);
+    EXPECT_EQ(runs[1].start, 6u);
+    EXPECT_EQ(runs[1].length, 1u);
+    EXPECT_EQ(runs[2].start, 8u);
+    EXPECT_EQ(runs[2].length, 2u); // run reaching the end
+}
+
+TEST(TraceAnalyzer, RecoveryCdfFromBoom)
+{
+    BoomCore core(BoomConfig::large(), branchyLoop(3000));
+    Trace trace =
+        traceRun(core, TraceSpec::tmaBundle(core), 20'000'000);
+    ASSERT_TRUE(core.done());
+    TraceAnalyzer analyzer(trace);
+    const RecoveryCdf cdf = analyzer.recoveryCdf();
+    ASSERT_GT(cdf.sequences(), 100u);
+    // Fig. 8b: almost every recovery lasts exactly the frontend
+    // restart length (4 cycles).
+    EXPECT_EQ(cdf.mode(), 4u);
+    EXPECT_EQ(cdf.percentile(0.5), 4u);
+    EXPECT_GE(cdf.max(), cdf.mode());
+}
+
+TEST(TraceAnalyzer, RecoveryCdfPercentiles)
+{
+    TraceSpec spec;
+    spec.addLane(EventId::Recovering, 0);
+    Trace trace(spec);
+    // Three runs: lengths 2, 2, 10.
+    for (int bit : {1, 1, 0, 1, 1, 0, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 0})
+        trace.append(static_cast<u64>(bit));
+    TraceAnalyzer analyzer(trace);
+    const RecoveryCdf cdf = analyzer.recoveryCdf();
+    ASSERT_EQ(cdf.sequences(), 3u);
+    EXPECT_EQ(cdf.mode(), 2u);
+    EXPECT_EQ(cdf.percentile(0.0), 2u);
+    EXPECT_EQ(cdf.percentile(1.0), 10u);
+}
+
+TEST(TraceAnalyzer, OverlapBoundIsSmallAndConsistent)
+{
+    BoomCore core(BoomConfig::large(),
+                  workloads::icacheStress(64, 80, 3));
+    Trace trace =
+        traceRun(core, TraceSpec::tmaBundle(core), 20'000'000);
+    ASSERT_TRUE(core.done());
+    TraceAnalyzer analyzer(trace);
+    const OverlapBound bound =
+        analyzer.overlapUpperBound(core.coreWidth(), 50);
+    EXPECT_EQ(bound.cycles, core.cycle());
+    // Overlap slots are a subset of all fetch-bubble slots.
+    EXPECT_LE(bound.overlapFraction, bound.frontendFraction + 1e-12);
+    EXPECT_GE(bound.overlapFraction, 0.0);
+    EXPECT_GE(bound.frontendPerturbation, 0.0);
+}
+
+TEST(TraceAnalyzer, OverlapDetectsConstructedOverlap)
+{
+    TraceSpec spec;
+    spec.addLane(EventId::ICacheBlocked, 0);
+    spec.addLane(EventId::Recovering, 0);
+    spec.addLane(EventId::FetchBubbles, 0);
+    Trace trace(spec);
+    // 300 idle cycles, then an overlap of refill+recovering with
+    // bubbles inside.
+    for (int c = 0; c < 300; c++)
+        trace.append(0);
+    for (int c = 0; c < 10; c++)
+        trace.append(0b111); // blocked + recovering + bubble
+    for (int c = 0; c < 300; c++)
+        trace.append(0);
+    TraceAnalyzer analyzer(trace);
+    const OverlapBound bound = analyzer.overlapUpperBound(1, 50);
+    EXPECT_EQ(bound.overlapSlots, 10u);
+    EXPECT_GT(bound.overlapFraction, 0.0);
+}
+
+TEST(TraceAnalyzer, WindowTmaMatchesFullRunOnUniformWindow)
+{
+    BoomCore core(BoomConfig::large(), branchyLoop(2000));
+    Trace trace =
+        traceRun(core, TraceSpec::tmaBundle(core), 10'000'000);
+    ASSERT_TRUE(core.done());
+    TraceAnalyzer analyzer(trace);
+    const TmaResult full =
+        analyzer.windowTma(0, trace.numCycles(), core.coreWidth());
+    // Compare against the out-of-band model fed by core totals.
+    const TmaResult live = analyzeTma(core);
+    EXPECT_NEAR(full.retiring, live.retiring, 1e-9);
+    EXPECT_NEAR(full.frontend, live.frontend, 1e-9);
+    EXPECT_NEAR(full.badSpeculation, live.badSpeculation, 1e-9);
+}
+
+TEST(TraceAnalyzer, PlotRendersDots)
+{
+    RocketCore core(RocketConfig{}, branchyLoop(50));
+    Trace trace =
+        traceRun(core, TraceSpec::frontendBundle(), 1'000'000);
+    TraceAnalyzer analyzer(trace);
+    const std::string plot = analyzer.plot(0, 60);
+    EXPECT_NE(plot.find("icache-miss"), std::string::npos);
+    EXPECT_NE(plot.find("ibuf-ready"), std::string::npos);
+    EXPECT_NE(plot.find('*'), std::string::npos);
+}
+
+// The §III motivating experiment: with a warm I-cache, mergesort
+// shows fetch bubbles that no I$-miss explains.
+TEST(TraceAnalyzer, MergesortFetchBubblesBeyondICacheMisses)
+{
+    RocketCore core(RocketConfig{}, workloads::mergesort());
+    Trace trace =
+        traceRun(core, TraceSpec::frontendBundle(), 50'000'000);
+    ASSERT_TRUE(core.done());
+    // Skip the cold-start half; in the warm region, count bubbles
+    // outside I$-blocked windows.
+    const u64 begin = trace.numCycles() / 2;
+    u64 bubbles_without_icache = 0;
+    for (u64 c = begin; c < trace.numCycles(); c++) {
+        if (trace.high(c, EventId::FetchBubbles) &&
+            !trace.high(c, EventId::ICacheBlocked) &&
+            !trace.high(c, EventId::Recovering))
+            bubbles_without_icache++;
+    }
+    EXPECT_GT(bubbles_without_icache, 0u)
+        << "frontend stalls should not all be I$-attributable";
+}
+
+} // namespace
+} // namespace icicle

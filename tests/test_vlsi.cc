@@ -1,0 +1,165 @@
+/**
+ * @file
+ * VLSI cost-model tests: the paper's §V-C claims as properties —
+ * overhead bounds, 200 MHz feasibility, the AddWires/Distributed
+ * delay crossover with size, hardware-counter counts, and the
+ * per-lane wirelength ablation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vlsi/vlsi.hh"
+#include "workloads/workloads.hh"
+
+namespace icicle
+{
+namespace
+{
+
+TEST(Vlsi, AllConfigurationsMeet200MHz)
+{
+    for (const VlsiReport &r : vlsiSweep())
+        EXPECT_TRUE(r.meets200MHz) << formatVlsiRow(r);
+}
+
+TEST(Vlsi, OverheadBoundsMatchPaperScale)
+{
+    double max_power = 0, max_area = 0, max_wire = 0;
+    for (const VlsiReport &r : vlsiSweep()) {
+        max_power = std::max(max_power, r.powerOverheadPct);
+        max_area = std::max(max_area, r.areaOverheadPct);
+        max_wire = std::max(max_wire, r.wirelengthOverheadPct);
+    }
+    // Paper: 4.15% / 1.54% / 9.93% maxima (we sweep one size more).
+    EXPECT_GT(max_power, 2.0);
+    EXPECT_LT(max_power, 6.0);
+    EXPECT_GT(max_area, 1.0);
+    EXPECT_LT(max_area, 2.5);
+    EXPECT_GT(max_wire, 7.0);
+    EXPECT_LT(max_wire, 12.0);
+}
+
+TEST(Vlsi, ScalarOverheadGrowsWithCoreSize)
+{
+    // More lanes -> more counters -> more overhead, monotone in size.
+    double prev_power = 0;
+    u32 prev_counters = 0;
+    for (const BoomConfig &cfg : BoomConfig::allSizes()) {
+        const VlsiReport r = evaluateVlsi(cfg, CounterArch::Scalar);
+        EXPECT_GE(r.powerOverheadPct, prev_power) << cfg.name;
+        EXPECT_GE(r.hwCounters, prev_counters) << cfg.name;
+        prev_power = r.powerOverheadPct;
+        prev_counters = r.hwCounters;
+    }
+}
+
+TEST(Vlsi, DelayCrossoverBetweenMediumAndLarge)
+{
+    // Fig. 9b: adders beat distributed on Small/Medium; distributed
+    // scales better from Large up.
+    auto delay = [](const BoomConfig &cfg, CounterArch arch) {
+        return evaluateVlsi(cfg, arch).csrPathDelayNs;
+    };
+    EXPECT_LT(delay(BoomConfig::small(), CounterArch::AddWires),
+              delay(BoomConfig::small(), CounterArch::Distributed));
+    EXPECT_LT(delay(BoomConfig::medium(), CounterArch::AddWires),
+              delay(BoomConfig::medium(), CounterArch::Distributed));
+    EXPECT_GT(delay(BoomConfig::large(), CounterArch::AddWires),
+              delay(BoomConfig::large(), CounterArch::Distributed));
+    EXPECT_GT(delay(BoomConfig::mega(), CounterArch::AddWires),
+              delay(BoomConfig::mega(), CounterArch::Distributed));
+    EXPECT_GT(delay(BoomConfig::giga(), CounterArch::AddWires),
+              delay(BoomConfig::giga(), CounterArch::Distributed));
+}
+
+TEST(Vlsi, DistributedDelayIsSizeStable)
+{
+    // The arbiter is constant: distributed delay barely moves across
+    // sizes (the scalability claim).
+    const double small =
+        evaluateVlsi(BoomConfig::small(), CounterArch::Distributed)
+            .csrPathDelayNs;
+    const double giga =
+        evaluateVlsi(BoomConfig::giga(), CounterArch::Distributed)
+            .csrPathDelayNs;
+    EXPECT_LT(giga / small, 1.10);
+}
+
+TEST(Vlsi, AddWiresDelayGrowsWithIssueWidth)
+{
+    const double small =
+        evaluateVlsi(BoomConfig::small(), CounterArch::AddWires)
+            .csrPathDelayNs;
+    const double giga =
+        evaluateVlsi(BoomConfig::giga(), CounterArch::AddWires)
+            .csrPathDelayNs;
+    EXPECT_GT(giga, small * 1.8);
+}
+
+TEST(Vlsi, HardwareCounterBudget)
+{
+    // Scalar on Giga needs 29 programmable counters (exactly the
+    // budget); aggregating architectures need one per event (9).
+    const VlsiReport scalar =
+        evaluateVlsi(BoomConfig::giga(), CounterArch::Scalar);
+    const VlsiReport addw =
+        evaluateVlsi(BoomConfig::giga(), CounterArch::AddWires);
+    const VlsiReport dist =
+        evaluateVlsi(BoomConfig::giga(), CounterArch::Distributed);
+    EXPECT_EQ(scalar.hwCounters, 29u);
+    EXPECT_EQ(addw.hwCounters, 9u);
+    EXPECT_EQ(dist.hwCounters, 9u);
+}
+
+TEST(Vlsi, SingleLaneAblationShortensLongestWire)
+{
+    // §V-A: instrumenting only one fetch-bubble lane shortens the
+    // longest PMU wire (the paper reports -11.39%).
+    const VlsiReport full = evaluateVlsi(
+        BoomConfig::large(), CounterArch::AddWires, {}, {}, true);
+    const VlsiReport single = evaluateVlsi(
+        BoomConfig::large(), CounterArch::AddWires, {}, {}, false);
+    EXPECT_LT(single.longestPmuWireUm, full.longestPmuWireUm);
+    const double reduction_pct =
+        100.0 * (full.longestPmuWireUm - single.longestPmuWireUm) /
+        full.longestPmuWireUm;
+    EXPECT_GT(reduction_pct, 2.0);
+    EXPECT_LT(reduction_pct, 30.0);
+}
+
+TEST(Vlsi, NormalizedDelayIsRelativeToScalar)
+{
+    const auto reports = vlsiSweep();
+    for (u64 i = 0; i < reports.size(); i += 3) {
+        EXPECT_NEAR(reports[i].normalizedCsrDelay, 1.0, 1e-9)
+            << reports[i].configName;
+        EXPECT_GT(reports[i + 1].normalizedCsrDelay, 0.0);
+        EXPECT_GT(reports[i + 2].normalizedCsrDelay, 0.0);
+    }
+}
+
+TEST(Vlsi, MeasuredActivityFeedsPowerModel)
+{
+    BoomCore core(BoomConfig::large(), workloads::towers());
+    core.run(10'000'000);
+    ASSERT_TRUE(core.done());
+    const ActivityFactors activity = measureActivity(core);
+    EXPECT_GT(activity.uopsRetired, 0.0);
+    EXPECT_LE(activity.uopsRetired, 3.0);
+    const VlsiReport with_activity = evaluateVlsi(
+        BoomConfig::large(), CounterArch::Scalar, activity);
+    EXPECT_GT(with_activity.powerOverheadPct, 0.0);
+}
+
+TEST(Vlsi, BiggerCoresHaveBiggerBaselines)
+{
+    double prev_area = 0;
+    for (const BoomConfig &cfg : BoomConfig::allSizes()) {
+        const VlsiReport r = evaluateVlsi(cfg, CounterArch::Scalar);
+        EXPECT_GT(r.coreAreaUm2, prev_area) << cfg.name;
+        prev_area = r.coreAreaUm2;
+    }
+}
+
+} // namespace
+} // namespace icicle

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Workload functional tests: every registered workload must run to
+ * completion on the functional executor and self-verify (exit 0).
+ * A few workloads additionally run on both timing models end to end.
+ */
+
+#include <gtest/gtest.h>
+
+#include "boom/boom.hh"
+#include "isa/executor.hh"
+#include "rocket/rocket.hh"
+#include "workloads/workloads.hh"
+
+namespace icicle
+{
+namespace
+{
+
+class AllWorkloads : public ::testing::TestWithParam<int>
+{
+  protected:
+    const WorkloadInfo &info() const
+    { return allWorkloads()[GetParam()]; }
+};
+
+TEST_P(AllWorkloads, SelfVerifiesOnExecutor)
+{
+    Executor exec(info().build());
+    exec.run(200'000'000);
+    ASSERT_TRUE(exec.halted()) << info().name << " did not halt";
+    EXPECT_EQ(exec.exitCode(), 0u)
+        << info().name << " failed self-verification";
+}
+
+TEST_P(AllWorkloads, HasReasonableLength)
+{
+    Executor exec(info().build());
+    exec.run(200'000'000);
+    ASSERT_TRUE(exec.halted());
+    // Every workload should be substantial but simulable.
+    EXPECT_GT(exec.instsRetired(), 5000u) << info().name;
+    EXPECT_LT(exec.instsRetired(), 20'000'000u) << info().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, AllWorkloads,
+    ::testing::Range(0, static_cast<int>(allWorkloads().size())),
+    [](const auto &info) {
+        std::string name = allWorkloads()[info.param].name;
+        for (char &c : name)
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });
+
+TEST(Workloads, RegistryNamesUniqueAndSuitesValid)
+{
+    std::vector<std::string> seen;
+    for (const WorkloadInfo &info : allWorkloads()) {
+        for (const std::string &name : seen)
+            EXPECT_NE(name, info.name);
+        seen.push_back(info.name);
+        EXPECT_TRUE(info.suite == "micro" || info.suite == "composite" ||
+                    info.suite == "spec")
+            << info.suite;
+    }
+    EXPECT_EQ(workloadNames("spec").size(), 10u);
+}
+
+TEST(Workloads, CoremarkVariantsSameInstructionCount)
+{
+    // The scheduling case study requires identical instruction counts.
+    Executor plain(workloads::coremark(false));
+    Executor sched(workloads::coremark(true));
+    plain.run(100'000'000);
+    sched.run(100'000'000);
+    ASSERT_TRUE(plain.halted() && sched.halted());
+    EXPECT_EQ(plain.exitCode(), 0u);
+    EXPECT_EQ(sched.exitCode(), 0u);
+    EXPECT_EQ(plain.instsRetired(), sched.instsRetired());
+}
+
+TEST(Workloads, BrmissVariantsVerify)
+{
+    Executor base(workloads::brmiss(false));
+    Executor inv(workloads::brmiss(true));
+    base.run(100'000'000);
+    inv.run(100'000'000);
+    ASSERT_TRUE(base.halted() && inv.halted());
+    EXPECT_EQ(base.exitCode(), 0u);
+    EXPECT_EQ(inv.exitCode(), 0u);
+    // The inverted version executes the padding every iteration.
+    EXPECT_GT(inv.instsRetired(), base.instsRetired());
+}
+
+TEST(Workloads, MergesortRunsOnBothCores)
+{
+    {
+        RocketCore core(RocketConfig{}, workloads::mergesort());
+        core.run(100'000'000);
+        ASSERT_TRUE(core.done());
+        EXPECT_EQ(core.executor().exitCode(), 0u);
+    }
+    {
+        BoomCore core(BoomConfig::large(), workloads::mergesort());
+        core.run(100'000'000);
+        ASSERT_TRUE(core.done());
+        EXPECT_EQ(core.executor().exitCode(), 0u);
+    }
+}
+
+TEST(Workloads, QsortRunsOnBothCores)
+{
+    {
+        RocketCore core(RocketConfig{}, workloads::qsortKernel());
+        core.run(100'000'000);
+        ASSERT_TRUE(core.done());
+        EXPECT_EQ(core.executor().exitCode(), 0u);
+    }
+    {
+        BoomCore core(BoomConfig::large(), workloads::qsortKernel());
+        core.run(100'000'000);
+        ASSERT_TRUE(core.done());
+        EXPECT_EQ(core.executor().exitCode(), 0u);
+    }
+}
+
+TEST(Workloads, DeepsjengWorkingSetParameter)
+{
+    Executor small(workloads::spec531DeepsjengR(16));
+    Executor large(workloads::spec531DeepsjengR(24));
+    small.run(100'000'000);
+    large.run(100'000'000);
+    ASSERT_TRUE(small.halted() && large.halted());
+    EXPECT_EQ(small.exitCode(), 0u);
+    EXPECT_EQ(large.exitCode(), 0u);
+}
+
+} // namespace
+} // namespace icicle
