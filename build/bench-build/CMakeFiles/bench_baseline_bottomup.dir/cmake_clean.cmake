@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_baseline_bottomup"
+  "../bench/bench_baseline_bottomup.pdb"
+  "CMakeFiles/bench_baseline_bottomup.dir/bench_baseline_bottomup.cc.o"
+  "CMakeFiles/bench_baseline_bottomup.dir/bench_baseline_bottomup.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_bottomup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

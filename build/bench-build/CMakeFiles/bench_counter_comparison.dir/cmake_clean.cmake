@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_counter_comparison"
+  "../bench/bench_counter_comparison.pdb"
+  "CMakeFiles/bench_counter_comparison.dir/bench_counter_comparison.cc.o"
+  "CMakeFiles/bench_counter_comparison.dir/bench_counter_comparison.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_counter_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_tlb"
+  "../bench/bench_ext_tlb.pdb"
+  "CMakeFiles/bench_ext_tlb.dir/bench_ext_tlb.cc.o"
+  "CMakeFiles/bench_ext_tlb.dir/bench_ext_tlb.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

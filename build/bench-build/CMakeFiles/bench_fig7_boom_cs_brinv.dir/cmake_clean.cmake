@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_boom_cs_brinv"
+  "../bench/bench_fig7_boom_cs_brinv.pdb"
+  "CMakeFiles/bench_fig7_boom_cs_brinv.dir/bench_fig7_boom_cs_brinv.cc.o"
+  "CMakeFiles/bench_fig7_boom_cs_brinv.dir/bench_fig7_boom_cs_brinv.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_boom_cs_brinv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_boom_cs_coremark"
+  "../bench/bench_fig7_boom_cs_coremark.pdb"
+  "CMakeFiles/bench_fig7_boom_cs_coremark.dir/bench_fig7_boom_cs_coremark.cc.o"
+  "CMakeFiles/bench_fig7_boom_cs_coremark.dir/bench_fig7_boom_cs_coremark.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_boom_cs_coremark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_rocket_cs1_dcache"
+  "../bench/bench_fig7_rocket_cs1_dcache.pdb"
+  "CMakeFiles/bench_fig7_rocket_cs1_dcache.dir/bench_fig7_rocket_cs1_dcache.cc.o"
+  "CMakeFiles/bench_fig7_rocket_cs1_dcache.dir/bench_fig7_rocket_cs1_dcache.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_rocket_cs1_dcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_rocket_cs3_coremark.
+# This may be replaced when dependencies are built.

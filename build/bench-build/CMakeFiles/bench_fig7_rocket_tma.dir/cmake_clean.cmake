@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_rocket_tma"
+  "../bench/bench_fig7_rocket_tma.pdb"
+  "CMakeFiles/bench_fig7_rocket_tma.dir/bench_fig7_rocket_tma.cc.o"
+  "CMakeFiles/bench_fig7_rocket_tma.dir/bench_fig7_rocket_tma.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_rocket_tma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

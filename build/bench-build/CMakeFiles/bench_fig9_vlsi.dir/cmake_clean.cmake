@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_vlsi"
+  "../bench/bench_fig9_vlsi.pdb"
+  "CMakeFiles/bench_fig9_vlsi.dir/bench_fig9_vlsi.cc.o"
+  "CMakeFiles/bench_fig9_vlsi.dir/bench_fig9_vlsi.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_vlsi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

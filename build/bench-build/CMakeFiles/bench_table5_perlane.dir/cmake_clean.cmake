@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_perlane"
+  "../bench/bench_table5_perlane.pdb"
+  "CMakeFiles/bench_table5_perlane.dir/bench_table5_perlane.cc.o"
+  "CMakeFiles/bench_table5_perlane.dir/bench_table5_perlane.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_perlane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

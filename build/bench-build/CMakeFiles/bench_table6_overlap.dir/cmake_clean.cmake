@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table6_overlap"
+  "../bench/bench_table6_overlap.pdb"
+  "CMakeFiles/bench_table6_overlap.dir/bench_table6_overlap.cc.o"
+  "CMakeFiles/bench_table6_overlap.dir/bench_table6_overlap.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temporal_tma.dir/temporal_tma.cpp.o"
+  "CMakeFiles/temporal_tma.dir/temporal_tma.cpp.o.d"
+  "temporal_tma"
+  "temporal_tma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temporal_tma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

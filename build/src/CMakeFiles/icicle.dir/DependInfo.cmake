@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/boom/boom.cc" "src/CMakeFiles/icicle.dir/boom/boom.cc.o" "gcc" "src/CMakeFiles/icicle.dir/boom/boom.cc.o.d"
+  "/root/repo/src/bpred/bpred.cc" "src/CMakeFiles/icicle.dir/bpred/bpred.cc.o" "gcc" "src/CMakeFiles/icicle.dir/bpred/bpred.cc.o.d"
+  "/root/repo/src/core/session.cc" "src/CMakeFiles/icicle.dir/core/session.cc.o" "gcc" "src/CMakeFiles/icicle.dir/core/session.cc.o.d"
+  "/root/repo/src/isa/assembler.cc" "src/CMakeFiles/icicle.dir/isa/assembler.cc.o" "gcc" "src/CMakeFiles/icicle.dir/isa/assembler.cc.o.d"
+  "/root/repo/src/isa/builder.cc" "src/CMakeFiles/icicle.dir/isa/builder.cc.o" "gcc" "src/CMakeFiles/icicle.dir/isa/builder.cc.o.d"
+  "/root/repo/src/isa/encoding.cc" "src/CMakeFiles/icicle.dir/isa/encoding.cc.o" "gcc" "src/CMakeFiles/icicle.dir/isa/encoding.cc.o.d"
+  "/root/repo/src/isa/executor.cc" "src/CMakeFiles/icicle.dir/isa/executor.cc.o" "gcc" "src/CMakeFiles/icicle.dir/isa/executor.cc.o.d"
+  "/root/repo/src/isa/inst.cc" "src/CMakeFiles/icicle.dir/isa/inst.cc.o" "gcc" "src/CMakeFiles/icicle.dir/isa/inst.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/icicle.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/icicle.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/hierarchy.cc" "src/CMakeFiles/icicle.dir/mem/hierarchy.cc.o" "gcc" "src/CMakeFiles/icicle.dir/mem/hierarchy.cc.o.d"
+  "/root/repo/src/perf/harness.cc" "src/CMakeFiles/icicle.dir/perf/harness.cc.o" "gcc" "src/CMakeFiles/icicle.dir/perf/harness.cc.o.d"
+  "/root/repo/src/perf/tma_tool.cc" "src/CMakeFiles/icicle.dir/perf/tma_tool.cc.o" "gcc" "src/CMakeFiles/icicle.dir/perf/tma_tool.cc.o.d"
+  "/root/repo/src/pmu/counters.cc" "src/CMakeFiles/icicle.dir/pmu/counters.cc.o" "gcc" "src/CMakeFiles/icicle.dir/pmu/counters.cc.o.d"
+  "/root/repo/src/pmu/csr.cc" "src/CMakeFiles/icicle.dir/pmu/csr.cc.o" "gcc" "src/CMakeFiles/icicle.dir/pmu/csr.cc.o.d"
+  "/root/repo/src/pmu/event.cc" "src/CMakeFiles/icicle.dir/pmu/event.cc.o" "gcc" "src/CMakeFiles/icicle.dir/pmu/event.cc.o.d"
+  "/root/repo/src/rocket/rocket.cc" "src/CMakeFiles/icicle.dir/rocket/rocket.cc.o" "gcc" "src/CMakeFiles/icicle.dir/rocket/rocket.cc.o.d"
+  "/root/repo/src/tma/bottomup.cc" "src/CMakeFiles/icicle.dir/tma/bottomup.cc.o" "gcc" "src/CMakeFiles/icicle.dir/tma/bottomup.cc.o.d"
+  "/root/repo/src/tma/tma.cc" "src/CMakeFiles/icicle.dir/tma/tma.cc.o" "gcc" "src/CMakeFiles/icicle.dir/tma/tma.cc.o.d"
+  "/root/repo/src/trace/trace.cc" "src/CMakeFiles/icicle.dir/trace/trace.cc.o" "gcc" "src/CMakeFiles/icicle.dir/trace/trace.cc.o.d"
+  "/root/repo/src/vlsi/vlsi.cc" "src/CMakeFiles/icicle.dir/vlsi/vlsi.cc.o" "gcc" "src/CMakeFiles/icicle.dir/vlsi/vlsi.cc.o.d"
+  "/root/repo/src/workloads/composite.cc" "src/CMakeFiles/icicle.dir/workloads/composite.cc.o" "gcc" "src/CMakeFiles/icicle.dir/workloads/composite.cc.o.d"
+  "/root/repo/src/workloads/generator.cc" "src/CMakeFiles/icicle.dir/workloads/generator.cc.o" "gcc" "src/CMakeFiles/icicle.dir/workloads/generator.cc.o.d"
+  "/root/repo/src/workloads/micro.cc" "src/CMakeFiles/icicle.dir/workloads/micro.cc.o" "gcc" "src/CMakeFiles/icicle.dir/workloads/micro.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/CMakeFiles/icicle.dir/workloads/registry.cc.o" "gcc" "src/CMakeFiles/icicle.dir/workloads/registry.cc.o.d"
+  "/root/repo/src/workloads/spec.cc" "src/CMakeFiles/icicle.dir/workloads/spec.cc.o" "gcc" "src/CMakeFiles/icicle.dir/workloads/spec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

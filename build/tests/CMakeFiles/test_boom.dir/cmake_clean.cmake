@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_boom.dir/test_boom.cc.o"
+  "CMakeFiles/test_boom.dir/test_boom.cc.o.d"
+  "test_boom"
+  "test_boom.pdb"
+  "test_boom[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_boom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

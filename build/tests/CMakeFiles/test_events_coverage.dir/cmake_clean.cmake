@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_events_coverage.dir/test_events_coverage.cc.o"
+  "CMakeFiles/test_events_coverage.dir/test_events_coverage.cc.o.d"
+  "test_events_coverage"
+  "test_events_coverage.pdb"
+  "test_events_coverage[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_events_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

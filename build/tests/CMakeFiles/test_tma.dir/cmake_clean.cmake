@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tma.dir/test_tma.cc.o"
+  "CMakeFiles/test_tma.dir/test_tma.cc.o.d"
+  "test_tma"
+  "test_tma.pdb"
+  "test_tma[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
