@@ -1,0 +1,131 @@
+#include "analysis/diagnostics.hh"
+
+#include <sstream>
+
+namespace icicle
+{
+
+const char *
+severityName(Severity severity)
+{
+    switch (severity) {
+      case Severity::Info: return "info";
+      case Severity::Warn: return "warn";
+      case Severity::Error: return "error";
+      default: return "?";
+    }
+}
+
+void
+LintReport::add(const char *rule, Severity severity, std::string message,
+                std::string subject)
+{
+    diags.push_back(Diagnostic{rule, severity, std::move(message),
+                               std::move(subject)});
+}
+
+void
+LintReport::merge(const LintReport &other)
+{
+    diags.insert(diags.end(), other.diags.begin(), other.diags.end());
+}
+
+u32
+LintReport::count(Severity severity) const
+{
+    u32 n = 0;
+    for (const Diagnostic &diag : diags) {
+        if (diag.severity == severity)
+            n++;
+    }
+    return n;
+}
+
+std::vector<Diagnostic>
+LintReport::byRule(const std::string &rule) const
+{
+    std::vector<Diagnostic> result;
+    for (const Diagnostic &diag : diags) {
+        if (diag.rule == rule)
+            result.push_back(diag);
+    }
+    return result;
+}
+
+bool
+LintReport::hasRule(const std::string &rule) const
+{
+    for (const Diagnostic &diag : diags) {
+        if (diag.rule == rule)
+            return true;
+    }
+    return false;
+}
+
+std::string
+LintReport::format() const
+{
+    std::ostringstream os;
+    for (const Diagnostic &diag : diags) {
+        os << severityName(diag.severity) << " [" << diag.rule << "]";
+        if (!diag.subject.empty())
+            os << " " << diag.subject << ":";
+        os << " " << diag.message << "\n";
+    }
+    return os.str();
+}
+
+namespace
+{
+
+void
+appendJsonString(std::ostringstream &os, const std::string &text)
+{
+    os << '"';
+    for (char c : text) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+} // namespace
+
+std::string
+LintReport::toJson() const
+{
+    std::ostringstream os;
+    os << "{\"errors\":" << count(Severity::Error)
+       << ",\"warnings\":" << count(Severity::Warn)
+       << ",\"infos\":" << count(Severity::Info) << ",\"diagnostics\":[";
+    bool first = true;
+    for (const Diagnostic &diag : diags) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"rule\":";
+        appendJsonString(os, diag.rule);
+        os << ",\"severity\":\"" << severityName(diag.severity)
+           << "\",\"subject\":";
+        appendJsonString(os, diag.subject);
+        os << ",\"message\":";
+        appendJsonString(os, diag.message);
+        os << "}";
+    }
+    os << "]}";
+    return os.str();
+}
+
+} // namespace icicle

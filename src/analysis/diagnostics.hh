@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Diagnostics engine for the static model-invariant analyzer
+ * (icicle-lint).
+ *
+ * A lint pass produces Diagnostic records — each carrying a stable
+ * rule id ("EVT-002"), a severity, and a human-readable message — and
+ * collects them into a LintReport that can be rendered for a terminal
+ * or serialized as machine-readable JSON for CI consumption. The rule
+ * ids are documented (with their paper justification) in DESIGN.md
+ * §"Static model checking".
+ */
+
+#ifndef ICICLE_ANALYSIS_DIAGNOSTICS_HH
+#define ICICLE_ANALYSIS_DIAGNOSTICS_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace icicle
+{
+
+/** How bad a lint finding is. */
+enum class Severity : u8
+{
+    Info,  ///< model-fidelity note; no action required
+    Warn,  ///< suspicious configuration; simulation proceeds
+    Error, ///< invariant violation; Session construction fails fast
+};
+
+const char *severityName(Severity severity);
+
+/** One lint finding. */
+struct Diagnostic
+{
+    /** Stable rule id, e.g. "TMA-001". */
+    std::string rule;
+    Severity severity = Severity::Info;
+    /** Human-readable description, including the offending values. */
+    std::string message;
+    /**
+     * What the rule checked, e.g. the config or counter name; empty
+     * when the finding is global.
+     */
+    std::string subject;
+};
+
+/** An ordered collection of findings from one or more lint passes. */
+class LintReport
+{
+  public:
+    void add(const char *rule, Severity severity, std::string message,
+             std::string subject = "");
+
+    /** Append every finding of another report. */
+    void merge(const LintReport &other);
+
+    const std::vector<Diagnostic> &diagnostics() const { return diags; }
+    bool empty() const { return diags.empty(); }
+
+    u32 count(Severity severity) const;
+    u32 errorCount() const { return count(Severity::Error); }
+    bool hasErrors() const { return errorCount() > 0; }
+
+    /** Findings for one rule id (testing convenience). */
+    std::vector<Diagnostic> byRule(const std::string &rule) const;
+    bool hasRule(const std::string &rule) const;
+
+    /** Multi-line "severity [rule] subject: message" rendering. */
+    std::string format() const;
+
+    /**
+     * Machine-readable rendering:
+     * {"errors":N,"warnings":N,"diagnostics":[{...},...]}
+     */
+    std::string toJson() const;
+
+  private:
+    std::vector<Diagnostic> diags;
+};
+
+} // namespace icicle
+
+#endif // ICICLE_ANALYSIS_DIAGNOSTICS_HH

@@ -199,17 +199,19 @@ BoomCore::flushFrom(u64 first_bad, bool replay)
                            return l.seq >= first_bad;
                        }),
         issuedLoads.end());
-    for (u64 &mapping : renameMap)
+    for (u64 &mapping : renameMap) {
         if (mapping >= first_bad)
             mapping = 0;
+    }
 
     if (replay) {
         // Re-fetch the squashed correct-path uops, then whatever was
         // already sitting in the fetch buffer, then the normal stream.
         std::deque<Uop> rebuilt(replayed.begin(), replayed.end());
-        for (Uop &uop : fetchBuffer)
+        for (Uop &uop : fetchBuffer) {
             if (!uop.wrongPath)
                 rebuilt.push_back(uop);
+        }
         for (Uop &uop : replayQueue)
             rebuilt.push_back(uop);
         replayQueue = std::move(rebuilt);
@@ -289,8 +291,9 @@ BoomCore::stageComplete()
         const u64 seq = completions.top().second;
         completions.pop();
         RobEntry *entry = findBySeq(seq);
-        if (!entry || entry->state != RobState::Issued)
+        if (!entry || entry->state != RobState::Issued) {
             continue; // squashed
+        }
         entry->state = RobState::Done;
         entry->doneAt = now;
 
@@ -405,10 +408,11 @@ BoomCore::stageIssue()
                     done_at = now + result.latency + xlat;
                     mshrs.allocate(block, done_at, !result.l2Hit);
                 }
-                if (can_issue)
+                if (can_issue) {
                     issuedLoads.push_back(
                         {entry->seq, addr, uop.ret.memSize,
                          uop.ret.pc});
+                }
                 break;
               }
               case InstClass::Store: {
@@ -447,9 +451,10 @@ BoomCore::stageIssue()
                             machine_clear_from = load.seq;
                     }
                 }
-                for (StqEntry &s : stq)
+                for (StqEntry &s : stq) {
                     if (s.seq == entry->seq)
                         s.issued = true;
+                }
                 break;
               }
               default:
@@ -488,9 +493,10 @@ BoomCore::stageIssue()
     // issued this cycle while at least one issue queue holds waiting
     // uops and an MSHR is handling a miss (§IV-A heuristic).
     bool any_waiting = false;
-    for (const auto &iq : iqs)
+    for (const auto &iq : iqs) {
         if (!iq.empty())
             any_waiting = true;
+    }
     if (any_waiting && mshrs.anyBusy()) {
         const bool dram = mshrs.anyDramBusy();
         for (u32 w = issuedThisCycle; w < cfg.coreWidth; w++) {
@@ -561,9 +567,10 @@ BoomCore::stageDispatch()
         entry.state = RobState::InQueue;
         seqToSlot[entry.seq] = robTail;
         iqs[static_cast<u32>(q)].push_back(entry.seq);
-        if (entry.isStore)
+        if (entry.isStore) {
             stq.push_back(
                 {entry.seq, uop.ret.memAddr, uop.ret.memSize, false});
+        }
         if (entry.isMem && !entry.isStore)
             ldqUsed++;
 

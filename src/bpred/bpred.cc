@@ -139,10 +139,13 @@ Tage::update(Addr pc, bool taken)
     // Periodic aging of the useful bits (the TAGE "u reset"): without
     // it, long-lived entries permanently starve new allocations.
     if (++updateCount % 4096 == 0) {
-        for (Table &table : tables)
-            for (TaggedEntry &entry : table.entries)
-                if (entry.useful > 0)
+        for (Table &table : tables) {
+            for (TaggedEntry &entry : table.entries) {
+                if (entry.useful > 0) {
                     entry.useful--;
+                }
+            }
+        }
     }
 
     // Allocate a new entry in a longer-history table on mispredict.

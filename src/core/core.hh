@@ -40,6 +40,12 @@ class Core
     virtual Cycle cycle() const = 0;
     virtual const EventBus &bus() const = 0;
     virtual CsrFile &csrFile() = 0;
+    /** Read-only view of the CSR file (lint and analysis passes). */
+    const CsrFile &
+    csrs() const
+    {
+        return const_cast<Core *>(this)->csrFile();
+    }
     virtual Executor &executor() = 0;
 
     virtual CoreKind kind() const = 0;

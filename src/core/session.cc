@@ -1,18 +1,26 @@
 #include "core/session.hh"
 
+#include "analysis/lint.hh"
+
 namespace icicle
 {
 
 std::unique_ptr<Core>
 makeRocket(const RocketConfig &config, const Program &program)
 {
-    return std::make_unique<RocketCore>(config, program);
+    auto core = std::make_unique<RocketCore>(config, program);
+    // Fail fast on model-invariant violations before any cycle runs
+    // (opt out with setLintOnConstruct(false)).
+    enforceLint(lintCore(*core), "makeRocket");
+    return core;
 }
 
 std::unique_ptr<Core>
 makeBoom(const BoomConfig &config, const Program &program)
 {
-    return std::make_unique<BoomCore>(config, program);
+    auto core = std::make_unique<BoomCore>(config, program);
+    enforceLint(lintCore(*core), "makeBoom");
+    return core;
 }
 
 TmaCounters

@@ -172,9 +172,10 @@ Parser::parseReg(const std::string &token)
 {
     if (token.size() >= 2 && token[0] == 'x') {
         bool numeric = true;
-        for (u64 i = 1; i < token.size(); i++)
+        for (u64 i = 1; i < token.size(); i++) {
             numeric = numeric && isdigit(
                 static_cast<unsigned char>(token[i]));
+        }
         if (numeric) {
             const int index = std::stoi(token.substr(1));
             if (index < 0 || index > 31)
@@ -182,9 +183,10 @@ Parser::parseReg(const std::string &token)
             return static_cast<u8>(index);
         }
     }
-    for (u8 r = 0; r < 32; r++)
+    for (u8 r = 0; r < 32; r++) {
         if (token == regName(r))
             return r;
+    }
     if (token == "fp")
         return reg::s0;
     error("unknown register: " + token);
@@ -234,9 +236,10 @@ Parser::splitOperands(const std::string &rest)
     }
     if (!current.empty())
         out.push_back(current);
-    for (const std::string &token : out)
+    for (const std::string &token : out) {
         if (token.empty())
             error("empty operand");
+    }
     return out;
 }
 
@@ -280,9 +283,10 @@ Parser::handlePseudo(const std::string &head,
 {
     *done = true;
     auto need = [&](u64 count) {
-        if (ops.size() != count)
+        if (ops.size() != count) {
             error(head + " expects " + std::to_string(count) +
                   " operands");
+        }
     };
     if (head == "nop") {
         need(0);
@@ -358,9 +362,10 @@ Parser::handleInstruction(const std::string &head,
     const Mnemonic &m = it->second;
 
     auto need = [&](u64 count) {
-        if (ops.size() != count)
+        if (ops.size() != count) {
             error(head + " expects " + std::to_string(count) +
                   " operands");
+        }
     };
 
     DecodedInst d;

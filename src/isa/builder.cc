@@ -82,9 +82,10 @@ ProgramBuilder::dwords(const std::vector<u64> &values)
 {
     alignData(8);
     Label l = dataLabelHere();
-    for (u64 v : values)
+    for (u64 v : values) {
         for (int i = 0; i < 8; i++)
             dataBytes.push_back(static_cast<u8>(v >> (8 * i)));
+    }
     return l;
 }
 

@@ -19,9 +19,10 @@ Executor::Executor(const Program &program)
         const u32 word = prog.code[i];
         std::memcpy(&mem[prog.codeBase + i * 4], &word, 4);
     }
-    if (!prog.data.empty())
+    if (!prog.data.empty()) {
         std::memcpy(&mem[prog.dataBase], prog.data.data(),
                     prog.data.size());
+    }
 
     decodeCache.resize(prog.code.size());
     decodeCacheValid.resize(prog.code.size(), false);

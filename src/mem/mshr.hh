@@ -33,10 +33,12 @@ class MshrFile
     {
         Mshr *free_slot = nullptr;
         for (Mshr &mshr : entries) {
-            if (mshr.valid && mshr.blockAddr == block_addr)
+            if (mshr.valid && mshr.blockAddr == block_addr) {
                 return true; // merged into the primary miss
-            if (!mshr.valid && !free_slot)
+            }
+            if (!mshr.valid && !free_slot) {
                 free_slot = &mshr;
+            }
         }
         if (!free_slot)
             return false;
@@ -61,9 +63,10 @@ class MshrFile
     bool
     pending(u64 block_addr) const
     {
-        for (const Mshr &mshr : entries)
+        for (const Mshr &mshr : entries) {
             if (mshr.valid && mshr.blockAddr == block_addr)
                 return true;
+        }
         return false;
     }
 
@@ -71,9 +74,10 @@ class MshrFile
     Cycle
     readyCycle(u64 block_addr) const
     {
-        for (const Mshr &mshr : entries)
+        for (const Mshr &mshr : entries) {
             if (mshr.valid && mshr.blockAddr == block_addr)
                 return mshr.readyCycle;
+        }
         return 0;
     }
 
@@ -81,9 +85,10 @@ class MshrFile
     bool
     full() const
     {
-        for (const Mshr &mshr : entries)
+        for (const Mshr &mshr : entries) {
             if (!mshr.valid)
                 return false;
+        }
         return true;
     }
 
@@ -91,9 +96,10 @@ class MshrFile
     bool
     anyBusy() const
     {
-        for (const Mshr &mshr : entries)
+        for (const Mshr &mshr : entries) {
             if (mshr.valid)
                 return true;
+        }
         return false;
     }
 
@@ -101,9 +107,10 @@ class MshrFile
     bool
     anyDramBusy() const
     {
-        for (const Mshr &mshr : entries)
+        for (const Mshr &mshr : entries) {
             if (mshr.valid && mshr.fromDram)
                 return true;
+        }
         return false;
     }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/lint.hh"
 #include "common/logging.hh"
 
 namespace icicle
@@ -14,9 +15,10 @@ void
 PerfHarness::addEvent(EventId event)
 {
     const EventInfo info = eventInfo(core.kind(), event);
-    if (!info.supported)
+    if (!info.supported) {
         fatal("event ", eventName(event), " not supported on ",
               core.name());
+    }
     if (std::find(requested.begin(), requested.end(), event) ==
         requested.end())
         requested.push_back(event);
@@ -46,6 +48,12 @@ PerfHarness::addTmaEvents(bool level3)
 void
 PerfHarness::allocate()
 {
+    // Static config validation before any counter is programmed:
+    // fail fast on budget violations, duplicate mappings, and
+    // unsupported or reserved events.
+    enforceLint(lintPerfRequest(core, requested),
+                "PerfHarness::allocate");
+
     allocations.clear();
     const bool per_lane_counters =
         core.csrFile().arch() == CounterArch::Scalar;
@@ -87,9 +95,10 @@ PerfHarness::allocate()
     groupCount = group + 1;
     maxGroupSize = 0;
     std::vector<u32> sizes(groupCount, 0);
-    for (const PerfAllocation &alloc : flat)
+    for (const PerfAllocation &alloc : flat) {
         sizes[alloc.group] = std::max(sizes[alloc.group],
                                       alloc.hpmIndex + 1);
+    }
     for (u32 size : sizes)
         maxGroupSize = std::max(maxGroupSize, size);
 

@@ -29,9 +29,10 @@ void
 ScalarCounter::tick(const EventBus &bus)
 {
     const u16 mask = bus.mask(eventId);
-    for (u32 s = 0; s < perSource.size(); s++)
+    for (u32 s = 0; s < perSource.size(); s++) {
         if (mask & (1u << s))
             perSource[s]++;
+    }
 }
 
 u64

@@ -40,9 +40,10 @@ CsrFile::decodeSelector(Hpm &hpm, u64 value)
         const EventId event = set_events[bit];
         const u32 n_sources = busGeometry->sourcesOf(event);
         if (lane_plus_one) {
-            if (lane_plus_one - 1 < n_sources)
+            if (lane_plus_one - 1 < n_sources) {
                 hpm.sources.emplace_back(
                     event, static_cast<u8>(lane_plus_one - 1));
+            }
         } else {
             for (u32 s = 0; s < n_sources; s++)
                 hpm.sources.emplace_back(event, static_cast<u8>(s));
@@ -91,9 +92,10 @@ CsrFile::tickHpm(Hpm &hpm, const EventBus &bus)
         // The adder chain sums the concatenated (width-padded)
         // increment signals of all mapped events.
         u64 increment = 0;
-        for (const auto &[event, source] : hpm.sources)
+        for (const auto &[event, source] : hpm.sources) {
             if (bus.mask(event) & (1u << source))
                 increment++;
+        }
         hpm.value += increment;
         break;
       }
@@ -219,10 +221,11 @@ CsrFile::program(u32 index, const std::vector<EventId> &events,
         const EventInfo info = eventInfo(coreKind, event);
         if (!info.supported)
             fatal("event ", eventName(event), " not supported on core");
-        if (info.set != set)
+        if (info.set != set) {
             fatal("events mapped to one counter must share an event "
                   "set: ",
                   eventName(events[0]), " vs ", eventName(event));
+        }
         const int bit = maskBitOf(coreKind, event);
         ICICLE_ASSERT(bit >= 0, "event missing from its set");
         mask |= 1ull << bit;

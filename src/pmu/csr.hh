@@ -83,6 +83,14 @@ class CsrFile : public CsrBackend
     void programEvent(u32 index, EventId event);
     void setInhibit(bool inhibit);
     bool inhibited() const { return (inhibitMask & 1) != 0; }
+    /** Raw mhpmevent selector of counter `index` (0..28). */
+    u64
+    eventSelector(u32 index) const
+    {
+        return hpms[index].selector;
+    }
+    /** Raw mcountinhibit value. */
+    u64 inhibitBits() const { return inhibitMask; }
     void clearCounters();
 
     u64 cycles() const { return mcycleValue; }

@@ -108,9 +108,10 @@ const Row kTable[] = {
 const Row &
 rowOf(EventId id)
 {
-    for (const Row &row : kTable)
+    for (const Row &row : kTable) {
         if (row.id == id)
             return row;
+    }
     panic("event not in Table I: ", static_cast<int>(id));
 }
 
@@ -166,9 +167,10 @@ maskBitOf(CoreKind core, EventId id)
 {
     const Row &row = rowOf(id);
     const std::vector<EventId> events = eventsInSet(core, setFor(core, row));
-    for (u64 i = 0; i < events.size(); i++)
+    for (u64 i = 0; i < events.size(); i++) {
         if (events[i] == id)
             return static_cast<int>(i);
+    }
     return -1;
 }
 

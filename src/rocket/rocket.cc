@@ -243,7 +243,9 @@ RocketCore::tickBackend()
         backend_stalled = true;
         events.raise(EventId::CsrInterlock);
     } else if (!halted && ibuf_valid) {
-        IBufEntry &head = ibuf.front();
+        // Copy, not reference: the issue path pops the entry below
+        // and then keeps using it.
+        const IBufEntry head = ibuf.front();
         const Retired &ret = head.ret;
         const InstClass cls = classOf(ret.inst.op);
 

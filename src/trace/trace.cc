@@ -34,9 +34,10 @@ TraceSpec::addLane(EventId event, u8 lane)
 int
 TraceSpec::indexOf(EventId event, u8 lane) const
 {
-    for (u32 f = 0; f < fields.size(); f++)
+    for (u32 f = 0; f < fields.size(); f++) {
         if (fields[f].event == event && fields[f].lane == lane)
             return static_cast<int>(f);
+    }
     return -1;
 }
 
@@ -105,9 +106,10 @@ u64
 Trace::countAllLanes(EventId event) const
 {
     u64 total = 0;
-    for (u32 f = 0; f < traceSpec.fields.size(); f++)
+    for (u32 f = 0; f < traceSpec.fields.size(); f++) {
         if (traceSpec.fields[f].event == event)
             total += count(event, traceSpec.fields[f].lane);
+    }
     return total;
 }
 
@@ -276,12 +278,14 @@ TraceAnalyzer::overlapUpperBound(u32 core_width, u32 pad) const
     result.badSpecFraction =
         static_cast<double>(recovering_cycles) * core_width /
         total_slots;
-    if (result.frontendFraction > 0)
+    if (result.frontendFraction > 0) {
         result.frontendPerturbation =
             result.overlapFraction / result.frontendFraction;
-    if (result.badSpecFraction > 0)
+    }
+    if (result.badSpecFraction > 0) {
         result.badSpecPerturbation =
             result.overlapFraction / result.badSpecFraction;
+    }
     return result;
 }
 
@@ -335,10 +339,13 @@ TraceAnalyzer::windowTma(u64 begin, u64 end, u32 core_width) const
     counters.cycles = end - begin;
     auto count_in = [&](EventId event) {
         u64 total = 0;
-        for (const TraceField &field : trace.spec().fields)
-            if (field.event == event)
-                for (u64 c = begin; c < end; c++)
+        for (const TraceField &field : trace.spec().fields) {
+            if (field.event == event) {
+                for (u64 c = begin; c < end; c++) {
                     total += trace.high(c, event, field.lane) ? 1 : 0;
+                }
+            }
+        }
         return total;
     };
     counters.retiredUops = count_in(EventId::UopsRetired) +

@@ -277,9 +277,10 @@ vlsiSweep(const ActivityFactors &activity, const VlsiParams &params)
         // to the scalar design (Fig. 9b's presentation).
         const double scalar_delay =
             reports[reports.size() - 3].csrPathDelayNs;
-        for (u64 i = reports.size() - 3; i < reports.size(); i++)
+        for (u64 i = reports.size() - 3; i < reports.size(); i++) {
             reports[i].normalizedCsrDelay =
                 reports[i].csrPathDelayNs / scalar_delay;
+        }
     }
     return reports;
 }

@@ -62,10 +62,12 @@ generateSynthetic(const SyntheticSpec &spec)
     }
 
     // ILP chains.
-    for (u32 d = 0; d < spec.chainDepth; d++)
-        for (u32 c = 0; c < spec.ilpChains; c++)
+    for (u32 d = 0; d < spec.chainDepth; d++) {
+        for (u32 c = 0; c < spec.ilpChains; c++) {
             b.addi(chain_regs[c], chain_regs[c],
                    static_cast<i64>(c + 1));
+        }
+    }
 
     // Long-latency arithmetic.
     for (u32 m = 0; m < spec.muls; m++) {

@@ -124,13 +124,15 @@ mm()
     u64 expected = 0; // checksum of the product matrix
     {
         std::vector<u64> mc(n * n, 0);
-        for (i64 i = 0; i < n; i++)
+        for (i64 i = 0; i < n; i++) {
             for (i64 j = 0; j < n; j++) {
                 u64 acc = 0;
-                for (i64 k = 0; k < n; k++)
+                for (i64 k = 0; k < n; k++) {
                     acc += ma[i * n + k] * mb[k * n + j];
+                }
                 mc[i * n + j] = acc;
             }
+        }
         for (u64 v : mc)
             expected = expected * 31 + v;
     }
@@ -697,9 +699,10 @@ pointerChase(u64 nodes, u64 hops)
         std::swap(perm[i], perm[rng.below(i + 1)]);
     const u64 stride = 64;
     std::vector<u64> image(nodes * stride / 8, 0);
-    for (u64 i = 0; i < nodes; i++)
+    for (u64 i = 0; i < nodes; i++) {
         image[perm[i] * stride / 8] =
             perm[(i + 1) % nodes] * stride;
+    }
     // Host-side expected final offset.
     u64 off = perm[0] * stride;
     for (u64 h = 0; h < hops; h++)

@@ -68,9 +68,10 @@ allWorkloads()
 Program
 buildWorkload(const std::string &name)
 {
-    for (const WorkloadInfo &info : allWorkloads())
+    for (const WorkloadInfo &info : allWorkloads()) {
         if (info.name == name)
             return info.build();
+    }
     fatal("unknown workload: ", name);
 }
 
@@ -78,9 +79,10 @@ std::vector<std::string>
 workloadNames(const std::string &suite)
 {
     std::vector<std::string> names;
-    for (const WorkloadInfo &info : allWorkloads())
+    for (const WorkloadInfo &info : allWorkloads()) {
         if (suite.empty() || info.suite == suite)
             names.push_back(info.name);
+    }
     return names;
 }
 

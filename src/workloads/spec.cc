@@ -184,9 +184,11 @@ spec525X264R()
     std::vector<u64> ref_data = cur_data;
     {
         Rng noise(526);
-        for (u64 &v : ref_data)
-            if (noise.chance(1, 8))
+        for (u64 &v : ref_data) {
+            if (noise.chance(1, 8)) {
                 v += noise.below(1 << 20); // small motion residue
+            }
+        }
     }
     Label cur = b.dwords(cur_data);
     Label ref = b.dwords(ref_data);

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * icicle-lint: standalone static model-invariant analyzer.
+ *
+ * Constructs (but never runs) each named core configuration, audits
+ * its event wiring, counter architecture, CSR layout, and TMA model
+ * conservation, and also validates the standard TMA perf request
+ * against the hardware-counter budget. The config matrix spans every
+ * configuration shipped by the examples and benchmark drivers:
+ * Rocket plus the five Table IV BOOM sizes, each under all three
+ * counter architectures.
+ *
+ *   $ icicle-lint                 # lint every known config
+ *   $ icicle-lint boom-giga-scalar rocket-scalar
+ *   $ icicle-lint --json          # machine-readable, for CI
+ *   $ icicle-lint --list          # show known config names
+ *
+ * Exit status: 0 clean (warnings allowed), 1 any Error-severity
+ * finding, 2 usage error.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.hh"
+#include "core/session.hh"
+#include "isa/builder.hh"
+
+using namespace icicle;
+
+namespace
+{
+
+struct NamedConfig
+{
+    std::string name;
+    std::function<std::unique_ptr<Core>(const Program &)> build;
+};
+
+std::vector<NamedConfig>
+allConfigs()
+{
+    std::vector<NamedConfig> configs;
+    const std::pair<CounterArch, const char *> arches[] = {
+        {CounterArch::Scalar, "scalar"},
+        {CounterArch::AddWires, "addwires"},
+        {CounterArch::Distributed, "distributed"},
+    };
+
+    for (const auto &[arch, arch_name] : arches) {
+        configs.push_back(
+            {std::string("rocket-") + arch_name,
+             [arch](const Program &program) {
+                 RocketConfig config;
+                 config.counterArch = arch;
+                 return std::make_unique<RocketCore>(config, program);
+             }});
+    }
+
+    const std::pair<BoomConfig, const char *> sizes[] = {
+        {BoomConfig::small(), "small"},   {BoomConfig::medium(), "medium"},
+        {BoomConfig::large(), "large"},   {BoomConfig::mega(), "mega"},
+        {BoomConfig::giga(), "giga"},
+    };
+    for (const auto &[size, size_name] : sizes) {
+        for (const auto &[arch, arch_name] : arches) {
+            BoomConfig config = size;
+            config.counterArch = arch;
+            configs.push_back(
+                {std::string("boom-") + size_name + "-" + arch_name,
+                 [config](const Program &program) {
+                     return std::make_unique<BoomCore>(config, program);
+                 }});
+        }
+    }
+    return configs;
+}
+
+/** Minimal program: construction needs code, linting never runs it. */
+Program
+stubProgram()
+{
+    ProgramBuilder b("lint-stub");
+    b.halt();
+    return b.build();
+}
+
+LintReport
+lintConfig(const NamedConfig &config, const Program &program)
+{
+    // Construct without the fail-fast gate: the lint *is* the check
+    // and we want the full report, not the first fatal().
+    ScopedLintDisable no_gate;
+    std::unique_ptr<Core> core = config.build(program);
+
+    LintReport report = lintCore(*core);
+
+    // Validate the standard TMA request (with the level-3 extension)
+    // against this config's counter budget.
+    std::vector<EventId> tma_request;
+    if (core->kind() == CoreKind::Boom) {
+        tma_request.push_back(EventId::UopsRetired);
+        tma_request.push_back(EventId::UopsIssued);
+    } else {
+        tma_request.push_back(EventId::InstRetired);
+        tma_request.push_back(EventId::InstIssued);
+    }
+    for (EventId event :
+         {EventId::FetchBubbles, EventId::Recovering,
+          EventId::BranchMispredict, EventId::Flush,
+          EventId::FenceRetired, EventId::ICacheBlocked,
+          EventId::DCacheBlocked, EventId::DCacheBlockedDram})
+        tma_request.push_back(event);
+    report.merge(lintPerfRequest(*core, tma_request));
+    return report;
+}
+
+void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: icicle-lint [--json] [--quiet] [--list] "
+                 "[config ...]\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool json = false;
+    bool quiet = false;
+    std::vector<std::string> selected;
+
+    for (int i = 1; i < argc; i++) {
+        const std::string arg = argv[i];
+        if (arg == "--json") {
+            json = true;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--list") {
+            for (const NamedConfig &config : allConfigs())
+                std::printf("%s\n", config.name.c_str());
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            usage();
+            return 2;
+        } else {
+            selected.push_back(arg);
+        }
+    }
+
+    const std::vector<NamedConfig> configs = allConfigs();
+    std::vector<const NamedConfig *> to_lint;
+    for (const std::string &name : selected) {
+        const NamedConfig *found = nullptr;
+        for (const NamedConfig &config : configs) {
+            if (config.name == name)
+                found = &config;
+        }
+        if (!found) {
+            std::fprintf(stderr, "unknown config '%s' (--list shows "
+                                 "known names)\n",
+                         name.c_str());
+            return 2;
+        }
+        to_lint.push_back(found);
+    }
+    if (to_lint.empty()) {
+        for (const NamedConfig &config : configs)
+            to_lint.push_back(&config);
+    }
+
+    const Program program = stubProgram();
+    u32 total_errors = 0;
+    u32 total_warnings = 0;
+    bool first = true;
+
+    if (json) {
+        std::printf("[");
+    }
+    for (const NamedConfig *config : to_lint) {
+        const LintReport report = lintConfig(*config, program);
+        total_errors += report.errorCount();
+        total_warnings += report.count(Severity::Warn);
+
+        if (json) {
+            std::printf("%s{\"config\":\"%s\",\"report\":%s}",
+                        first ? "" : ",", config->name.c_str(),
+                        report.toJson().c_str());
+        } else {
+            const bool clean = report.errorCount() == 0;
+            std::printf("%-24s %s (%u errors, %u warnings, %u notes)\n",
+                        config->name.c_str(), clean ? "ok" : "FAIL",
+                        report.errorCount(),
+                        report.count(Severity::Warn),
+                        report.count(Severity::Info));
+            if (!quiet && !report.empty()) {
+                for (const Diagnostic &diag : report.diagnostics()) {
+                    if (diag.severity == Severity::Info && clean)
+                        continue;
+                    std::printf("  %s\n",
+                                (std::string(severityName(
+                                     diag.severity)) +
+                                 " [" + diag.rule + "] " + diag.subject +
+                                 ": " + diag.message)
+                                    .c_str());
+                }
+            }
+        }
+        first = false;
+    }
+    if (json) {
+        std::printf("]\n");
+    } else {
+        std::printf("%u config(s) linted: %u errors, %u warnings\n",
+                    static_cast<u32>(to_lint.size()), total_errors,
+                    total_warnings);
+    }
+    return total_errors > 0 ? 1 : 0;
+}
