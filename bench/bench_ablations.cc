@@ -16,6 +16,7 @@
 
 #include "bench_common.hh"
 #include "pmu/counters.hh"
+#include "sweep/sweep.hh"
 #include "trace/trace.hh"
 
 using namespace icicle;
@@ -109,29 +110,36 @@ ablationLevel3()
     std::printf("\n  %-22s %10s %10s %10s\n", "workload", "mem",
                 "L2-bound", "DRAM-bound");
 
-    struct Case
-    {
-        const char *label;
-        Program program;
-        BoomConfig config;
-    };
+    // Three bespoke (config, workload) pairs: run them as one
+    // parallel sweep campaign with per-job factories.
     BoomConfig small_l1 = BoomConfig::large();
     small_l1.mem.l1d.sizeBytes = 8 * 1024;
-    const Case cases[] = {
-        {"pointer-chase (2MiB)", workloads::pointerChase(16384, 5000),
-         BoomConfig::large()},
-        {"deepsjeng 64KiB/8K L1", workloads::spec531DeepsjengR(64),
-         small_l1},
-        {"x264 (L1-resident)", workloads::spec525X264R(),
-         BoomConfig::large()},
+    auto job = [](const char *label, BoomConfig config,
+                  std::function<Program()> build) {
+        SweepJob j;
+        j.label = label;
+        j.maxCycles = bench::kMaxCycles;
+        j.make = [config, build] {
+            return std::make_unique<BoomCore>(config, build());
+        };
+        return j;
     };
-    for (const Case &c : cases) {
-        BoomCore core(c.config, c.program);
-        core.run(bench::kMaxCycles);
-        const TmaResult r = analyzeTma(core);
-        std::printf("  %-22s %9.1f%% %9.1f%% %9.1f%%\n", c.label,
-                    r.memBound * 100, r.memBoundL2 * 100,
-                    r.memBoundDram * 100);
+    const std::vector<SweepJob> jobs = {
+        job("pointer-chase (2MiB)", BoomConfig::large(),
+            [] { return workloads::pointerChase(16384, 5000); }),
+        job("deepsjeng 64KiB/8K L1", small_l1,
+            [] { return workloads::spec531DeepsjengR(64); }),
+        job("x264 (L1-resident)", BoomConfig::large(),
+            [] { return workloads::spec525X264R(); }),
+    };
+    SweepOptions options;
+    options.workers = bench::defaultWorkers();
+    for (const SweepResult &row : runSweepJobs(jobs, options)) {
+        bench::warnIfUnhealthy(row);
+        std::printf("  %-22s %9.1f%% %9.1f%% %9.1f%%\n",
+                    row.label.c_str(), row.tma.memBound * 100,
+                    row.tma.memBoundL2 * 100,
+                    row.tma.memBoundDram * 100);
     }
     std::printf("\n  expectation: out-of-L2 chasing is DRAM-bound, an "
                 "L2-resident working set is\n  L2-bound, and an "

@@ -9,12 +9,16 @@
 #ifndef ICICLE_BENCH_COMMON_HH
 #define ICICLE_BENCH_COMMON_HH
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <thread>
 
 #include "boom/boom.hh"
 #include "core/session.hh"
 #include "rocket/rocket.hh"
+#include "sweep/sweep.hh"
 #include "tma/tma.hh"
 #include "workloads/workloads.hh"
 
@@ -24,6 +28,39 @@ namespace bench
 {
 
 constexpr u64 kMaxCycles = 80'000'000;
+
+/**
+ * Worker-pool width for sweep-driven benches: the machine's
+ * concurrency, bounded so small grids don't spawn idle threads.
+ * Override with ICICLE_BENCH_WORKERS.
+ */
+inline u32
+defaultWorkers()
+{
+    if (const char *env = std::getenv("ICICLE_BENCH_WORKERS")) {
+        const long parsed = std::strtol(env, nullptr, 10);
+        if (parsed > 0)
+            return static_cast<u32>(parsed);
+    }
+    const u32 hw = std::thread::hardware_concurrency();
+    return hw ? std::min(hw, 16u) : 4u;
+}
+
+/** Mirror runRocket/runBoom's health warnings for a sweep row. */
+inline void
+warnIfUnhealthy(const SweepResult &row)
+{
+    if (row.status != SweepStatus::Ok)
+        std::printf("  (warning: %s %s: %s)\n", row.label.c_str(),
+                    sweepStatusName(row.status), row.error.c_str());
+    else if (!row.finished)
+        std::printf("  (warning: %s hit the cycle cap)\n",
+                    row.label.c_str());
+    else if (row.exitCode != 0)
+        std::printf("  (warning: %s failed self-check: %llu)\n",
+                    row.label.c_str(),
+                    static_cast<unsigned long long>(row.exitCode));
+}
 
 inline void
 header(const std::string &title)

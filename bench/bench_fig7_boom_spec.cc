@@ -10,6 +10,7 @@
  */
 
 #include "bench_common.hh"
+#include "sweep/sweep.hh"
 
 using namespace icicle;
 
@@ -18,12 +19,22 @@ main()
 {
     bench::header("Fig. 7(g): BOOM top-level TMA, SPEC CPU2017 "
                   "intrate proxies (LargeBoomV3)");
+    // The suite is a 1 x 10 grid of independent runs: sweep it on a
+    // worker pool instead of simulating one benchmark at a time.
     const std::vector<std::string> suite = workloadNames("spec");
+    GridSpec grid;
+    grid.cores = {"boom-large"};
+    grid.workloads = suite;
+    grid.maxCycles = bench::kMaxCycles;
+    SweepOptions options;
+    options.workers = bench::defaultWorkers();
+    const std::vector<SweepResult> rows = runSweep(grid, options);
+
     std::vector<TmaResult> results;
-    for (const std::string &name : suite) {
-        const TmaResult r = bench::runBoom(buildWorkload(name));
-        results.push_back(r);
-        bench::tmaRow(name, r);
+    for (const SweepResult &row : rows) {
+        bench::warnIfUnhealthy(row);
+        results.push_back(row.tma);
+        bench::tmaRow(row.point.workload, row.tma);
     }
 
     bench::header("Fig. 7(h)-(j): BOOM second levels "

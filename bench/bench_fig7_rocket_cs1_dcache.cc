@@ -8,26 +8,28 @@
  */
 
 #include "bench_common.hh"
+#include "sweep/sweep.hh"
 
 using namespace icicle;
 
 namespace
 {
 
-struct Run
+/** Both cache sizes as one two-job sweep (bespoke configs, so the
+ * jobs carry their own factories rather than a grid spec). */
+SweepJob
+jobWith(u32 l1d_kib)
 {
-    TmaResult tma;
-    u64 cycles;
-};
-
-Run
-runWith(u32 l1d_kib)
-{
-    RocketConfig cfg;
-    cfg.mem.l1d.sizeBytes = l1d_kib * 1024;
-    RocketCore core(cfg, workloads::spec531DeepsjengR(24));
-    core.run(bench::kMaxCycles);
-    return Run{analyzeTma(core), core.cycle()};
+    SweepJob job;
+    job.label = "L1D=" + std::to_string(l1d_kib) + "KiB";
+    job.maxCycles = bench::kMaxCycles;
+    job.make = [l1d_kib] {
+        RocketConfig cfg;
+        cfg.mem.l1d.sizeBytes = l1d_kib * 1024;
+        return std::make_unique<RocketCore>(
+            cfg, workloads::spec531DeepsjengR(24));
+    };
+    return job;
 }
 
 } // namespace
@@ -37,8 +39,14 @@ main()
 {
     bench::header("Fig. 7(c): Rocket CS1 - deepsjeng proxy, "
                   "L1D 32 KiB vs 16 KiB");
-    const Run big = runWith(32);
-    const Run small = runWith(16);
+    SweepOptions options;
+    options.workers = 2;
+    const std::vector<SweepResult> rows =
+        runSweepJobs({jobWith(32), jobWith(16)}, options);
+    for (const SweepResult &row : rows)
+        bench::warnIfUnhealthy(row);
+    const SweepResult &big = rows[0];
+    const SweepResult &small = rows[1];
     bench::tmaRow("L1D=32KiB", big.tma);
     bench::tmaRow("L1D=16KiB", small.tma);
 

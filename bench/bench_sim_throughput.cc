@@ -1,9 +1,12 @@
 /**
  * @file
  * E17 — Simulator throughput microbenchmarks (google-benchmark):
- * cycles/second for each core configuration, plus the overhead of
- * attaching counters and the tracer. Not a paper artifact; it
- * documents the cost of using this library.
+ * cycles/second for each core configuration, the overhead of
+ * attaching counters and the tracer, and multi-worker *sweep*
+ * throughput (grid points/second at 1/2/4/8 workers). Not a paper
+ * artifact; it documents the cost of using this library. BENCH_*.json
+ * thereby tracks both single-core simulation speed and campaign
+ * throughput.
  */
 
 #include <benchmark/benchmark.h>
@@ -12,7 +15,9 @@
 #include "isa/builder.hh"
 #include "perf/harness.hh"
 #include "rocket/rocket.hh"
+#include "sweep/sweep.hh"
 #include "trace/trace.hh"
+#include "workloads/workloads.hh"
 
 namespace
 {
@@ -109,7 +114,49 @@ BM_BoomWithTracer(benchmark::State &state)
         benchmark::Counter::kIsRate);
 }
 
+/**
+ * Sweep-engine scaling: a fixed 8-point grid (one core model, eight
+ * long-running proxies, equal 200k-cycle budgets so jobs are
+ * near-uniform) at 1/2/4/8 workers. Wall-clock real time is the
+ * measurement; ideal scaling is linear up to the machine's hardware
+ * threads.
+ */
+void
+BM_SweepScaling(benchmark::State &state)
+{
+    GridSpec grid;
+    grid.cores = {"rocket"};
+    grid.workloads = {"505.mcf_r",       "502.gcc_r",
+                      "523.xalancbmk_r", "525.x264_r",
+                      "531.deepsjeng_r", "541.leela_r",
+                      "548.exchange2_r", "557.xz_r"};
+    grid.maxCycles = 200'000;
+    SweepOptions options;
+    options.workers = static_cast<u32>(state.range(0));
+    u64 points = 0;
+    u64 cycles = 0;
+    for (auto _ : state) {
+        const std::vector<SweepResult> results =
+            runSweep(grid, options);
+        benchmark::DoNotOptimize(results.data());
+        points += results.size();
+        for (const SweepResult &r : results)
+            cycles += r.cycles;
+    }
+    state.counters["points/s"] = benchmark::Counter(
+        static_cast<double>(points), benchmark::Counter::kIsRate);
+    state.counters["cycles/s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+
 BENCHMARK(BM_Rocket)->Arg(50000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SweepScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_BoomSize)
     ->Args({50000, 0})
     ->Args({50000, 2})

@@ -1,0 +1,434 @@
+#include "sweep/sweep.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "boom/boom.hh"
+#include "common/logging.hh"
+#include "core/session.hh"
+#include "rocket/rocket.hh"
+#include "trace/trace.hh"
+#include "workloads/workloads.hh"
+
+namespace icicle
+{
+
+const char *
+sweepStatusName(SweepStatus status)
+{
+    switch (status) {
+      case SweepStatus::Ok: return "ok";
+      case SweepStatus::Failed: return "failed";
+      case SweepStatus::Timeout: return "timeout";
+      default: return "?";
+    }
+}
+
+// ------------------------------------------------- named core configs
+
+std::vector<std::string>
+sweepCoreNames()
+{
+    return {"rocket",    "boom-small", "boom-medium",
+            "boom-large", "boom-mega",  "boom-giga"};
+}
+
+std::unique_ptr<Core>
+makeSweepCore(const std::string &name, CounterArch arch,
+              const Program &program)
+{
+    if (name == "rocket") {
+        RocketConfig config;
+        config.counterArch = arch;
+        return std::make_unique<RocketCore>(config, program);
+    }
+    BoomConfig config;
+    if (name == "boom-small")
+        config = BoomConfig::small();
+    else if (name == "boom-medium")
+        config = BoomConfig::medium();
+    else if (name == "boom-large")
+        config = BoomConfig::large();
+    else if (name == "boom-mega")
+        config = BoomConfig::mega();
+    else if (name == "boom-giga")
+        config = BoomConfig::giga();
+    else
+        fatal("unknown core config '", name,
+              "' (try icicle-sweep --list)");
+    config.counterArch = arch;
+    return std::make_unique<BoomCore>(config, program);
+}
+
+CounterArch
+parseCounterArch(const std::string &name)
+{
+    if (name == "scalar")
+        return CounterArch::Scalar;
+    if (name == "addwires" || name == "add-wires")
+        return CounterArch::AddWires;
+    if (name == "distributed")
+        return CounterArch::Distributed;
+    fatal("unknown counter architecture '", name,
+          "' (scalar, addwires, distributed)");
+}
+
+// ----------------------------------------------------- grid expansion
+
+std::vector<SweepPoint>
+GridSpec::expand() const
+{
+    std::vector<SweepPoint> points;
+    points.reserve(cores.size() * workloads.size() *
+                   counterArchs.size());
+    for (const std::string &core : cores) {
+        for (const std::string &workload : workloads) {
+            for (CounterArch arch : counterArchs) {
+                SweepPoint point;
+                point.core = core;
+                point.workload = workload;
+                point.counterArch = arch;
+                point.maxCycles = maxCycles;
+                point.withTrace = withTrace;
+                points.push_back(point);
+            }
+        }
+    }
+    return points;
+}
+
+namespace
+{
+
+SweepJob
+jobForPoint(const SweepPoint &point)
+{
+    SweepJob job;
+    job.label = point.core + "/" + point.workload + "/" +
+                counterArchName(point.counterArch);
+    job.maxCycles = point.maxCycles;
+    job.withTrace = point.withTrace;
+    job.point = point;
+    job.make = [point] {
+        return makeSweepCore(point.core, point.counterArch,
+                             buildWorkload(point.workload));
+    };
+    return job;
+}
+
+// ------------------------------------------------------ job execution
+
+using Clock = std::chrono::steady_clock;
+
+/**
+ * One attempt: build, run in chunks against the deadline, analyze.
+ * Throws FatalError upward; the retry loop in runJob() handles it.
+ */
+SweepResult
+runAttempt(const SweepJob &job, const SweepOptions &options)
+{
+    SweepResult result;
+    const Clock::time_point start = Clock::now();
+    const bool bounded = options.timeoutSec > 0;
+    const Clock::time_point deadline =
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(
+                        bounded ? options.timeoutSec : 0));
+
+    std::unique_ptr<Core> core = job.make();
+    if (!core)
+        fatal("sweep job '", job.label, "': factory returned null");
+
+    std::unique_ptr<Trace> trace;
+    std::function<void(Cycle, const EventBus &)> hook;
+    if (job.withTrace) {
+        trace = std::make_unique<Trace>(TraceSpec::tmaBundle(*core));
+        hook = [&trace](Cycle, const EventBus &bus) {
+            trace->capture(bus);
+        };
+    }
+
+    // Run in chunkCycles slices so a pathological config hits the
+    // deadline between slices instead of hanging the worker.
+    const u64 chunk = std::max<u64>(1, options.chunkCycles);
+    u64 simulated = 0;
+    bool timed_out = false;
+    while (!core->done() && simulated < job.maxCycles) {
+        const u64 step = std::min(chunk, job.maxCycles - simulated);
+        simulated += core->run(step, hook);
+        if (bounded && Clock::now() >= deadline && !core->done()) {
+            timed_out = true;
+            break;
+        }
+    }
+
+    result.cycles = simulated;
+    result.finished = core->done();
+    result.exitCode =
+        core->executor().halted() ? core->executor().exitCode() : 0;
+    result.counters = gatherTmaCounters(*core);
+    result.tma = analyzeTma(*core);
+    result.ipc = result.cycles
+                     ? static_cast<double>(result.counters.retiredUops) /
+                           static_cast<double>(result.cycles)
+                     : 0.0;
+    if (trace) {
+        TraceAnalyzer analyzer(*trace);
+        result.recoverySequences = analyzer.recoveryCdf().sequences();
+        result.overlapFraction =
+            analyzer.overlapUpperBound(core->coreWidth())
+                .overlapFraction;
+    }
+    result.status =
+        timed_out ? SweepStatus::Timeout : SweepStatus::Ok;
+    if (timed_out)
+        result.error = "exceeded per-job timeout";
+    result.wallMs =
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count();
+    return result;
+}
+
+/** Attempt/retry loop: never throws. */
+SweepResult
+runJob(const SweepJob &job, const SweepOptions &options)
+{
+    const u32 max_attempts = std::max(1u, options.maxAttempts);
+    SweepResult result;
+    for (u32 attempt = 1; attempt <= max_attempts; attempt++) {
+        try {
+            result = runAttempt(job, options);
+            result.attempts = attempt;
+            return result;
+        } catch (const std::exception &err) {
+            result = SweepResult{};
+            result.status = SweepStatus::Failed;
+            result.attempts = attempt;
+            result.error = err.what();
+        }
+    }
+    return result;
+}
+
+} // namespace
+
+// ------------------------------------------------------------ engine
+
+std::vector<SweepResult>
+runSweepJobs(const std::vector<SweepJob> &jobs,
+             const SweepOptions &options)
+{
+    const u64 num_jobs = jobs.size();
+    std::vector<SweepResult> results(num_jobs);
+    if (num_jobs == 0)
+        return results;
+
+    std::atomic<u64> cursor{0};
+    std::mutex callback_mutex;
+
+    auto work = [&] {
+        for (;;) {
+            const u64 index =
+                cursor.fetch_add(1, std::memory_order_relaxed);
+            if (index >= num_jobs)
+                return;
+            SweepResult result = runJob(jobs[index], options);
+            result.index = index;
+            result.label = jobs[index].label;
+            result.point = jobs[index].point;
+            // Distinct slots: no lock needed for the store itself.
+            results[index] = std::move(result);
+            if (options.onResult) {
+                std::lock_guard<std::mutex> lock(callback_mutex);
+                options.onResult(results[index]);
+            }
+        }
+    };
+
+    const u32 workers = static_cast<u32>(std::min<u64>(
+        std::max(1u, options.workers), num_jobs));
+    if (workers <= 1) {
+        work();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (u32 w = 0; w < workers; w++)
+            pool.emplace_back(work);
+        for (std::thread &thread : pool)
+            thread.join();
+    }
+    return results;
+}
+
+std::vector<SweepResult>
+runSweep(const GridSpec &grid, const SweepOptions &options)
+{
+    std::vector<SweepJob> jobs;
+    for (const SweepPoint &point : grid.expand())
+        jobs.push_back(jobForPoint(point));
+    return runSweepJobs(jobs, options);
+}
+
+// ----------------------------------------------------- serialization
+
+namespace
+{
+
+/**
+ * Locale-independent shortest-round-trip double. Deterministic for a
+ * given value, which is what the byte-identical guarantee needs.
+ */
+std::string
+fmtDouble(double value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    return buf;
+}
+
+std::string
+csvEscape(const std::string &text)
+{
+    if (text.find_first_of(",\"\n") == std::string::npos)
+        return text;
+    std::string escaped = "\"";
+    for (char c : text) {
+        if (c == '"')
+            escaped += '"';
+        escaped += c;
+    }
+    escaped += '"';
+    return escaped;
+}
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string escaped;
+    for (char c : text) {
+        if (c == '"' || c == '\\')
+            escaped += '\\';
+        if (c == '\n') {
+            escaped += "\\n";
+            continue;
+        }
+        escaped += c;
+    }
+    return escaped;
+}
+
+} // namespace
+
+std::string
+formatSweepTable(const std::vector<SweepResult> &results, bool timing)
+{
+    std::ostringstream os;
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "  %-4s %-36s %-8s %12s %7s %7s %7s %7s %7s\n",
+                  "idx", "label", "status", "cycles", "ipc", "ret%",
+                  "bad%", "fe%", "be%");
+    os << line;
+    for (const SweepResult &r : results) {
+        std::snprintf(line, sizeof(line),
+                      "  %-4llu %-36s %-8s %12llu %7.3f %7.2f %7.2f "
+                      "%7.2f %7.2f",
+                      static_cast<unsigned long long>(r.index),
+                      r.label.c_str(), sweepStatusName(r.status),
+                      static_cast<unsigned long long>(r.cycles), r.ipc,
+                      r.tma.retiring * 100, r.tma.badSpeculation * 100,
+                      r.tma.frontend * 100, r.tma.backend * 100);
+        os << line;
+        if (timing) {
+            std::snprintf(line, sizeof(line), "  %8.1fms", r.wallMs);
+            os << line;
+        }
+        if (!r.error.empty())
+            os << "  [" << r.error << "]";
+        os << "\n";
+    }
+    return os.str();
+}
+
+std::string
+formatSweepCsv(const std::vector<SweepResult> &results, bool timing)
+{
+    std::ostringstream os;
+    os << "index,label,core,workload,arch,status,attempts,cycles,"
+          "finished,exit_code,ipc,retiring,bad_speculation,frontend,"
+          "backend,"
+          "machine_clears,branch_mispredicts,fetch_latency,pc_resteer,"
+          "core_bound,mem_bound,recovery_sequences,overlap_fraction,"
+          "error";
+    if (timing)
+        os << ",wall_ms";
+    os << "\n";
+    for (const SweepResult &r : results) {
+        os << r.index << ',' << csvEscape(r.label) << ','
+           << csvEscape(r.point.core) << ','
+           << csvEscape(r.point.workload) << ','
+           << counterArchName(r.point.counterArch) << ','
+           << sweepStatusName(r.status) << ',' << r.attempts << ','
+           << r.cycles << ',' << (r.finished ? 1 : 0) << ','
+           << r.exitCode << ','
+           << fmtDouble(r.ipc) << ',' << fmtDouble(r.tma.retiring)
+           << ',' << fmtDouble(r.tma.badSpeculation) << ','
+           << fmtDouble(r.tma.frontend) << ','
+           << fmtDouble(r.tma.backend) << ','
+           << fmtDouble(r.tma.machineClears) << ','
+           << fmtDouble(r.tma.branchMispredicts) << ','
+           << fmtDouble(r.tma.fetchLatency) << ','
+           << fmtDouble(r.tma.pcResteer) << ','
+           << fmtDouble(r.tma.coreBound) << ','
+           << fmtDouble(r.tma.memBound) << ','
+           << r.recoverySequences << ','
+           << fmtDouble(r.overlapFraction) << ','
+           << csvEscape(r.error);
+        if (timing)
+            os << ',' << fmtDouble(r.wallMs);
+        os << "\n";
+    }
+    return os.str();
+}
+
+std::string
+formatSweepJson(const std::vector<SweepResult> &results, bool timing)
+{
+    std::ostringstream os;
+    os << "[\n";
+    for (u64 i = 0; i < results.size(); i++) {
+        const SweepResult &r = results[i];
+        os << "  {\"index\": " << r.index << ", \"label\": \""
+           << jsonEscape(r.label) << "\", \"core\": \""
+           << jsonEscape(r.point.core) << "\", \"workload\": \""
+           << jsonEscape(r.point.workload) << "\", \"arch\": \""
+           << counterArchName(r.point.counterArch) << "\", "
+           << "\"status\": \"" << sweepStatusName(r.status)
+           << "\", \"attempts\": " << r.attempts << ", \"cycles\": "
+           << r.cycles << ", \"finished\": "
+           << (r.finished ? "true" : "false") << ", \"ipc\": "
+           << fmtDouble(r.ipc) << ",\n   \"tma\": {\"retiring\": "
+           << fmtDouble(r.tma.retiring) << ", \"bad_speculation\": "
+           << fmtDouble(r.tma.badSpeculation) << ", \"frontend\": "
+           << fmtDouble(r.tma.frontend) << ", \"backend\": "
+           << fmtDouble(r.tma.backend) << ", \"core_bound\": "
+           << fmtDouble(r.tma.coreBound) << ", \"mem_bound\": "
+           << fmtDouble(r.tma.memBound) << "},\n   "
+           << "\"recovery_sequences\": " << r.recoverySequences
+           << ", \"overlap_fraction\": "
+           << fmtDouble(r.overlapFraction);
+        if (timing)
+            os << ", \"wall_ms\": " << fmtDouble(r.wallMs);
+        if (!r.error.empty())
+            os << ", \"error\": \"" << jsonEscape(r.error) << "\"";
+        os << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    os << "]\n";
+    return os.str();
+}
+
+} // namespace icicle

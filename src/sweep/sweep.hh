@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Parallel sweep engine for TMA experiment grids.
+ *
+ * Every paper artifact (E1-E20) is a grid of *independent*
+ * simulations — (core config x workload x counter architecture) — so
+ * the experiment layer, not the core models, gates campaign
+ * throughput. This module turns a declarative grid spec into jobs,
+ * runs them on N worker threads, and aggregates results
+ * deterministically.
+ *
+ * Threading model: each job owns its core, program, and (optional)
+ * trace — no mutable state is shared between jobs. Workers pull job
+ * indices from a single atomic cursor and write each finished
+ * SweepResult into a pre-sized slot vector at the job's grid index,
+ * so the aggregated output is in grid order and byte-identical
+ * regardless of worker count or completion order (the simulators
+ * themselves are deterministic).
+ *
+ * Job lifecycle: claim -> build (SweepJob::make) -> run in
+ * chunkCycles slices, checking the wall-clock deadline between
+ * slices (cooperative per-job timeout; a pathological config cannot
+ * hang the campaign) -> analyze -> store. A job that throws
+ * FatalError is retried up to SweepOptions::maxAttempts times before
+ * being recorded as Failed; the campaign always runs to completion
+ * and failures are visible in the result rows rather than aborting
+ * the sweep.
+ */
+
+#ifndef ICICLE_SWEEP_SWEEP_HH
+#define ICICLE_SWEEP_SWEEP_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/core.hh"
+#include "pmu/counters.hh"
+#include "tma/tma.hh"
+
+namespace icicle
+{
+
+/** Terminal state of one sweep job. */
+enum class SweepStatus : u8 { Ok, Failed, Timeout };
+
+const char *sweepStatusName(SweepStatus status);
+
+/** One grid point, described declaratively. */
+struct SweepPoint
+{
+    /** Named core configuration ("rocket", "boom-large", ...). */
+    std::string core;
+    /** Registered workload name. */
+    std::string workload;
+    CounterArch counterArch = CounterArch::AddWires;
+    /** Cycle budget for the run. */
+    u64 maxCycles = 80'000'000;
+    /** Also capture the TMA trace bundle and analyze it. */
+    bool withTrace = false;
+};
+
+/**
+ * A declarative sweep grid: the cross product
+ * cores x workloads x counterArchs, expanded row-major (cores
+ * outermost, counter architectures innermost).
+ */
+struct GridSpec
+{
+    std::vector<std::string> cores;
+    std::vector<std::string> workloads;
+    std::vector<CounterArch> counterArchs{CounterArch::AddWires};
+    u64 maxCycles = 80'000'000;
+    bool withTrace = false;
+
+    /** Grid points in deterministic row-major order. */
+    std::vector<SweepPoint> expand() const;
+};
+
+/**
+ * One runnable job. The grid layer produces these from SweepPoints;
+ * benches with bespoke configs (cache-size sensitivity, ablations)
+ * build them directly with a custom factory.
+ */
+struct SweepJob
+{
+    /** Row label in reports. */
+    std::string label;
+    /**
+     * Build the core (and its program). Called on the worker thread,
+     * once per attempt; everything it allocates is owned by the job.
+     */
+    std::function<std::unique_ptr<Core>()> make;
+    u64 maxCycles = 80'000'000;
+    bool withTrace = false;
+    /** Descriptive origin (empty strings for custom jobs). */
+    SweepPoint point;
+};
+
+/** Aggregated measurements for one grid point. */
+struct SweepResult
+{
+    /** Grid index (results are stored in this order). */
+    u64 index = 0;
+    std::string label;
+    SweepPoint point;
+    SweepStatus status = SweepStatus::Failed;
+    /** Attempts consumed (> 1 means retries happened). */
+    u32 attempts = 0;
+    /** Cycles simulated. */
+    u64 cycles = 0;
+    /** Program halted within the cycle budget. */
+    bool finished = false;
+    /** Workload self-check exit code (0 = passed). */
+    u64 exitCode = 0;
+    double ipc = 0;
+    TmaResult tma;
+    TmaCounters counters;
+    /** Trace-derived (only when withTrace): recovery sequences. */
+    u64 recoverySequences = 0;
+    /** Trace-derived: Table VI overlap fraction. */
+    double overlapFraction = 0;
+    /** Wall-clock job time (excluded from deterministic output). */
+    double wallMs = 0;
+    /** Failure message for Failed / Timeout rows. */
+    std::string error;
+};
+
+/** Engine knobs. */
+struct SweepOptions
+{
+    /** Worker threads (clamped to >= 1). */
+    u32 workers = 1;
+    /** Attempts per job before recording Failed. */
+    u32 maxAttempts = 2;
+    /** Per-job wall-clock timeout; 0 disables. */
+    double timeoutSec = 0;
+    /** Cycles simulated between deadline checks. */
+    u64 chunkCycles = 1u << 16;
+    /**
+     * Completion callback (progress reporting). Serialized under the
+     * engine mutex; called in completion order, not grid order.
+     */
+    std::function<void(const SweepResult &)> onResult;
+};
+
+/** Run explicit jobs. Results come back in job order. */
+std::vector<SweepResult> runSweepJobs(const std::vector<SweepJob> &jobs,
+                                      const SweepOptions &options = {});
+
+/** Expand a grid and run it. Results come back in grid order. */
+std::vector<SweepResult> runSweep(const GridSpec &grid,
+                                  const SweepOptions &options = {});
+
+// ---- named-config / axis-value helpers ------------------------------
+
+/** Known core-config names ("rocket", "boom-small", ...). */
+std::vector<std::string> sweepCoreNames();
+
+/**
+ * Build a named core with the given counter architecture. fatal() on
+ * an unknown name.
+ */
+std::unique_ptr<Core> makeSweepCore(const std::string &name,
+                                    CounterArch arch,
+                                    const Program &program);
+
+/** Parse "scalar" / "addwires" / "distributed"; fatal() otherwise. */
+CounterArch parseCounterArch(const std::string &name);
+
+// ---- deterministic serialization ------------------------------------
+
+/**
+ * Renderers for aggregated results. Wall-times are only emitted with
+ * `timing`; without it the output for a given grid is byte-identical
+ * across worker counts.
+ */
+std::string formatSweepTable(const std::vector<SweepResult> &results,
+                             bool timing = false);
+std::string formatSweepCsv(const std::vector<SweepResult> &results,
+                           bool timing = false);
+std::string formatSweepJson(const std::vector<SweepResult> &results,
+                            bool timing = false);
+
+} // namespace icicle
+
+#endif // ICICLE_SWEEP_SWEEP_HH

@@ -1,6 +1,7 @@
 #include "trace/trace.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -39,6 +40,17 @@ TraceSpec::indexOf(EventId event, u8 lane) const
             return static_cast<int>(f);
     }
     return -1;
+}
+
+u64
+TraceSpec::fieldMask(EventId event) const
+{
+    u64 mask = 0;
+    for (u32 f = 0; f < fields.size(); f++) {
+        if (fields[f].event == event)
+            mask |= 1ull << f;
+    }
+    return mask;
 }
 
 TraceSpec
@@ -105,11 +117,12 @@ Trace::count(EventId event, u8 lane) const
 u64
 Trace::countAllLanes(EventId event) const
 {
+    const u64 mask = traceSpec.fieldMask(event);
+    if (mask == 0)
+        return 0;
     u64 total = 0;
-    for (u32 f = 0; f < traceSpec.fields.size(); f++) {
-        if (traceSpec.fields[f].event == event)
-            total += count(event, traceSpec.fields[f].lane);
-    }
+    for (u64 word : records)
+        total += static_cast<u64>(std::popcount(word & mask));
     return total;
 }
 
@@ -175,13 +188,36 @@ readTrace(const std::string &path)
         fatal("not an Icicle trace file: ", path);
     if (get32() != kTraceVersion)
         fatal("unsupported trace version in ", path);
+    // Build the spec field-by-field with explicit validation. Going
+    // through TraceSpec::addLane here would silently *dedup* a
+    // corrupt duplicate (event, lane) pair, shifting the bit index of
+    // every subsequent field and misattributing all later signals —
+    // a malformed header must be rejected, not repaired.
     TraceSpec spec;
     const u32 num_fields = get32();
+    if (!in)
+        fatal("truncated trace file header: ", path);
+    if (num_fields > 64)
+        fatal("corrupt trace header in ", path, ": ", num_fields,
+              " fields (trace bundles are limited to 64 signals)");
     for (u32 f = 0; f < num_fields; f++) {
         const u32 event = get32();
         const u32 lane = get32();
-        spec.addLane(static_cast<EventId>(event),
-                     static_cast<u8>(lane));
+        if (!in)
+            fatal("truncated trace file header: ", path);
+        if (event >= kNumEvents)
+            fatal("corrupt trace header in ", path, ": field ", f,
+                  " has out-of-range event id ", event);
+        if (lane >= kMaxSources)
+            fatal("corrupt trace header in ", path, ": field ", f,
+                  " has out-of-range lane ", lane);
+        const EventId id = static_cast<EventId>(event);
+        if (spec.indexOf(id, static_cast<u8>(lane)) >= 0)
+            fatal("corrupt trace header in ", path, ": field ", f,
+                  " duplicates (", eventName(id), ", lane ", lane,
+                  ")");
+        spec.fields.push_back(
+            TraceField{id, static_cast<u8>(lane)});
     }
     Trace trace(spec);
     const u64 cycles = get64();
@@ -218,6 +254,31 @@ TraceAnalyzer::runsOf(EventId event, u8 lane) const
     return runs;
 }
 
+std::vector<SignalRun>
+TraceAnalyzer::runsOfAny(EventId event) const
+{
+    std::vector<SignalRun> runs;
+    const u64 mask = trace.spec().fieldMask(event);
+    if (mask == 0)
+        return runs;
+    const std::vector<u64> &words = trace.raw();
+    bool in_run = false;
+    u64 start = 0;
+    for (u64 c = 0; c < words.size(); c++) {
+        const bool high = (words[c] & mask) != 0;
+        if (high && !in_run) {
+            in_run = true;
+            start = c;
+        } else if (!high && in_run) {
+            runs.push_back(SignalRun{start, c - start});
+            in_run = false;
+        }
+    }
+    if (in_run)
+        runs.push_back(SignalRun{start, trace.numCycles() - start});
+    return runs;
+}
+
 OverlapBound
 TraceAnalyzer::overlapUpperBound(u32 core_width, u32 pad) const
 {
@@ -228,9 +289,10 @@ TraceAnalyzer::overlapUpperBound(u32 core_width, u32 pad) const
         return result;
 
     // I$-refill activity: the I$-blocked signal (refill in progress),
-    // seeded by I$-miss edges.
-    std::vector<SignalRun> refills = runsOf(EventId::ICacheBlocked);
-    std::vector<SignalRun> recoveries = runsOf(EventId::Recovering);
+    // seeded by I$-miss edges. OR across every traced lane so
+    // multi-lane bundles are not undercounted.
+    std::vector<SignalRun> refills = runsOfAny(EventId::ICacheBlocked);
+    std::vector<SignalRun> recoveries = runsOfAny(EventId::Recovering);
 
     // Mark cycles inside a padded refill window and inside a padded
     // recovery window; overlap cycles are where both hold.
@@ -250,19 +312,22 @@ TraceAnalyzer::overlapUpperBound(u32 core_width, u32 pad) const
     mark(recoveries, in_recovery);
 
     // Any fetch-bubble slot inside an overlap window could count
-    // toward either Frontend or Bad Speculation.
+    // toward either Frontend or Bad Speculation. Field masks are
+    // resolved once; the loop scans the packed words directly.
+    const u64 bubble_mask =
+        trace.spec().fieldMask(EventId::FetchBubbles);
+    const u64 recovering_mask =
+        trace.spec().fieldMask(EventId::Recovering);
+    const std::vector<u64> &words = trace.raw();
     u64 overlap_slots = 0;
     u64 bubble_slots = 0;
     u64 recovering_cycles = 0;
     for (u64 c = 0; c < cycles; c++) {
-        u32 bubbles = 0;
-        for (const TraceField &field : trace.spec().fields) {
-            if (field.event == EventId::FetchBubbles &&
-                trace.high(c, field.event, field.lane))
-                bubbles++;
-        }
+        const u64 word = words[c];
+        const u32 bubbles =
+            static_cast<u32>(std::popcount(word & bubble_mask));
         bubble_slots += bubbles;
-        if (trace.high(c, EventId::Recovering))
+        if (word & recovering_mask)
             recovering_cycles++;
         if (in_refill[c] && in_recovery[c])
             overlap_slots += bubbles;
@@ -293,7 +358,7 @@ RecoveryCdf
 TraceAnalyzer::recoveryCdf() const
 {
     RecoveryCdf cdf;
-    for (const SignalRun &run : runsOf(EventId::Recovering))
+    for (const SignalRun &run : runsOfAny(EventId::Recovering))
         cdf.lengths.push_back(run.length);
     std::sort(cdf.lengths.begin(), cdf.lengths.end());
     return cdf;
@@ -337,15 +402,17 @@ TraceAnalyzer::windowTma(u64 begin, u64 end, u32 core_width) const
 
     TmaCounters counters;
     counters.cycles = end - begin;
+    // Resolve each event's field mask once, then count set bits in
+    // the packed words: O(events x cycles) with a popcount per cycle
+    // instead of a linear indexOf() per field per cycle.
+    const std::vector<u64> &words = trace.raw();
     auto count_in = [&](EventId event) {
+        const u64 mask = trace.spec().fieldMask(event);
+        if (mask == 0)
+            return u64{0};
         u64 total = 0;
-        for (const TraceField &field : trace.spec().fields) {
-            if (field.event == event) {
-                for (u64 c = begin; c < end; c++) {
-                    total += trace.high(c, event, field.lane) ? 1 : 0;
-                }
-            }
-        }
+        for (u64 c = begin; c < end; c++)
+            total += static_cast<u64>(std::popcount(words[c] & mask));
         return total;
     };
     counters.retiredUops = count_in(EventId::UopsRetired) +

@@ -49,6 +49,13 @@ struct TraceSpec
     void addLane(EventId event, u8 lane);
     /** Bit position of a field, or -1 if absent. */
     int indexOf(EventId event, u8 lane = 0) const;
+    /**
+     * Packed-word bitmask covering every traced lane of an event
+     * (0 if the event is not traced). Resolving this once per query
+     * lets analyzers scan the raw words directly instead of paying a
+     * linear indexOf() per field per cycle.
+     */
+    u64 fieldMask(EventId event) const;
     u32 numFields() const
     { return static_cast<u32>(fields.size()); }
 
@@ -167,6 +174,14 @@ class TraceAnalyzer
 
     /** Contiguous high-runs of a signal. */
     std::vector<SignalRun> runsOf(EventId event, u8 lane = 0) const;
+
+    /**
+     * Contiguous runs where *any* traced lane of the event is high.
+     * Multi-lane bundles (e.g. Recovering traced per decode lane)
+     * must use this rather than lane 0 alone, or sequences that only
+     * assert on other lanes are silently dropped.
+     */
+    std::vector<SignalRun> runsOfAny(EventId event) const;
 
     /**
      * Table VI: scan for overlaps between I$-refill activity and

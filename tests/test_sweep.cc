@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Sweep-engine tests: grid expansion order, deterministic aggregation
+ * across worker counts (the byte-identical guarantee), retry and
+ * timeout handling, custom-job campaigns, and the named-config /
+ * axis-value helpers.
+ */
+
+#include <atomic>
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "isa/builder.hh"
+#include "rocket/rocket.hh"
+#include "sweep/sweep.hh"
+#include "workloads/workloads.hh"
+
+namespace icicle
+{
+namespace
+{
+
+using namespace reg;
+
+/** A tiny deterministic loop that halts after `iterations`. */
+Program
+countLoop(u64 iterations)
+{
+    ProgramBuilder b("count");
+    Label loop = b.newLabel();
+    b.li(t2, static_cast<i64>(iterations));
+    b.bind(loop);
+    b.addi(t2, t2, -1);
+    b.bnez(t2, loop);
+    b.halt();
+    return b.build();
+}
+
+/** A program that never halts (timeout fodder). */
+Program
+endlessLoop()
+{
+    ProgramBuilder b("endless");
+    Label loop = b.newLabel();
+    b.bind(loop);
+    b.addi(t0, t0, 1);
+    b.j(loop);
+    return b.build();
+}
+
+GridSpec
+smallGrid()
+{
+    GridSpec grid;
+    grid.cores = {"rocket", "boom-small"};
+    grid.workloads = {"vvadd", "towers"};
+    grid.counterArchs = {CounterArch::Scalar, CounterArch::AddWires};
+    grid.maxCycles = 400'000; // vvadd on Rocket needs ~210k
+    return grid;
+}
+
+TEST(GridSpec, ExpandsRowMajor)
+{
+    const GridSpec grid = smallGrid();
+    const std::vector<SweepPoint> points = grid.expand();
+    ASSERT_EQ(points.size(), 8u);
+    for (const SweepPoint &point : points)
+        EXPECT_EQ(point.maxCycles, 400'000u);
+    // cores outermost, archs innermost.
+    EXPECT_EQ(points[0].core, "rocket");
+    EXPECT_EQ(points[0].workload, "vvadd");
+    EXPECT_EQ(points[0].counterArch, CounterArch::Scalar);
+    EXPECT_EQ(points[1].counterArch, CounterArch::AddWires);
+    EXPECT_EQ(points[2].workload, "towers");
+    EXPECT_EQ(points[4].core, "boom-small");
+    EXPECT_EQ(points[7].core, "boom-small");
+    EXPECT_EQ(points[7].workload, "towers");
+    EXPECT_EQ(points[7].counterArch, CounterArch::AddWires);
+    for (const SweepPoint &point : points)
+        EXPECT_FALSE(point.withTrace);
+}
+
+TEST(SweepEngine, ResultsArriveInGridOrder)
+{
+    SweepOptions options;
+    options.workers = 4;
+    const std::vector<SweepResult> results =
+        runSweep(smallGrid(), options);
+    ASSERT_EQ(results.size(), 8u);
+    for (u64 i = 0; i < results.size(); i++) {
+        EXPECT_EQ(results[i].index, i);
+        EXPECT_EQ(results[i].status, SweepStatus::Ok);
+        EXPECT_TRUE(results[i].finished) << results[i].label;
+        EXPECT_GT(results[i].cycles, 0u);
+        EXPECT_GT(results[i].ipc, 0.0);
+        EXPECT_EQ(results[i].attempts, 1u);
+    }
+    // Labels follow the row-major expansion.
+    EXPECT_EQ(results[0].label, "rocket/vvadd/scalar");
+    EXPECT_EQ(results[7].label, "boom-small/towers/add-wires");
+}
+
+// The acceptance property: an 8-point grid with 4 workers produces
+// byte-identical aggregated output to the same grid with 1 worker.
+TEST(SweepEngine, ParallelOutputMatchesSerialByteForByte)
+{
+    const GridSpec grid = smallGrid();
+    SweepOptions serial;
+    serial.workers = 1;
+    SweepOptions parallel;
+    parallel.workers = 4;
+    const std::vector<SweepResult> a = runSweep(grid, serial);
+    const std::vector<SweepResult> b = runSweep(grid, parallel);
+    EXPECT_EQ(formatSweepTable(a), formatSweepTable(b));
+    EXPECT_EQ(formatSweepCsv(a), formatSweepCsv(b));
+    EXPECT_EQ(formatSweepJson(a), formatSweepJson(b));
+    // And the measurements themselves are identical.
+    ASSERT_EQ(a.size(), b.size());
+    for (u64 i = 0; i < a.size(); i++) {
+        EXPECT_EQ(a[i].cycles, b[i].cycles);
+        EXPECT_EQ(a[i].counters.retiredUops,
+                  b[i].counters.retiredUops);
+        EXPECT_DOUBLE_EQ(a[i].tma.retiring, b[i].tma.retiring);
+    }
+}
+
+TEST(SweepEngine, MoreWorkersThanJobs)
+{
+    GridSpec grid;
+    grid.cores = {"rocket"};
+    grid.workloads = {"vvadd"};
+    grid.maxCycles = 100'000;
+    SweepOptions options;
+    options.workers = 16;
+    const std::vector<SweepResult> results = runSweep(grid, options);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].status, SweepStatus::Ok);
+}
+
+TEST(SweepEngine, EmptyJobListIsFine)
+{
+    EXPECT_TRUE(runSweepJobs({}).empty());
+}
+
+TEST(SweepEngine, FailedJobIsRetriedThenRecorded)
+{
+    SweepJob bad;
+    bad.label = "always-fails";
+    bad.make = []() -> std::unique_ptr<Core> {
+        fatal("deliberate test failure");
+    };
+    SweepOptions options;
+    options.maxAttempts = 3;
+    const std::vector<SweepResult> results =
+        runSweepJobs({bad}, options);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].status, SweepStatus::Failed);
+    EXPECT_EQ(results[0].attempts, 3u);
+    EXPECT_NE(results[0].error.find("deliberate test failure"),
+              std::string::npos);
+}
+
+TEST(SweepEngine, FlakyJobSucceedsOnRetry)
+{
+    auto flaky_count = std::make_shared<std::atomic<u32>>(0);
+    SweepJob flaky;
+    flaky.label = "flaky";
+    flaky.maxCycles = 100'000;
+    flaky.make = [flaky_count]() -> std::unique_ptr<Core> {
+        if (flaky_count->fetch_add(1) == 0)
+            fatal("first attempt fails");
+        return std::make_unique<RocketCore>(RocketConfig{},
+                                            countLoop(100));
+    };
+    SweepOptions options;
+    options.maxAttempts = 2;
+    const std::vector<SweepResult> results =
+        runSweepJobs({flaky}, options);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].status, SweepStatus::Ok);
+    EXPECT_EQ(results[0].attempts, 2u);
+    EXPECT_TRUE(results[0].finished);
+}
+
+TEST(SweepEngine, PathologicalJobTimesOutWithoutHangingCampaign)
+{
+    SweepJob endless;
+    endless.label = "endless";
+    endless.maxCycles = ~0ull; // would run forever
+    endless.make = [] {
+        return std::make_unique<RocketCore>(RocketConfig{},
+                                            endlessLoop());
+    };
+    SweepJob good;
+    good.label = "good";
+    good.maxCycles = 100'000;
+    good.make = [] {
+        return std::make_unique<RocketCore>(RocketConfig{},
+                                            countLoop(100));
+    };
+    SweepOptions options;
+    options.workers = 2;
+    options.timeoutSec = 0.05;
+    options.chunkCycles = 4096;
+    const std::vector<SweepResult> results =
+        runSweepJobs({endless, good}, options);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].status, SweepStatus::Timeout);
+    EXPECT_FALSE(results[0].finished);
+    EXPECT_GT(results[0].cycles, 0u);
+    EXPECT_EQ(results[1].status, SweepStatus::Ok);
+}
+
+TEST(SweepEngine, CompletionCallbackSeesEveryJobExactlyOnce)
+{
+    std::atomic<u32> calls{0};
+    std::atomic<u64> index_mask{0};
+    SweepOptions options;
+    options.workers = 4;
+    options.onResult = [&](const SweepResult &r) {
+        calls++;
+        index_mask |= 1ull << r.index;
+    };
+    const std::vector<SweepResult> results =
+        runSweep(smallGrid(), options);
+    EXPECT_EQ(calls.load(), results.size());
+    EXPECT_EQ(index_mask.load(), (1ull << results.size()) - 1);
+}
+
+TEST(SweepEngine, TracePointsCarryTraceMetrics)
+{
+    GridSpec grid;
+    grid.cores = {"boom-small"};
+    grid.workloads = {"towers"};
+    grid.maxCycles = 300'000;
+    grid.withTrace = true;
+    SweepOptions options;
+    options.workers = 2;
+    const std::vector<SweepResult> results = runSweep(grid, options);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].status, SweepStatus::Ok);
+    // A branchy recursive workload recovers at least once.
+    EXPECT_GT(results[0].recoverySequences, 0u);
+}
+
+TEST(SweepCore, NamedConfigsAllConstruct)
+{
+    const Program program = countLoop(10);
+    for (const std::string &name : sweepCoreNames()) {
+        auto core =
+            makeSweepCore(name, CounterArch::Distributed, program);
+        ASSERT_NE(core, nullptr) << name;
+    }
+    EXPECT_THROW(
+        makeSweepCore("boom-colossal", CounterArch::Scalar, program),
+        FatalError);
+}
+
+TEST(SweepCore, ParseCounterArch)
+{
+    EXPECT_EQ(parseCounterArch("scalar"), CounterArch::Scalar);
+    EXPECT_EQ(parseCounterArch("addwires"), CounterArch::AddWires);
+    EXPECT_EQ(parseCounterArch("add-wires"), CounterArch::AddWires);
+    EXPECT_EQ(parseCounterArch("distributed"),
+              CounterArch::Distributed);
+    EXPECT_THROW(parseCounterArch("quantum"), FatalError);
+}
+
+TEST(SweepFormat, CsvEscapesAndJsonIsWellFormedish)
+{
+    SweepResult r;
+    r.index = 0;
+    r.label = "evil,\"label\"";
+    r.status = SweepStatus::Failed;
+    r.error = "line1\nline2";
+    const std::string csv = formatSweepCsv({r});
+    EXPECT_NE(csv.find("\"evil,\"\"label\"\"\""), std::string::npos);
+    const std::string json = formatSweepJson({r});
+    EXPECT_NE(json.find("\\n"), std::string::npos);
+    // Timing column only appears when asked for.
+    EXPECT_EQ(csv.find("wall_ms"), std::string::npos);
+    EXPECT_NE(formatSweepCsv({r}, true).find("wall_ms"),
+              std::string::npos);
+}
+
+TEST(SweepEngine, UnknownWorkloadBecomesFailedRow)
+{
+    GridSpec grid;
+    grid.cores = {"rocket"};
+    grid.workloads = {"no-such-workload"};
+    const std::vector<SweepResult> results = runSweep(grid, {});
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].status, SweepStatus::Failed);
+    EXPECT_NE(results[0].error.find("no-such-workload"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace icicle

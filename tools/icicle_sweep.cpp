@@ -1,0 +1,317 @@
+/**
+ * @file
+ * icicle-sweep: run a grid of TMA experiments on a worker pool.
+ *
+ * The grid is the cross product cores x workloads x counter
+ * architectures, given either by flags or by a small text spec file;
+ * each point is an independent simulation, so the campaign
+ * parallelizes across --workers threads. Aggregated rows come out in
+ * grid order regardless of completion order; without --timing the
+ * output is byte-identical across worker counts.
+ *
+ *   $ icicle-sweep --cores rocket,boom-large --workloads qsort,towers
+ *   $ icicle-sweep --suite spec --cores boom-large --workers 8
+ *   $ icicle-sweep --spec campaign.sweep --format csv --out rows.csv
+ *   $ icicle-sweep --list             # axis values
+ *
+ * Spec file format (one `key = value` per line, '#' comments):
+ *
+ *   cores     = rocket, boom-large
+ *   workloads = qsort, towers, coremark
+ *   archs     = scalar, addwires
+ *   cycles    = 2000000
+ *   trace     = on
+ *
+ * Exit status: 0 all points ok, 1 any point failed or timed out,
+ * 2 usage error.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "sweep/sweep.hh"
+#include "workloads/workloads.hh"
+
+using namespace icicle;
+
+namespace
+{
+
+int
+usage(FILE *out)
+{
+    std::fprintf(
+        out,
+        "usage: icicle-sweep [options]\n"
+        "\n"
+        "grid axes (comma-separated; repeatable):\n"
+        "  --cores A,B       core configs (default: rocket)\n"
+        "  --workloads A,B   workload names\n"
+        "  --suite NAME      add every workload of a suite\n"
+        "                    (micro, composite, spec)\n"
+        "  --archs A,B       counter architectures\n"
+        "                    (default: addwires)\n"
+        "  --cycles N        per-point cycle budget\n"
+        "                    (default: 80000000)\n"
+        "  --trace           also capture + analyze the TMA trace\n"
+        "                    bundle per point\n"
+        "  --spec FILE       read axes from a spec file (flags\n"
+        "                    override)\n"
+        "\n"
+        "execution:\n"
+        "  --workers N       worker threads (default: 1)\n"
+        "  --retries N       attempts per job (default: 2)\n"
+        "  --timeout SEC     per-job wall-clock timeout\n"
+        "                    (default: none)\n"
+        "\n"
+        "output:\n"
+        "  --format F        text | csv | json (default: text)\n"
+        "  --timing          include wall-times (nondeterministic)\n"
+        "  --progress        print one line per completed job\n"
+        "  --out FILE        write the report to FILE\n"
+        "  --list            print known axis values and exit\n");
+    return out == stderr ? 2 : 0;
+}
+
+std::vector<std::string>
+splitList(const std::string &text)
+{
+    std::vector<std::string> items;
+    std::string item;
+    std::istringstream is(text);
+    while (std::getline(is, item, ',')) {
+        // Trim surrounding whitespace.
+        const auto begin = item.find_first_not_of(" \t");
+        const auto end = item.find_last_not_of(" \t");
+        if (begin != std::string::npos)
+            items.push_back(item.substr(begin, end - begin + 1));
+    }
+    return items;
+}
+
+void
+appendUnique(std::vector<std::string> &list,
+             const std::vector<std::string> &items)
+{
+    for (const std::string &item : items) {
+        bool present = false;
+        for (const std::string &existing : list)
+            present |= existing == item;
+        if (!present)
+            list.push_back(item);
+    }
+}
+
+/** Parse the `key = value` spec file into the grid. */
+void
+loadSpecFile(const std::string &path, GridSpec &grid)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open sweep spec: ", path);
+    std::string line;
+    u32 line_no = 0;
+    while (std::getline(in, line)) {
+        line_no++;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        if (line.find_first_not_of(" \t") == std::string::npos)
+            continue;
+        const auto eq = line.find('=');
+        if (eq == std::string::npos)
+            fatal(path, ":", line_no, ": expected 'key = value'");
+        auto trim = [](std::string text) {
+            const auto begin = text.find_first_not_of(" \t");
+            const auto end = text.find_last_not_of(" \t");
+            return begin == std::string::npos
+                       ? std::string()
+                       : text.substr(begin, end - begin + 1);
+        };
+        const std::string key = trim(line.substr(0, eq));
+        const std::string value = trim(line.substr(eq + 1));
+        if (key == "cores") {
+            appendUnique(grid.cores, splitList(value));
+        } else if (key == "workloads") {
+            appendUnique(grid.workloads, splitList(value));
+        } else if (key == "suite") {
+            for (const std::string &suite : splitList(value))
+                appendUnique(grid.workloads, workloadNames(suite));
+        } else if (key == "archs") {
+            grid.counterArchs.clear();
+            for (const std::string &arch : splitList(value))
+                grid.counterArchs.push_back(parseCounterArch(arch));
+        } else if (key == "cycles") {
+            grid.maxCycles = std::stoull(value);
+        } else if (key == "trace") {
+            grid.withTrace = value == "on" || value == "true" ||
+                             value == "1";
+        } else {
+            fatal(path, ":", line_no, ": unknown key '", key, "'");
+        }
+    }
+}
+
+void
+listAxes()
+{
+    std::printf("core configs:\n");
+    for (const std::string &name : sweepCoreNames())
+        std::printf("  %s\n", name.c_str());
+    std::printf("counter architectures:\n"
+                "  scalar\n  addwires\n  distributed\n");
+    for (const char *suite : {"micro", "composite", "spec"}) {
+        std::printf("workloads (%s):\n", suite);
+        for (const std::string &name : workloadNames(suite))
+            std::printf("  %s\n", name.c_str());
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    GridSpec grid;
+    SweepOptions options;
+    std::string format = "text";
+    std::string out_path;
+    bool timing = false;
+    bool progress = false;
+    bool archs_set = false;
+
+    // Spec files load first so flags can override; remember the path
+    // and defer parsing until all flags are read.
+    std::string spec_path;
+    std::vector<std::string> flag_cores, flag_workloads, flag_suites,
+        flag_archs;
+
+    for (int i = 1; i < argc; i++) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n",
+                             arg.c_str());
+                std::exit(usage(stderr));
+            }
+            return argv[++i];
+        };
+        if (arg == "--cores") {
+            appendUnique(flag_cores, splitList(value()));
+        } else if (arg == "--workloads") {
+            appendUnique(flag_workloads, splitList(value()));
+        } else if (arg == "--suite") {
+            appendUnique(flag_suites, splitList(value()));
+        } else if (arg == "--archs") {
+            appendUnique(flag_archs, splitList(value()));
+            archs_set = true;
+        } else if (arg == "--cycles") {
+            grid.maxCycles = std::stoull(value());
+        } else if (arg == "--trace") {
+            grid.withTrace = true;
+        } else if (arg == "--spec") {
+            spec_path = value();
+        } else if (arg == "--workers") {
+            options.workers =
+                static_cast<u32>(std::stoul(value()));
+        } else if (arg == "--retries") {
+            options.maxAttempts =
+                static_cast<u32>(std::stoul(value()));
+        } else if (arg == "--timeout") {
+            options.timeoutSec = std::stod(value());
+        } else if (arg == "--format") {
+            format = value();
+        } else if (arg == "--timing") {
+            timing = true;
+        } else if (arg == "--progress") {
+            progress = true;
+        } else if (arg == "--out") {
+            out_path = value();
+        } else if (arg == "--list") {
+            listAxes();
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            return usage(stdout);
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            return usage(stderr);
+        }
+    }
+    if (format != "text" && format != "csv" && format != "json") {
+        std::fprintf(stderr, "unknown format: %s\n", format.c_str());
+        return usage(stderr);
+    }
+
+    try {
+        if (!spec_path.empty())
+            loadSpecFile(spec_path, grid);
+        appendUnique(grid.cores, flag_cores);
+        appendUnique(grid.workloads, flag_workloads);
+        for (const std::string &suite : flag_suites)
+            appendUnique(grid.workloads, workloadNames(suite));
+        if (archs_set) {
+            grid.counterArchs.clear();
+            for (const std::string &arch : flag_archs)
+                grid.counterArchs.push_back(parseCounterArch(arch));
+        }
+        if (grid.cores.empty())
+            grid.cores.push_back("rocket");
+        if (grid.workloads.empty()) {
+            std::fprintf(stderr, "no workloads selected\n");
+            return usage(stderr);
+        }
+
+        // Validate axis values up front: a typo should be a usage
+        // error before any simulation starts, not N failed rows.
+        for (const std::string &core : grid.cores)
+            makeSweepCore(core, CounterArch::AddWires,
+                          buildWorkload(grid.workloads[0]));
+        for (const std::string &workload : grid.workloads)
+            buildWorkload(workload);
+
+        if (progress) {
+            options.onResult = [](const SweepResult &r) {
+                std::fprintf(stderr, "[%s] %s (%llu cycles%s)\n",
+                             sweepStatusName(r.status),
+                             r.label.c_str(),
+                             static_cast<unsigned long long>(
+                                 r.cycles),
+                             r.attempts > 1 ? ", retried" : "");
+            };
+        }
+
+        const std::vector<SweepResult> results =
+            runSweep(grid, options);
+
+        std::string report;
+        if (format == "csv")
+            report = formatSweepCsv(results, timing);
+        else if (format == "json")
+            report = formatSweepJson(results, timing);
+        else
+            report = formatSweepTable(results, timing);
+
+        if (out_path.empty()) {
+            std::fputs(report.c_str(), stdout);
+        } else {
+            std::ofstream out(out_path);
+            if (!out)
+                fatal("cannot open output file: ", out_path);
+            out << report;
+        }
+
+        for (const SweepResult &r : results) {
+            if (r.status != SweepStatus::Ok)
+                return 1;
+        }
+        return 0;
+    } catch (const FatalError &err) {
+        std::fprintf(stderr, "fatal: %s\n", err.what());
+        return 2;
+    }
+}
