@@ -1,6 +1,7 @@
 #include "core/session.hh"
 
 #include "analysis/lint.hh"
+#include "store/store.hh"
 
 namespace icicle
 {
@@ -59,6 +60,18 @@ TmaResult
 analyzeTma(const Core &core)
 {
     return computeTma(gatherTmaCounters(core), tmaParamsFor(core));
+}
+
+u64
+streamTraceRun(Core &core, const TraceSpec &spec, u64 max_cycles,
+               TraceSink &sink)
+{
+    const u64 cycles = core.run(
+        max_cycles, [&spec, &sink](Cycle, const EventBus &bus) {
+            sink.append(packTraceWord(spec, bus));
+        });
+    sink.finish();
+    return cycles;
 }
 
 } // namespace icicle

@@ -1,0 +1,849 @@
+#include "store/store.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "common/crc32.hh"
+#include "common/logging.hh"
+#include "core/session.hh"
+
+namespace icicle
+{
+
+namespace
+{
+
+// ---- little-endian scalar + varint codec ----------------------------
+
+void
+putBytes(std::string &buf, const void *data, std::size_t len)
+{
+    buf.append(static_cast<const char *>(data), len);
+}
+
+void
+put32(std::string &buf, u32 v)
+{
+    putBytes(buf, &v, 4);
+}
+
+void
+put64(std::string &buf, u64 v)
+{
+    putBytes(buf, &v, 8);
+}
+
+/** LEB128 unsigned varint. */
+void
+putVarint(std::string &buf, u64 v)
+{
+    while (v >= 0x80) {
+        buf.push_back(static_cast<char>((v & 0x7f) | 0x80));
+        v >>= 7;
+    }
+    buf.push_back(static_cast<char>(v));
+}
+
+/** Cursor over a byte buffer with truncation checks. */
+struct ByteCursor
+{
+    const unsigned char *data;
+    std::size_t size;
+    std::size_t pos = 0;
+    const char *path;
+
+    void
+    need(std::size_t n, const char *what) const
+    {
+        if (pos + n > size)
+            fatal("corrupt trace store ", path, ": truncated ", what);
+    }
+
+    u32
+    get32(const char *what)
+    {
+        need(4, what);
+        u32 v;
+        std::memcpy(&v, data + pos, 4);
+        pos += 4;
+        return v;
+    }
+
+    u64
+    get64(const char *what)
+    {
+        need(8, what);
+        u64 v;
+        std::memcpy(&v, data + pos, 8);
+        pos += 8;
+        return v;
+    }
+
+    u64
+    getVarint(const char *what)
+    {
+        u64 v = 0;
+        u32 shift = 0;
+        for (;;) {
+            need(1, what);
+            const unsigned char byte = data[pos++];
+            if (shift >= 64)
+                fatal("corrupt trace store ", path,
+                      ": oversized varint in ", what);
+            v |= static_cast<u64>(byte & 0x7f) << shift;
+            if (!(byte & 0x80))
+                return v;
+            shift += 7;
+        }
+    }
+};
+
+/** Per-field footer entry size: popcount u64 + firstSet/lastSet u32. */
+constexpr u64 kFieldMetaBytes = 16;
+constexpr u32 kNoSetCycle = 0xffffffffu;
+
+u64
+blockFooterBytes(u32 num_fields)
+{
+    return static_cast<u64>(num_fields) * kFieldMetaBytes + 4;
+}
+
+/** Merge-union of sorted absolute intervals (start, end pairs). */
+std::vector<std::pair<u64, u64>>
+mergeIntervals(std::vector<std::pair<u64, u64>> spans)
+{
+    std::sort(spans.begin(), spans.end());
+    std::vector<std::pair<u64, u64>> merged;
+    for (const auto &[a, b] : spans) {
+        if (!merged.empty() && a <= merged.back().second)
+            merged.back().second = std::max(merged.back().second, b);
+        else
+            merged.emplace_back(a, b);
+    }
+    return merged;
+}
+
+/** Intersection of two sorted disjoint interval lists. */
+std::vector<std::pair<u64, u64>>
+intersectIntervals(const std::vector<std::pair<u64, u64>> &lhs,
+                   const std::vector<std::pair<u64, u64>> &rhs)
+{
+    std::vector<std::pair<u64, u64>> out;
+    std::size_t i = 0, j = 0;
+    while (i < lhs.size() && j < rhs.size()) {
+        const u64 a = std::max(lhs[i].first, rhs[j].first);
+        const u64 b = std::min(lhs[i].second, rhs[j].second);
+        if (a < b)
+            out.emplace_back(a, b);
+        if (lhs[i].second < rhs[j].second)
+            i++;
+        else
+            j++;
+    }
+    return out;
+}
+
+} // namespace
+
+// --------------------------------------------------------- StoreWriter
+
+StoreWriter::StoreWriter(const TraceSpec &spec,
+                         const std::string &path, u32 block_cycles)
+    : traceSpec(spec), filePath(path),
+      out(path, std::ios::binary),
+      cyclesPerBlock(block_cycles ? block_cycles
+                                  : kStoreDefaultBlockCycles)
+{
+    if (!out)
+        fatal("cannot open trace store for writing: ", path);
+    buffer.reserve(cyclesPerBlock);
+    std::string header;
+    put32(header, kStoreMagic);
+    put32(header, kStoreVersion);
+    put32(header, traceSpec.numFields());
+    put32(header, cyclesPerBlock);
+    for (const TraceField &field : traceSpec.fields) {
+        put32(header, static_cast<u32>(field.event));
+        put32(header, field.lane);
+    }
+    out.write(header.data(),
+              static_cast<std::streamsize>(header.size()));
+}
+
+StoreWriter::~StoreWriter()
+{
+    // Seal on destruction so scope-exit always yields a valid file;
+    // errors here surface as warnings (destructors must not throw).
+    try {
+        finish();
+    } catch (const std::exception &err) {
+        warn("trace store ", filePath, " not sealed: ", err.what());
+    }
+}
+
+void
+StoreWriter::append(u64 word)
+{
+    if (sealed)
+        fatal("trace store ", filePath,
+              ": append after finish()");
+    buffer.push_back(word);
+    peakBuffered =
+        std::max(peakBuffered, static_cast<u32>(buffer.size()));
+    totalCycles++;
+    if (buffer.size() >= cyclesPerBlock)
+        flushBlock();
+}
+
+void
+StoreWriter::flushBlock()
+{
+    const u32 cycles = static_cast<u32>(buffer.size());
+    const u32 num_fields = traceSpec.numFields();
+
+    IndexEntry entry;
+    entry.offset = static_cast<u64>(out.tellp());
+    entry.startCycle = totalCycles - cycles;
+    entry.numCycles = cycles;
+    index.push_back(entry);
+
+    // One pass over the words finds every bit transition; runs are
+    // then reconstructed per field from its transition cycles. Cost
+    // is O(cycles + transitions), not O(cycles x fields) — bursty
+    // signals have few transitions.
+    std::vector<std::vector<u32>> transitions(num_fields);
+    u64 prev = 0;
+    for (u32 c = 0; c < cycles; c++) {
+        u64 flipped = buffer[c] ^ prev;
+        while (flipped) {
+            const int f = std::countr_zero(flipped);
+            flipped &= flipped - 1;
+            if (static_cast<u32>(f) < num_fields)
+                transitions[f].push_back(c);
+        }
+        prev = buffer[c];
+    }
+    // Close any run still high at the block's end.
+    for (u32 f = 0; f < num_fields; f++) {
+        if (cycles && (buffer[cycles - 1] >> f) & 1)
+            transitions[f].push_back(cycles);
+    }
+
+    std::string record;
+    put32(record, cycles);
+    std::string footer;
+    for (u32 f = 0; f < num_fields; f++) {
+        const std::vector<u32> &edges = transitions[f];
+        // Alternating run lengths, zeros first: the plane starts low
+        // (prev = 0), so edges[0] is the initial zeros run (possibly
+        // 0), and consecutive edge deltas alternate ones/zeros runs.
+        std::string plane;
+        u64 popcount = 0;
+        if (edges.empty()) {
+            putVarint(plane, cycles); // all-zero plane
+        } else {
+            putVarint(plane, edges[0]);
+            for (std::size_t e = 1; e < edges.size(); e++) {
+                const u32 run = edges[e] - edges[e - 1];
+                putVarint(plane, run);
+                if (e % 2 == 1)
+                    popcount += run;
+            }
+            if (edges.back() < cycles)
+                putVarint(plane, cycles - edges.back());
+        }
+        putVarint(record, plane.size());
+        record += plane;
+
+        put64(footer, popcount);
+        put32(footer, edges.empty() ? kNoSetCycle : edges[0]);
+        put32(footer, edges.empty() ? kNoSetCycle : edges.back() - 1);
+    }
+    record += footer;
+    const u32 crc = crc32(record.data(), record.size());
+    put32(record, crc);
+    out.write(record.data(),
+              static_cast<std::streamsize>(record.size()));
+    buffer.clear();
+}
+
+void
+StoreWriter::finish()
+{
+    if (sealed)
+        return;
+    if (!buffer.empty())
+        flushBlock();
+    sealed = true;
+
+    std::string tail;
+    const u64 index_offset = static_cast<u64>(out.tellp());
+    put32(tail, static_cast<u32>(index.size()));
+    for (const IndexEntry &entry : index) {
+        put64(tail, entry.offset);
+        put64(tail, entry.startCycle);
+        put32(tail, entry.numCycles);
+    }
+    put64(tail, totalCycles);
+    const u32 crc = crc32(tail.data(), tail.size());
+    put32(tail, crc);
+    put64(tail, index_offset);
+    put32(tail, kStoreTrailerMagic);
+    out.write(tail.data(), static_cast<std::streamsize>(tail.size()));
+    out.flush();
+    if (!out)
+        fatal("error writing trace store: ", filePath);
+    out.close();
+}
+
+// --------------------------------------------------------- StoreReader
+
+StoreReader::StoreReader(const std::string &path)
+    : filePath(path), in(path, std::ios::binary)
+{
+    if (!in)
+        fatal("cannot open trace store: ", path);
+    in.seekg(0, std::ios::end);
+    fileSize = static_cast<u64>(in.tellg());
+
+    auto readAt = [&](u64 offset, void *dst, u64 len,
+                      const char *what) {
+        in.seekg(static_cast<std::streamoff>(offset));
+        in.read(static_cast<char *>(dst),
+                static_cast<std::streamsize>(len));
+        if (!in)
+            fatal("corrupt trace store ", path, ": truncated ", what);
+    };
+
+    // ---- header ----
+    u32 head[4];
+    if (fileSize < sizeof(head) + 12)
+        fatal("not an Icicle trace store (too short): ", path);
+    readAt(0, head, sizeof(head), "header");
+    if (head[0] != kStoreMagic)
+        fatal("not an Icicle trace store: ", path);
+    if (head[1] != kStoreVersion)
+        fatal("unsupported trace store version ", head[1], " in ",
+              path);
+    const u32 num_fields = head[2];
+    cyclesPerBlock = head[3];
+    if (num_fields > 64)
+        fatal("corrupt trace store ", path, ": ", num_fields,
+              " fields (trace bundles are limited to 64 signals)");
+    if (cyclesPerBlock == 0)
+        fatal("corrupt trace store ", path, ": zero block size");
+    for (u32 f = 0; f < num_fields; f++) {
+        u32 pair[2];
+        readAt(16 + static_cast<u64>(f) * 8, pair, 8, "field table");
+        if (pair[0] >= kNumEvents)
+            fatal("corrupt trace store ", path, ": field ", f,
+                  " has out-of-range event id ", pair[0]);
+        if (pair[1] >= kMaxSources)
+            fatal("corrupt trace store ", path, ": field ", f,
+                  " has out-of-range lane ", pair[1]);
+        const EventId id = static_cast<EventId>(pair[0]);
+        if (traceSpec.indexOf(id, static_cast<u8>(pair[1])) >= 0)
+            fatal("corrupt trace store ", path, ": field ", f,
+                  " duplicates (", eventName(id), ", lane ", pair[1],
+                  ")");
+        traceSpec.fields.push_back(
+            TraceField{id, static_cast<u8>(pair[1])});
+    }
+
+    // ---- trailer + footer index ----
+    unsigned char trailer[12];
+    readAt(fileSize - 12, trailer, 12, "trailer");
+    u64 index_offset;
+    u32 trailer_magic;
+    std::memcpy(&index_offset, trailer, 8);
+    std::memcpy(&trailer_magic, trailer + 8, 4);
+    if (trailer_magic != kStoreTrailerMagic)
+        fatal("corrupt trace store ", path,
+              ": bad trailer magic (file truncated or not sealed)");
+    if (index_offset >= fileSize - 12)
+        fatal("corrupt trace store ", path, ": bad index offset");
+    const u64 index_bytes = fileSize - 12 - index_offset;
+    std::vector<unsigned char> index_raw(index_bytes);
+    readAt(index_offset, index_raw.data(), index_bytes,
+           "footer index");
+    if (index_bytes < 4 + 8 + 4)
+        fatal("corrupt trace store ", path, ": footer index too small");
+    const u32 stored_crc = [&] {
+        u32 v;
+        std::memcpy(&v, index_raw.data() + index_bytes - 4, 4);
+        return v;
+    }();
+    if (crc32(index_raw.data(), index_bytes - 4) != stored_crc)
+        fatal("corrupt trace store ", path,
+              ": footer index CRC mismatch");
+
+    ByteCursor cur{index_raw.data(), index_bytes - 4, 0,
+                   filePath.c_str()};
+    const u32 num_blocks = cur.get32("footer index");
+    const u64 footer_bytes = blockFooterBytes(num_fields);
+    blocks.resize(num_blocks);
+    for (u32 b = 0; b < num_blocks; b++) {
+        BlockMeta &block = blocks[b];
+        block.offset = cur.get64("footer index");
+        block.startCycle = cur.get64("footer index");
+        block.numCycles = cur.get32("footer index");
+        if (block.numCycles == 0 || block.numCycles > cyclesPerBlock)
+            fatal("corrupt trace store ", path, ": block ", b,
+                  " has bad cycle count ", block.numCycles);
+        const u64 expected_start =
+            static_cast<u64>(b) * cyclesPerBlock;
+        if (block.startCycle != expected_start)
+            fatal("corrupt trace store ", path, ": block ", b,
+                  " starts at cycle ", block.startCycle,
+                  ", expected ", expected_start);
+        if (b + 1 < num_blocks && block.numCycles != cyclesPerBlock)
+            fatal("corrupt trace store ", path,
+                  ": interior block ", b, " is short");
+    }
+    totalCycles = cur.get64("footer index");
+    const u64 tallied = num_blocks == 0
+                            ? 0
+                            : blocks.back().startCycle +
+                                  blocks.back().numCycles;
+    if (totalCycles != tallied)
+        fatal("corrupt trace store ", path, ": index claims ",
+              totalCycles, " cycles but blocks cover ", tallied);
+
+    // ---- per-block footers (popcounts, first/last-set, bounds) ----
+    for (u32 b = 0; b < num_blocks; b++) {
+        BlockMeta &block = blocks[b];
+        const u64 block_end =
+            b + 1 < num_blocks ? blocks[b + 1].offset : index_offset;
+        if (block.offset + 4 + footer_bytes > block_end)
+            fatal("corrupt trace store ", path, ": block ", b,
+                  " record is too small");
+        block.payloadEnd = block_end - footer_bytes;
+        std::vector<unsigned char> raw(footer_bytes - 4);
+        readAt(block.payloadEnd, raw.data(), raw.size(),
+               "block footer");
+        ByteCursor meta{raw.data(), raw.size(), 0, filePath.c_str()};
+        block.fields.resize(num_fields);
+        for (u32 f = 0; f < num_fields; f++) {
+            FieldMeta &fm = block.fields[f];
+            fm.popcount = meta.get64("block footer");
+            fm.firstSet = meta.get32("block footer");
+            fm.lastSet = meta.get32("block footer");
+            if (fm.popcount > block.numCycles)
+                fatal("corrupt trace store ", path, ": block ", b,
+                      " field ", f, " popcount ", fm.popcount,
+                      " exceeds ", block.numCycles, " cycles");
+        }
+    }
+}
+
+u32
+StoreReader::blockOf(u64 cycle) const
+{
+    // Every block except the last holds exactly cyclesPerBlock
+    // cycles (enforced at open), so the block index is a division.
+    return static_cast<u32>(
+        std::min<u64>(cycle / cyclesPerBlock, blocks.size() - 1));
+}
+
+const StoreReader::DecodedBlock &
+StoreReader::decodeBlock(u32 block_index) const
+{
+    if (cache.valid && cache.blockIndex == block_index)
+        return cache;
+
+    const BlockMeta &block = blocks[block_index];
+    const u64 record_bytes = block.payloadEnd +
+                             blockFooterBytes(traceSpec.numFields()) -
+                             block.offset;
+    std::vector<unsigned char> raw(record_bytes);
+    in.seekg(static_cast<std::streamoff>(block.offset));
+    in.read(reinterpret_cast<char *>(raw.data()),
+            static_cast<std::streamsize>(record_bytes));
+    if (!in)
+        fatal("corrupt trace store ", filePath, ": truncated block ",
+              block_index);
+    u32 stored_crc;
+    std::memcpy(&stored_crc, raw.data() + record_bytes - 4, 4);
+    if (crc32(raw.data(), record_bytes - 4) != stored_crc)
+        fatal("corrupt trace store ", filePath, ": block ",
+              block_index, " CRC mismatch");
+
+    ByteCursor cur{raw.data(), record_bytes - 4, 0, filePath.c_str()};
+    const u32 cycles = cur.get32("block");
+    if (cycles != block.numCycles)
+        fatal("corrupt trace store ", filePath, ": block ",
+              block_index, " cycle count disagrees with index");
+
+    cache.planes.assign(traceSpec.numFields(), {});
+    for (u32 f = 0; f < traceSpec.numFields(); f++) {
+        const u64 plane_bytes = cur.getVarint("block plane");
+        cur.need(plane_bytes, "block plane");
+        ByteCursor plane{raw.data() + cur.pos, plane_bytes, 0,
+                         filePath.c_str()};
+        cur.pos += plane_bytes;
+        u64 at = 0;
+        bool ones = false;
+        while (at < cycles) {
+            const u64 run = plane.getVarint("block plane run");
+            if (run > cycles - at)
+                fatal("corrupt trace store ", filePath, ": block ",
+                      block_index, " field ", f,
+                      " runs exceed the block");
+            if (ones && run)
+                cache.planes[f].push_back(SetInterval{
+                    static_cast<u32>(at), static_cast<u32>(run)});
+            at += run;
+            ones = !ones;
+        }
+        if (plane.pos != plane.size)
+            fatal("corrupt trace store ", filePath, ": block ",
+                  block_index, " field ", f, " has trailing bytes");
+    }
+    cache.blockIndex = block_index;
+    cache.valid = true;
+    decodedBlocks++;
+    return cache;
+}
+
+u64
+StoreReader::countPlaneInRange(const std::vector<SetInterval> &plane,
+                               u32 lo, u32 hi) const
+{
+    u64 total = 0;
+    for (const SetInterval &iv : plane) {
+        const u32 a = std::max(lo, iv.start);
+        const u32 b = std::min(hi, iv.start + iv.length);
+        if (a < b)
+            total += b - a;
+    }
+    return total;
+}
+
+Trace
+StoreReader::readAll() const
+{
+    return readWindow(0, totalCycles);
+}
+
+Trace
+StoreReader::readWindow(u64 begin, u64 end) const
+{
+    Trace trace(traceSpec);
+    end = std::min(end, totalCycles);
+    if (begin >= end)
+        return trace;
+    std::vector<u64> words;
+    for (u32 b = blockOf(begin); b <= blockOf(end - 1); b++) {
+        const BlockMeta &block = blocks[b];
+        const u64 lo = std::max(begin, block.startCycle);
+        const u64 hi =
+            std::min(end, block.startCycle + block.numCycles);
+        const DecodedBlock &decoded = decodeBlock(b);
+        words.assign(hi - lo, 0);
+        for (u32 f = 0; f < traceSpec.numFields(); f++) {
+            for (const SetInterval &iv : decoded.planes[f]) {
+                const u64 a = std::max(
+                    lo, block.startCycle + iv.start);
+                const u64 z = std::min(
+                    hi, block.startCycle + iv.start + iv.length);
+                for (u64 c = a; c < z; c++)
+                    words[c - lo] |= 1ull << f;
+            }
+        }
+        for (u64 word : words)
+            trace.append(word);
+    }
+    return trace;
+}
+
+u64
+StoreReader::count(EventId event, u8 lane) const
+{
+    const int field = traceSpec.indexOf(event, lane);
+    if (field < 0)
+        return 0;
+    u64 total = 0;
+    for (const BlockMeta &block : blocks)
+        total += block.fields[static_cast<u32>(field)].popcount;
+    return total;
+}
+
+u64
+StoreReader::countAllLanes(EventId event) const
+{
+    u64 total = 0;
+    for (u32 f = 0; f < traceSpec.numFields(); f++) {
+        if (traceSpec.fields[f].event != event)
+            continue;
+        for (const BlockMeta &block : blocks)
+            total += block.fields[f].popcount;
+    }
+    return total;
+}
+
+u64
+StoreReader::countInWindow(EventId event, u64 begin, u64 end) const
+{
+    end = std::min(end, totalCycles);
+    if (begin >= end)
+        return 0;
+    std::vector<u32> fields;
+    for (u32 f = 0; f < traceSpec.numFields(); f++) {
+        if (traceSpec.fields[f].event == event)
+            fields.push_back(f);
+    }
+    if (fields.empty())
+        return 0;
+
+    u64 total = 0;
+    for (u32 b = blockOf(begin); b <= blockOf(end - 1); b++) {
+        const BlockMeta &block = blocks[b];
+        const u64 block_end = block.startCycle + block.numCycles;
+        const u64 lo = std::max(begin, block.startCycle);
+        const u64 hi = std::min(end, block_end);
+        const bool covered =
+            lo == block.startCycle && hi == block_end;
+        // Fully covered blocks are served from footer popcounts;
+        // boundary blocks whose fields are all-zero or saturated
+        // short-circuit too. Only the rest decode.
+        bool decode = false;
+        for (u32 f : fields) {
+            const FieldMeta &fm = block.fields[f];
+            if (covered || fm.popcount == 0) {
+                total += covered ? fm.popcount : 0;
+            } else if (fm.popcount == block.numCycles) {
+                total += hi - lo;
+            } else {
+                decode = true;
+            }
+        }
+        if (decode) {
+            const DecodedBlock &decoded = decodeBlock(b);
+            for (u32 f : fields) {
+                const FieldMeta &fm = block.fields[f];
+                if (fm.popcount == 0 ||
+                    fm.popcount == block.numCycles)
+                    continue;
+                total += countPlaneInRange(
+                    decoded.planes[f],
+                    static_cast<u32>(lo - block.startCycle),
+                    static_cast<u32>(hi - block.startCycle));
+            }
+        }
+    }
+    return total;
+}
+
+TmaResult
+StoreReader::windowTma(u64 begin, u64 end, u32 core_width) const
+{
+    end = clampTraceWindow(totalCycles, begin, end,
+                           "StoreReader::windowTma");
+
+    TmaCounters counters;
+    counters.cycles = end - begin;
+    auto count_in = [&](EventId event) {
+        return countInWindow(event, begin, end);
+    };
+    counters.retiredUops = count_in(EventId::UopsRetired) +
+                           count_in(EventId::InstRetired);
+    counters.issuedUops = count_in(EventId::UopsIssued) +
+                          count_in(EventId::InstIssued);
+    counters.fetchBubbles = count_in(EventId::FetchBubbles);
+    counters.recovering = count_in(EventId::Recovering);
+    counters.branchMispredicts = count_in(EventId::BranchMispredict);
+    counters.machineClears = count_in(EventId::Flush);
+    counters.fencesRetired = count_in(EventId::FenceRetired);
+    counters.icacheBlocked = count_in(EventId::ICacheBlocked);
+    counters.dcacheBlocked = count_in(EventId::DCacheBlocked);
+
+    TmaParams params;
+    params.coreWidth = core_width;
+    return computeTma(counters, params);
+}
+
+std::vector<SignalRun>
+StoreReader::runsOfAny(EventId event) const
+{
+    std::vector<SignalRun> runs;
+    std::vector<u32> fields;
+    for (u32 f = 0; f < traceSpec.numFields(); f++) {
+        if (traceSpec.fields[f].event == event)
+            fields.push_back(f);
+    }
+    if (fields.empty())
+        return runs;
+
+    bool in_run = false;
+    u64 run_start = 0, run_end = 0;
+    auto feed = [&](u64 a, u64 b) {
+        if (in_run && a == run_end) {
+            run_end = b;
+            return;
+        }
+        if (in_run)
+            runs.push_back(SignalRun{run_start, run_end - run_start});
+        run_start = a;
+        run_end = b;
+        in_run = true;
+    };
+
+    for (u32 b = 0; b < blocks.size(); b++) {
+        const BlockMeta &block = blocks[b];
+        u64 pop_sum = 0;
+        bool saturated = false;
+        for (u32 f : fields) {
+            pop_sum += block.fields[f].popcount;
+            saturated |=
+                block.fields[f].popcount == block.numCycles;
+        }
+        if (pop_sum == 0)
+            continue; // all-zero block: extends the gap, no decode
+        if (saturated) {
+            // Some lane is high every cycle: the whole block is one
+            // run of the OR, no decode needed.
+            feed(block.startCycle,
+                 block.startCycle + block.numCycles);
+            continue;
+        }
+        // Union the per-lane set intervals of this block.
+        const DecodedBlock &decoded = decodeBlock(b);
+        std::vector<std::pair<u64, u64>> spans;
+        for (u32 f : fields) {
+            for (const SetInterval &iv : decoded.planes[f])
+                spans.emplace_back(
+                    block.startCycle + iv.start,
+                    block.startCycle + iv.start + iv.length);
+        }
+        for (const auto &[a, z] : mergeIntervals(std::move(spans)))
+            feed(a, z);
+    }
+    if (in_run)
+        runs.push_back(SignalRun{run_start, run_end - run_start});
+    return runs;
+}
+
+RecoveryCdf
+StoreReader::recoveryCdf() const
+{
+    RecoveryCdf cdf;
+    for (const SignalRun &run : runsOfAny(EventId::Recovering))
+        cdf.lengths.push_back(run.length);
+    std::sort(cdf.lengths.begin(), cdf.lengths.end());
+    return cdf;
+}
+
+OverlapBound
+StoreReader::overlapUpperBound(u32 core_width, u32 pad) const
+{
+    OverlapBound result;
+    const u64 cycles = totalCycles;
+    result.cycles = cycles;
+    if (cycles == 0)
+        return result;
+
+    const std::vector<SignalRun> refills =
+        runsOfAny(EventId::ICacheBlocked);
+    const std::vector<SignalRun> recoveries =
+        runsOfAny(EventId::Recovering);
+
+    auto padded = [&](const std::vector<SignalRun> &signal_runs) {
+        std::vector<std::pair<u64, u64>> spans;
+        spans.reserve(signal_runs.size());
+        for (const SignalRun &run : signal_runs) {
+            const u64 a = run.start > pad ? run.start - pad : 0;
+            const u64 z =
+                std::min(cycles, run.start + run.length + pad);
+            spans.emplace_back(a, z);
+        }
+        return mergeIntervals(std::move(spans));
+    };
+
+    // Overlap windows are where a padded refill window and a padded
+    // recovery window coincide — interval intersection instead of
+    // the analyzer's per-cycle flag arrays.
+    const std::vector<std::pair<u64, u64>> overlap =
+        intersectIntervals(padded(refills), padded(recoveries));
+
+    u64 overlap_slots = 0;
+    for (const auto &[a, z] : overlap)
+        overlap_slots += countInWindow(EventId::FetchBubbles, a, z);
+    const u64 bubble_slots = countAllLanes(EventId::FetchBubbles);
+    u64 recovering_cycles = 0;
+    for (const SignalRun &run : recoveries)
+        recovering_cycles += run.length;
+
+    const double total_slots =
+        static_cast<double>(cycles) * core_width;
+    result.overlapSlots = overlap_slots;
+    result.overlapFraction =
+        static_cast<double>(overlap_slots) / total_slots;
+    result.frontendFraction =
+        static_cast<double>(bubble_slots) / total_slots;
+    result.badSpecFraction =
+        static_cast<double>(recovering_cycles) * core_width /
+        total_slots;
+    if (result.frontendFraction > 0) {
+        result.frontendPerturbation =
+            result.overlapFraction / result.frontendFraction;
+    }
+    if (result.badSpecFraction > 0) {
+        result.badSpecPerturbation =
+            result.overlapFraction / result.badSpecFraction;
+    }
+    return result;
+}
+
+void
+StoreReader::verify() const
+{
+    std::vector<unsigned char> raw;
+    for (u32 b = 0; b < blocks.size(); b++) {
+        const BlockMeta &block = blocks[b];
+        const u64 record_bytes =
+            block.payloadEnd +
+            blockFooterBytes(traceSpec.numFields()) - block.offset;
+        raw.resize(record_bytes);
+        in.seekg(static_cast<std::streamoff>(block.offset));
+        in.read(reinterpret_cast<char *>(raw.data()),
+                static_cast<std::streamsize>(record_bytes));
+        if (!in)
+            fatal("corrupt trace store ", filePath,
+                  ": truncated block ", b);
+        u32 stored_crc;
+        std::memcpy(&stored_crc, raw.data() + record_bytes - 4, 4);
+        if (crc32(raw.data(), record_bytes - 4) != stored_crc)
+            fatal("corrupt trace store ", filePath, ": block ", b,
+                  " CRC mismatch");
+    }
+}
+
+// ------------------------------------------- Trace <-> store bridging
+
+void
+Trace::toStore(const std::string &path, u32 block_cycles) const
+{
+    StoreWriter writer(traceSpec, path,
+                       block_cycles ? block_cycles
+                                    : kStoreDefaultBlockCycles);
+    for (u64 word : records)
+        writer.append(word);
+    writer.finish();
+}
+
+Trace
+Trace::fromStore(const std::string &path)
+{
+    return StoreReader(path).readAll();
+}
+
+u64
+streamTraceToStore(Core &core, const TraceSpec &spec, u64 max_cycles,
+                   const std::string &path, u32 block_cycles)
+{
+    StoreWriter writer(spec, path, block_cycles);
+    return streamTraceRun(core, spec, max_cycles, writer);
+}
+
+} // namespace icicle

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * icestore: a compressed, block-indexed, seekable trace container.
+ *
+ * The in-memory Trace keeps one raw u64 per cycle and every analyzer
+ * query scans every cycle; that caps traces at RAM and makes narrow
+ * window queries O(total cycles). The icestore format (.icst) chunks
+ * cycles into fixed-size blocks, transposes each block into per-field
+ * bit-planes, and run-length encodes each plane with varints — event
+ * bits are bursty (Recovering and I$-blocked arrive in runs, fetch
+ * bubbles in stretches; the Fig. 8 structure), so planes compress by
+ * an order of magnitude. A per-block footer carries per-field
+ * popcounts, first/last-set cycles and a CRC32, and a file-level
+ * footer index gives O(log n) seek to any cycle; queries that only
+ * need counts are served from footers without decoding a single
+ * plane, so a windowed TMA recomputation touches O(blocks) not
+ * O(cycles).
+ *
+ * Writer side: StoreWriter implements TraceSink, the streaming
+ * interface Session/core capture feeds one packed word per cycle.
+ * Peak memory is one block buffer (blockCycles * 8 bytes) regardless
+ * of trace length — billion-cycle captures run in bounded memory.
+ *
+ * On-disk layout (all integers little-endian; see DESIGN.md §9):
+ *
+ *   header:   magic, version, numFields, blockCycles,
+ *             numFields x { event u32, lane u32 }
+ *   blocks:   numCycles u32,
+ *             per field: varint planeBytes + alternating varint run
+ *             lengths (starting with a zeros run, summing to
+ *             numCycles),
+ *             footer: per field { popcount u64, firstSet u32,
+ *             lastSet u32 }, crc32 u32 over the whole block record
+ *   index:    numBlocks u32, per block { offset u64, startCycle u64,
+ *             numCycles u32 }, totalCycles u64, crc32 u32
+ *   trailer:  indexOffset u64, trailer magic u32
+ */
+
+#ifndef ICICLE_STORE_STORE_HH
+#define ICICLE_STORE_STORE_HH
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace icicle
+{
+
+constexpr u32 kStoreMagic = 0x49435354;        // "ICST"
+constexpr u32 kStoreTrailerMagic = 0x54534349; // reversed
+constexpr u32 kStoreVersion = 1;
+/** Default cycles per block: 64K cycles = 512 KiB of raw words. */
+constexpr u32 kStoreDefaultBlockCycles = 1u << 16;
+
+/**
+ * Streaming consumer of packed trace words, one per cycle. The
+ * capture loop feeds append(); finish() seals the container. Both
+ * StoreWriter and test doubles implement it.
+ */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+    /** Feed one packed cycle word (bit f = field f of the spec). */
+    virtual void append(u64 word) = 0;
+    /** Flush buffered cycles and seal the output. Idempotent. */
+    virtual void finish() = 0;
+};
+
+/**
+ * Writes an .icst file from a stream of packed cycle words. The
+ * output is a pure function of (spec, blockCycles, word sequence):
+ * no timestamps or platform state, so stores from identical runs are
+ * byte-identical — the property the sweep engine's determinism
+ * guarantee extends to `--trace-out`.
+ */
+class StoreWriter : public TraceSink
+{
+  public:
+    /** block_cycles 0 selects kStoreDefaultBlockCycles. */
+    StoreWriter(const TraceSpec &spec, const std::string &path,
+                u32 block_cycles = kStoreDefaultBlockCycles);
+    ~StoreWriter() override;
+
+    void append(u64 word) override;
+    void finish() override;
+
+    u64 cyclesWritten() const { return totalCycles; }
+    /** Cycles currently buffered (always <= blockCycles()). */
+    u32 bufferedCycles() const
+    { return static_cast<u32>(buffer.size()); }
+    /** High-water mark of bufferedCycles() over the writer's life. */
+    u32 peakBufferedCycles() const { return peakBuffered; }
+    u32 blockCycles() const { return cyclesPerBlock; }
+
+  private:
+    void flushBlock();
+
+    TraceSpec traceSpec;
+    std::string filePath;
+    std::ofstream out;
+    u32 cyclesPerBlock;
+    std::vector<u64> buffer;
+    struct IndexEntry
+    {
+        u64 offset = 0;
+        u64 startCycle = 0;
+        u32 numCycles = 0;
+    };
+    std::vector<IndexEntry> index;
+    u64 totalCycles = 0;
+    u32 peakBuffered = 0;
+    bool sealed = false;
+};
+
+/** A half-open interval of set cycles, block-relative. */
+struct SetInterval
+{
+    u32 start = 0;
+    u32 length = 0;
+};
+
+/**
+ * Random-access reader over an .icst file. Footer metadata (per-field
+ * popcounts, first/last-set cycles) is loaded once at open; queries
+ * that full blocks can answer from metadata never decode a plane.
+ * blocksDecoded() counts the blocks whose planes were actually
+ * decoded — the sublinear-query evidence bench_trace_store reports.
+ */
+class StoreReader
+{
+  public:
+    explicit StoreReader(const std::string &path);
+
+    const TraceSpec &spec() const { return traceSpec; }
+    u64 numCycles() const { return totalCycles; }
+    u32 blockCycles() const { return cyclesPerBlock; }
+    u32 numBlocks() const
+    { return static_cast<u32>(blocks.size()); }
+    /** Size of the container on disk. */
+    u64 fileBytes() const { return fileSize; }
+    /** Raw in-memory footprint of the same trace (8 B / cycle). */
+    u64 rawBytes() const { return totalCycles * 8; }
+
+    /** Decode the whole store into an in-memory Trace. */
+    Trace readAll() const;
+    /** Decode cycles [begin, end) into an in-memory Trace. */
+    Trace readWindow(u64 begin, u64 end) const;
+
+    /** Cycles where (event, lane) is high — footer-only. */
+    u64 count(EventId event, u8 lane = 0) const;
+    /** Sum over all traced lanes — footer-only. */
+    u64 countAllLanes(EventId event) const;
+    /**
+     * Sum over all traced lanes within [begin, end). Full interior
+     * blocks are served from footer popcounts; only boundary blocks
+     * decode.
+     */
+    u64 countInWindow(EventId event, u64 begin, u64 end) const;
+
+    /**
+     * Temporal TMA over a window, matching
+     * TraceAnalyzer::windowTma exactly (same validation, same
+     * Table II model) while decoding only boundary blocks.
+     */
+    TmaResult windowTma(u64 begin, u64 end, u32 core_width) const;
+
+    /**
+     * Contiguous runs where any traced lane of the event is high.
+     * All-zero blocks (footer popcount 0) extend the current gap and
+     * all-one blocks extend the current run without decoding.
+     */
+    std::vector<SignalRun> runsOfAny(EventId event) const;
+
+    /** Fig. 8b recovery CDF, matching TraceAnalyzer::recoveryCdf. */
+    RecoveryCdf recoveryCdf() const;
+
+    /** Table VI overlap bound, matching TraceAnalyzer exactly. */
+    OverlapBound overlapUpperBound(u32 core_width, u32 pad = 50) const;
+
+    /** CRC-check every block payload; fatal() on corruption. */
+    void verify() const;
+
+    /** Blocks whose planes were decoded since construction. */
+    u64 blocksDecoded() const { return decodedBlocks; }
+
+  private:
+    struct FieldMeta
+    {
+        u64 popcount = 0;
+        u32 firstSet = 0;
+        u32 lastSet = 0;
+    };
+    struct BlockMeta
+    {
+        u64 offset = 0;     // file offset of the block record
+        u64 payloadEnd = 0; // offset of the block footer
+        u64 startCycle = 0;
+        u32 numCycles = 0;
+        std::vector<FieldMeta> fields;
+    };
+
+    /** Decoded bit-planes of one block, as set-interval lists. */
+    struct DecodedBlock
+    {
+        u32 blockIndex = 0;
+        bool valid = false;
+        std::vector<std::vector<SetInterval>> planes;
+    };
+
+    const DecodedBlock &decodeBlock(u32 block_index) const;
+    u64 countPlaneInRange(const std::vector<SetInterval> &plane,
+                          u32 lo, u32 hi) const;
+    /** Block index containing the cycle (binary search). */
+    u32 blockOf(u64 cycle) const;
+
+    std::string filePath;
+    mutable std::ifstream in;
+    TraceSpec traceSpec;
+    u32 cyclesPerBlock = 0;
+    u64 totalCycles = 0;
+    u64 fileSize = 0;
+    std::vector<BlockMeta> blocks;
+    mutable DecodedBlock cache;
+    mutable u64 decodedBlocks = 0;
+};
+
+/**
+ * Convenience: run a core while streaming the given bundle straight
+ * into an .icst file. The in-memory trace is never materialized;
+ * peak capture memory is one block buffer. Returns cycles simulated.
+ */
+u64 streamTraceToStore(Core &core, const TraceSpec &spec,
+                       u64 max_cycles, const std::string &path,
+                       u32 block_cycles = kStoreDefaultBlockCycles);
+
+} // namespace icicle
+
+#endif // ICICLE_STORE_STORE_HH

@@ -77,6 +77,17 @@ parseCounterArch(const std::string &name)
           "' (scalar, addwires, distributed)");
 }
 
+std::string
+sweepTracePath(const std::string &dir, const std::string &label)
+{
+    std::string name = label;
+    for (char &c : name) {
+        if (c == '/' || c == ' ')
+            c = '_';
+    }
+    return dir + "/" + name + ".icst";
+}
+
 // ----------------------------------------------------- grid expansion
 
 std::vector<SweepPoint>
@@ -182,6 +193,11 @@ runAttempt(const SweepJob &job, const SweepOptions &options)
         result.overlapFraction =
             analyzer.overlapUpperBound(core->coreWidth())
                 .overlapFraction;
+        // Timed-out traces are wall-clock dependent; writing them
+        // would break the byte-identical guarantee across workers.
+        if (!options.traceOutDir.empty() && !timed_out)
+            trace->toStore(
+                sweepTracePath(options.traceOutDir, job.label));
     }
     result.status =
         timed_out ? SweepStatus::Timeout : SweepStatus::Ok;

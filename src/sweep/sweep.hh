@@ -139,11 +139,24 @@ struct SweepOptions
     /** Cycles simulated between deadline checks. */
     u64 chunkCycles = 1u << 16;
     /**
+     * When non-empty, every traced job (withTrace) writes its
+     * captured bundle as a compressed .icst store into this
+     * directory, named after the job label ('/' becomes '_'). The
+     * store writer is deterministic, so the files are byte-identical
+     * across worker counts, like the CSV output. Timed-out jobs skip
+     * the write: their partial traces are wall-clock dependent.
+     */
+    std::string traceOutDir;
+    /**
      * Completion callback (progress reporting). Serialized under the
      * engine mutex; called in completion order, not grid order.
      */
     std::function<void(const SweepResult &)> onResult;
 };
+
+/** Store file path for a job label under a --trace-out directory. */
+std::string sweepTracePath(const std::string &dir,
+                           const std::string &label);
 
 /** Run explicit jobs. Results come back in job order. */
 std::vector<SweepResult> runSweepJobs(const std::vector<SweepJob> &jobs,

@@ -7,6 +7,7 @@
 #include <map>
 #include <sstream>
 
+#include "common/crc32.hh"
 #include "common/logging.hh"
 
 namespace icicle
@@ -92,6 +93,18 @@ TraceSpec::frontendBundle()
 
 // -------------------------------------------------------------- Trace
 
+u64
+packTraceWord(const TraceSpec &spec, const EventBus &bus)
+{
+    u64 word = 0;
+    for (u32 f = 0; f < spec.fields.size(); f++) {
+        const TraceField &field = spec.fields[f];
+        if (bus.mask(field.event) & (1u << field.lane))
+            word |= 1ull << f;
+    }
+    return word;
+}
+
 bool
 Trace::high(u64 cycle, EventId event, u8 lane) const
 {
@@ -141,7 +154,8 @@ traceRun(Core &core, const TraceSpec &spec, u64 max_cycles)
 namespace
 {
 constexpr u32 kTraceMagic = 0x49434c54; // "ICLT"
-constexpr u32 kTraceVersion = 1;
+/** Version 2 appends a CRC32 of the cycle-record payload. */
+constexpr u32 kTraceVersion = 2;
 } // namespace
 
 void
@@ -150,6 +164,7 @@ writeTrace(const Trace &trace, const std::string &path)
     std::ofstream out(path, std::ios::binary);
     if (!out)
         fatal("cannot open trace file for writing: ", path);
+    Crc32 crc;
     auto put32 = [&out](u32 v) {
         out.write(reinterpret_cast<const char *>(&v), 4);
     };
@@ -164,8 +179,14 @@ writeTrace(const Trace &trace, const std::string &path)
         put32(field.lane);
     }
     put64(trace.numCycles());
-    for (u64 word : trace.raw())
+    for (u64 word : trace.raw()) {
         put64(word);
+        crc.update(&word, 8);
+    }
+    put32(crc.value());
+    out.flush();
+    if (!out)
+        fatal("error writing trace file: ", path);
 }
 
 Trace
@@ -186,8 +207,9 @@ readTrace(const std::string &path)
     };
     if (get32() != kTraceMagic)
         fatal("not an Icicle trace file: ", path);
-    if (get32() != kTraceVersion)
-        fatal("unsupported trace version in ", path);
+    const u32 version = get32();
+    if (version != 1 && version != kTraceVersion)
+        fatal("unsupported trace version ", version, " in ", path);
     // Build the spec field-by-field with explicit validation. Going
     // through TraceSpec::addLane here would silently *dedup* a
     // corrupt duplicate (event, lane) pair, shifting the bit index of
@@ -221,11 +243,44 @@ readTrace(const std::string &path)
     }
     Trace trace(spec);
     const u64 cycles = get64();
-    for (u64 c = 0; c < cycles; c++)
-        trace.append(get64());
     if (!in)
-        fatal("truncated trace file: ", path);
+        fatal("truncated trace file header: ", path);
+    Crc32 crc;
+    for (u64 c = 0; c < cycles; c++) {
+        const u64 word = get64();
+        if (!in)
+            fatal("truncated trace file ", path, ": header promises ",
+                  cycles, " cycles but only ", c,
+                  " cycle records are present");
+        crc.update(&word, 8);
+        trace.append(word);
+    }
+    if (version >= 2) {
+        const u32 stored = get32();
+        if (!in)
+            fatal("truncated trace file ", path, ": all ", cycles,
+                  " cycle records present but the CRC trailer is "
+                  "missing");
+        if (stored != crc.value())
+            fatal("corrupt trace file ", path,
+                  ": payload CRC mismatch (stored ", stored,
+                  ", computed ", crc.value(), ")");
+    }
     return trace;
+}
+
+u64
+clampTraceWindow(u64 num_cycles, u64 begin, u64 end, const char *what)
+{
+    if (num_cycles == 0)
+        fatal(what, ": trace has no cycles");
+    if (begin >= num_cycles)
+        fatal(what, ": window begins at cycle ", begin,
+              " but the trace ends at cycle ", num_cycles);
+    end = std::min(end, num_cycles);
+    if (begin >= end)
+        fatal(what, ": empty window [", begin, ", ", end, ")");
+    return end;
 }
 
 // ------------------------------------------------------ TraceAnalyzer
@@ -396,9 +451,8 @@ RecoveryCdf::mode() const
 TmaResult
 TraceAnalyzer::windowTma(u64 begin, u64 end, u32 core_width) const
 {
-    end = std::min(end, trace.numCycles());
-    if (begin >= end)
-        return TmaResult{};
+    end = clampTraceWindow(trace.numCycles(), begin, end,
+                           "TraceAnalyzer::windowTma");
 
     TmaCounters counters;
     counters.cycles = end - begin;
@@ -435,7 +489,8 @@ TraceAnalyzer::windowTma(u64 begin, u64 end, u32 core_width) const
 std::string
 TraceAnalyzer::plot(u64 begin, u64 end) const
 {
-    end = std::min(end, trace.numCycles());
+    end = clampTraceWindow(trace.numCycles(), begin, end,
+                           "TraceAnalyzer::plot");
     std::ostringstream os;
     char label[64];
     for (u32 f = 0; f < trace.spec().numFields(); f++) {

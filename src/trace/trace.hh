@@ -65,6 +65,13 @@ struct TraceSpec
     static TraceSpec frontendBundle();
 };
 
+/**
+ * Pack the current bus state into one trace word: bit f mirrors
+ * field f of the spec. Shared by in-memory capture and the streaming
+ * store path (src/store/), so both record identical bits.
+ */
+u64 packTraceWord(const TraceSpec &spec, const EventBus &bus);
+
 /** An in-memory trace: one word of packed bits per cycle. */
 class Trace
 {
@@ -78,13 +85,7 @@ class Trace
     void
     capture(const EventBus &bus)
     {
-        u64 word = 0;
-        for (u32 f = 0; f < traceSpec.fields.size(); f++) {
-            const TraceField &field = traceSpec.fields[f];
-            if (bus.mask(field.event) & (1u << field.lane))
-                word |= 1ull << f;
-        }
-        records.push_back(word);
+        records.push_back(packTraceWord(traceSpec, bus));
     }
 
     /** Is field f high at cycle c? */
@@ -105,6 +106,15 @@ class Trace
     const std::vector<u64> &raw() const { return records; }
     void append(u64 word) { records.push_back(word); }
 
+    /**
+     * Write this trace as a compressed .icst store (src/store/).
+     * block_cycles 0 selects the default block size. Only bits below
+     * numFields() are representable; capture never sets others.
+     */
+    void toStore(const std::string &path, u32 block_cycles = 0) const;
+    /** Load an .icst store fully into memory. */
+    static Trace fromStore(const std::string &path);
+
   private:
     TraceSpec traceSpec;
     std::vector<u64> records;
@@ -117,9 +127,23 @@ class Trace
  */
 Trace traceRun(Core &core, const TraceSpec &spec, u64 max_cycles);
 
-/** Binary trace file I/O (the DMA-driver data format). */
+/**
+ * Binary trace file I/O (the DMA-driver data format). writeTrace
+ * appends a CRC32 of the cycle-record payload (format version 2);
+ * readTrace verifies it and reports expected vs. actual cycle counts
+ * on truncation. Version-1 files (no CRC) are still accepted.
+ */
 void writeTrace(const Trace &trace, const std::string &path);
 Trace readTrace(const std::string &path);
+
+/**
+ * Validate a [begin, end) cycle window against a trace length:
+ * fatal() on zero-cycle traces, a begin at or past the end of the
+ * trace, or an empty window. Clamps end to num_cycles and returns
+ * the clamped end. `what` names the caller in error messages.
+ */
+u64 clampTraceWindow(u64 num_cycles, u64 begin, u64 end,
+                     const char *what);
 
 // --------------------------------------------------------------------
 // Temporal TMA analysis
@@ -195,13 +219,17 @@ class TraceAnalyzer
 
     /**
      * Temporal TMA over a cycle window: recompute counter values from
-     * trace bits and apply the Table II model.
+     * trace bits and apply the Table II model. The window is
+     * validated with clampTraceWindow(): an empty window, a begin at
+     * or past the trace end, or a zero-cycle trace is a fatal()
+     * error, not a silently empty result.
      */
     TmaResult windowTma(u64 begin, u64 end, u32 core_width) const;
 
     /**
      * Render a Fig. 3 style ASCII dot plot of the traced signals over
-     * [begin, end), one row per signal.
+     * [begin, end), one row per signal. Window validation as in
+     * windowTma (end is clamped; empty windows are fatal).
      */
     std::string plot(u64 begin, u64 end) const;
 

@@ -1,0 +1,492 @@
+/**
+ * @file
+ * icestore tests: bit-identical roundtrips across bundle shapes and
+ * block geometries, corruption detection (block CRCs, footer index,
+ * truncation), metadata-only query behaviour (popcount queries never
+ * decode a block), the analyzer-equivalence property test (randomized
+ * bursty traces and windows, 100+ seeds), streaming capture
+ * equivalence, and the bounded-memory guarantee of the streaming
+ * path.
+ */
+
+#include <bit>
+#include <cstdio>
+#include <fstream>
+#include <gtest/gtest.h>
+
+#include "boom/boom.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "core/session.hh"
+#include "isa/builder.hh"
+#include "rocket/rocket.hh"
+#include "store/store.hh"
+#include "trace/trace.hh"
+#include "workloads/workloads.hh"
+
+namespace icicle
+{
+namespace
+{
+
+using namespace reg;
+
+class ScratchFile
+{
+  public:
+    explicit ScratchFile(const char *name)
+        : filePath(std::string("/tmp/icicle_store_") + name + ".icst")
+    {}
+    ~ScratchFile() { std::remove(filePath.c_str()); }
+    const std::string &path() const { return filePath; }
+
+  private:
+    std::string filePath;
+};
+
+Program
+branchyLoop(u64 iterations)
+{
+    ProgramBuilder b("branchy");
+    Label loop = b.newLabel(), skip = b.newLabel();
+    b.li(s0, 88172645463325252ll);
+    b.li(t2, static_cast<i64>(iterations));
+    b.bind(loop);
+    b.slli(t0, s0, 13);
+    b.xor_(s0, s0, t0);
+    b.srli(t0, s0, 7);
+    b.xor_(s0, s0, t0);
+    b.andi(t0, s0, 1);
+    b.beqz(t0, skip);
+    b.addi(t3, t3, 1);
+    b.bind(skip);
+    b.addi(t2, t2, -1);
+    b.bnez(t2, loop);
+    b.halt();
+    return b.build();
+}
+
+/**
+ * A randomized bursty trace: each field flips state with a small
+ * per-cycle probability, so bits arrive in runs — the Fig. 8
+ * structure the encoder targets. The spec mixes the multi-lane
+ * events the analyzer treats specially.
+ */
+Trace
+randomBurstyTrace(u64 seed, u64 cycles)
+{
+    TraceSpec spec;
+    spec.addLane(EventId::FetchBubbles, 0);
+    spec.addLane(EventId::FetchBubbles, 1);
+    spec.addLane(EventId::Recovering, 0);
+    spec.addLane(EventId::Recovering, 1);
+    spec.addLane(EventId::ICacheBlocked, 0);
+    spec.addLane(EventId::BranchMispredict, 0);
+    spec.addLane(EventId::InstRetired, 0);
+    spec.addLane(EventId::InstIssued, 0);
+    spec.addLane(EventId::Flush, 0);
+    spec.addLane(EventId::DCacheBlocked, 0);
+
+    Rng rng(seed * 2654435761u + 1);
+    Trace trace(spec);
+    u64 word = 0;
+    for (u64 c = 0; c < cycles; c++) {
+        for (u32 f = 0; f < spec.numFields(); f++) {
+            // Low bits flip rarely (long runs); a couple of fields
+            // flip often to exercise dense planes.
+            const u64 flip_denom = f < 8 ? 40 : 3;
+            if (rng.chance(1, flip_denom))
+                word ^= 1ull << f;
+        }
+        trace.append(word);
+    }
+    return trace;
+}
+
+void
+expectStoreRoundTrip(const Trace &trace, const std::string &path,
+                     u32 block_cycles)
+{
+    trace.toStore(path, block_cycles);
+    const Trace loaded = Trace::fromStore(path);
+    ASSERT_EQ(loaded.spec().numFields(), trace.spec().numFields());
+    for (u32 f = 0; f < trace.spec().numFields(); f++) {
+        EXPECT_EQ(loaded.spec().fields[f].event,
+                  trace.spec().fields[f].event);
+        EXPECT_EQ(loaded.spec().fields[f].lane,
+                  trace.spec().fields[f].lane);
+    }
+    EXPECT_EQ(loaded.raw(), trace.raw());
+}
+
+// ---- roundtrips ------------------------------------------------------
+
+TEST(StoreFormat, RoundTripFrontendBundle)
+{
+    ScratchFile file("frontend");
+    RocketCore core(RocketConfig{}, branchyLoop(300));
+    const Trace trace =
+        traceRun(core, TraceSpec::frontendBundle(), 1'000'000);
+    expectStoreRoundTrip(trace, file.path(), 0);
+}
+
+TEST(StoreFormat, RoundTripBoomTmaBundle)
+{
+    ScratchFile file("boom_tma");
+    BoomCore core(BoomConfig::large(), branchyLoop(500));
+    const Trace trace =
+        traceRun(core, TraceSpec::tmaBundle(core), 1'000'000);
+    // Tiny blocks force many blocks and a partial tail.
+    expectStoreRoundTrip(trace, file.path(), 64);
+}
+
+TEST(StoreFormat, RoundTripExactBlockMultiple)
+{
+    ScratchFile file("exact");
+    Trace trace = randomBurstyTrace(7, 4 * 512);
+    expectStoreRoundTrip(trace, file.path(), 512);
+    StoreReader reader(file.path());
+    EXPECT_EQ(reader.numBlocks(), 4u);
+    EXPECT_EQ(reader.numCycles(), 4u * 512);
+}
+
+TEST(StoreFormat, RoundTripSingleCycleAndEmpty)
+{
+    ScratchFile file("tiny");
+    TraceSpec spec;
+    spec.addLane(EventId::Cycles, 0);
+    Trace trace(spec);
+    expectStoreRoundTrip(trace, file.path(), 16); // zero cycles
+    trace.append(1);
+    expectStoreRoundTrip(trace, file.path(), 16);
+}
+
+TEST(StoreFormat, RoundTripAllZeroAndAllOnePlanes)
+{
+    ScratchFile file("extremes");
+    TraceSpec spec;
+    spec.addLane(EventId::Cycles, 0);      // all ones
+    spec.addLane(EventId::Recovering, 0);  // all zeros
+    spec.addLane(EventId::FetchBubbles, 0);
+    Trace trace(spec);
+    for (u64 c = 0; c < 3000; c++)
+        trace.append(0b001ull | ((c % 2) << 2));
+    expectStoreRoundTrip(trace, file.path(), 1024);
+}
+
+// ---- corruption detection -------------------------------------------
+
+TEST(StoreFormat, RejectsGarbage)
+{
+    ScratchFile file("garbage");
+    std::ofstream out(file.path(), std::ios::binary);
+    out << "this is not a trace store, not even close";
+    out.close();
+    EXPECT_THROW(StoreReader reader(file.path()), FatalError);
+}
+
+TEST(StoreFormat, RejectsTruncatedStore)
+{
+    ScratchFile file("truncated");
+    randomBurstyTrace(3, 2000).toStore(file.path(), 256);
+    std::ifstream in(file.path(), std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    in.close();
+    std::ofstream out(file.path(), std::ios::binary);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() - 40));
+    out.close();
+    // The trailer is gone: the file cannot be located or opened.
+    EXPECT_THROW(StoreReader reader(file.path()), FatalError);
+}
+
+TEST(StoreFormat, DetectsFlippedBlockByte)
+{
+    ScratchFile file("bitrot");
+    randomBurstyTrace(4, 2000).toStore(file.path(), 256);
+    std::fstream io(file.path(),
+                    std::ios::binary | std::ios::in | std::ios::out);
+    // Flip a byte inside the first block's payload (past the
+    // header: 16 bytes + 10 fields x 8 bytes = 96).
+    io.seekp(110);
+    char byte;
+    io.seekg(110);
+    io.get(byte);
+    io.seekp(110);
+    byte = static_cast<char>(byte ^ 0x40);
+    io.put(byte);
+    io.close();
+    StoreReader reader(file.path());
+    // Metadata was untouched; decoding the block must fail loudly.
+    EXPECT_THROW(reader.verify(), FatalError);
+    EXPECT_THROW(reader.readAll(), FatalError);
+}
+
+// ---- metadata-only queries ------------------------------------------
+
+TEST(StoreReader, PopcountQueriesNeverDecode)
+{
+    ScratchFile file("meta");
+    const Trace trace = randomBurstyTrace(11, 20'000);
+    trace.toStore(file.path(), 1024);
+    StoreReader reader(file.path());
+    for (const TraceField &field : trace.spec().fields) {
+        EXPECT_EQ(reader.count(field.event, field.lane),
+                  trace.count(field.event, field.lane));
+    }
+    EXPECT_EQ(reader.countAllLanes(EventId::FetchBubbles),
+              trace.countAllLanes(EventId::FetchBubbles));
+    EXPECT_EQ(reader.blocksDecoded(), 0u)
+        << "whole-trace popcounts must come from block footers";
+}
+
+TEST(StoreReader, WindowedCountDecodesOnlyBoundaryBlocks)
+{
+    ScratchFile file("boundary");
+    const Trace trace = randomBurstyTrace(13, 64 * 1024);
+    trace.toStore(file.path(), 1024);
+    StoreReader reader(file.path());
+    // A window spanning 40 blocks with interior blocks fully
+    // covered: at most the two boundary blocks decode.
+    const u64 begin = 1024 * 10 + 100, end = 1024 * 50 + 900;
+    u64 expected = 0;
+    const u64 mask = trace.spec().fieldMask(EventId::FetchBubbles);
+    for (u64 c = begin; c < end; c++)
+        expected += static_cast<u64>(
+            std::popcount(trace.raw()[c] & mask));
+    EXPECT_EQ(reader.countInWindow(EventId::FetchBubbles, begin, end),
+              expected);
+    EXPECT_LE(reader.blocksDecoded(), 2u);
+}
+
+// ---- analyzer equivalence (property test) ---------------------------
+
+void
+expectTmaEqual(const TmaResult &a, const TmaResult &b)
+{
+    // Identical integer counters through the same model: the doubles
+    // must match bit-for-bit, not approximately.
+    EXPECT_EQ(a.retiring, b.retiring);
+    EXPECT_EQ(a.badSpeculation, b.badSpeculation);
+    EXPECT_EQ(a.frontend, b.frontend);
+    EXPECT_EQ(a.backend, b.backend);
+    EXPECT_EQ(a.machineClears, b.machineClears);
+    EXPECT_EQ(a.branchMispredicts, b.branchMispredicts);
+    EXPECT_EQ(a.fetchLatency, b.fetchLatency);
+    EXPECT_EQ(a.pcResteer, b.pcResteer);
+    EXPECT_EQ(a.coreBound, b.coreBound);
+    EXPECT_EQ(a.memBound, b.memBound);
+    EXPECT_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.totalSlots, b.totalSlots);
+}
+
+TEST(StoreReader, MatchesInMemoryAnalyzerOverRandomizedSeeds)
+{
+    for (u64 seed = 0; seed < 110; seed++) {
+        ScratchFile file("property");
+        Rng rng(seed + 17);
+        const u64 cycles = 2000 + rng.below(6000);
+        const u32 block = 128u << rng.below(4); // 128..1024
+        const Trace trace = randomBurstyTrace(seed, cycles);
+        trace.toStore(file.path(), block);
+        StoreReader reader(file.path());
+        TraceAnalyzer analyzer(trace);
+        SCOPED_TRACE("seed " + std::to_string(seed));
+
+        ASSERT_EQ(reader.numCycles(), trace.numCycles());
+
+        // Counter recomputation over a random window.
+        const u64 begin = rng.below(cycles - 1);
+        const u64 end = begin + 1 + rng.below(cycles - begin);
+        const u32 width = 1 + static_cast<u32>(rng.below(4));
+        expectTmaEqual(reader.windowTma(begin, end, width),
+                       analyzer.windowTma(begin, end, width));
+
+        // Whole-trace counters per traced field.
+        for (const TraceField &field : trace.spec().fields) {
+            EXPECT_EQ(reader.countAllLanes(field.event),
+                      trace.countAllLanes(field.event));
+        }
+
+        // Run detection across lanes (block stitching included).
+        const auto expect_runs = analyzer.runsOfAny(
+            EventId::Recovering);
+        const auto got_runs = reader.runsOfAny(EventId::Recovering);
+        ASSERT_EQ(got_runs.size(), expect_runs.size());
+        for (std::size_t r = 0; r < got_runs.size(); r++) {
+            EXPECT_EQ(got_runs[r].start, expect_runs[r].start);
+            EXPECT_EQ(got_runs[r].length, expect_runs[r].length);
+        }
+
+        // Recovery CDF and Table VI overlap bound.
+        EXPECT_EQ(reader.recoveryCdf().lengths,
+                  analyzer.recoveryCdf().lengths);
+        const OverlapBound expect_bound =
+            analyzer.overlapUpperBound(width, 50);
+        const OverlapBound got_bound =
+            reader.overlapUpperBound(width, 50);
+        EXPECT_EQ(got_bound.cycles, expect_bound.cycles);
+        EXPECT_EQ(got_bound.overlapSlots, expect_bound.overlapSlots);
+        EXPECT_EQ(got_bound.overlapFraction,
+                  expect_bound.overlapFraction);
+        EXPECT_EQ(got_bound.frontendFraction,
+                  expect_bound.frontendFraction);
+        EXPECT_EQ(got_bound.badSpecFraction,
+                  expect_bound.badSpecFraction);
+        EXPECT_EQ(got_bound.frontendPerturbation,
+                  expect_bound.frontendPerturbation);
+        EXPECT_EQ(got_bound.badSpecPerturbation,
+                  expect_bound.badSpecPerturbation);
+    }
+}
+
+TEST(StoreReader, MatchesAnalyzerOnRealBoomTrace)
+{
+    ScratchFile file("boom_real");
+    BoomCore core(BoomConfig::large(), branchyLoop(2000));
+    const Trace trace =
+        traceRun(core, TraceSpec::tmaBundle(core), 10'000'000);
+    ASSERT_TRUE(core.done());
+    trace.toStore(file.path(), 4096);
+    StoreReader reader(file.path());
+    TraceAnalyzer analyzer(trace);
+    const u64 n = trace.numCycles();
+    expectTmaEqual(reader.windowTma(0, n, core.coreWidth()),
+                   analyzer.windowTma(0, n, core.coreWidth()));
+    expectTmaEqual(
+        reader.windowTma(n / 3, 2 * n / 3, core.coreWidth()),
+        analyzer.windowTma(n / 3, 2 * n / 3, core.coreWidth()));
+    EXPECT_EQ(reader.recoveryCdf().lengths,
+              analyzer.recoveryCdf().lengths);
+    const OverlapBound a = analyzer.overlapUpperBound(
+        core.coreWidth());
+    const OverlapBound s = reader.overlapUpperBound(
+        core.coreWidth());
+    EXPECT_EQ(s.overlapSlots, a.overlapSlots);
+    EXPECT_EQ(s.overlapFraction, a.overlapFraction);
+}
+
+TEST(StoreReader, WindowValidationMatchesAnalyzer)
+{
+    ScratchFile file("validate");
+    const Trace trace = randomBurstyTrace(21, 1000);
+    trace.toStore(file.path(), 256);
+    StoreReader reader(file.path());
+    EXPECT_THROW(reader.windowTma(10, 10, 1), FatalError);
+    EXPECT_THROW(reader.windowTma(1000, 2000, 1), FatalError);
+    EXPECT_THROW(reader.windowTma(5000, 6000, 1), FatalError);
+    // end past the trace is clamped, like the analyzer.
+    TraceAnalyzer analyzer(trace);
+    expectTmaEqual(reader.windowTma(900, 99'999, 2),
+                   analyzer.windowTma(900, 99'999, 2));
+}
+
+// ---- streaming capture ----------------------------------------------
+
+TEST(StoreStreaming, MatchesBatchCapture)
+{
+    ScratchFile file("stream");
+    const Program program = branchyLoop(400);
+    RocketCore batch_core(RocketConfig{}, program);
+    const Trace batch =
+        traceRun(batch_core, TraceSpec::frontendBundle(), 1'000'000);
+
+    RocketCore stream_core(RocketConfig{}, program);
+    const u64 cycles = streamTraceToStore(
+        stream_core, TraceSpec::frontendBundle(), 1'000'000,
+        file.path(), 512);
+    EXPECT_EQ(cycles, batch.numCycles());
+    const Trace loaded = Trace::fromStore(file.path());
+    EXPECT_EQ(loaded.raw(), batch.raw());
+}
+
+TEST(StoreStreaming, StreamedStoreIsByteIdenticalToBatchStore)
+{
+    ScratchFile stream_file("stream_bytes");
+    ScratchFile batch_file("batch_bytes");
+    const Program program = branchyLoop(400);
+    RocketCore batch_core(RocketConfig{}, program);
+    traceRun(batch_core, TraceSpec::frontendBundle(), 1'000'000)
+        .toStore(batch_file.path(), 512);
+    RocketCore stream_core(RocketConfig{}, program);
+    streamTraceToStore(stream_core, TraceSpec::frontendBundle(),
+                       1'000'000, stream_file.path(), 512);
+
+    auto slurp = [](const std::string &path) {
+        std::ifstream in(path, std::ios::binary);
+        return std::string((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+    };
+    EXPECT_EQ(slurp(stream_file.path()), slurp(batch_file.path()));
+}
+
+TEST(StoreStreaming, TenMillionCyclesBoundedMemory)
+{
+    // The acceptance guarantee: a 10M-cycle streaming capture keeps
+    // peak trace memory at O(block size). The streaming path holds
+    // no Trace at all — Trace::records never exists, let alone
+    // grows — so the bound to check is the writer's block buffer.
+    ScratchFile file("bounded");
+    TraceSpec spec;
+    spec.addLane(EventId::FetchBubbles, 0);
+    spec.addLane(EventId::Recovering, 0);
+    spec.addLane(EventId::ICacheBlocked, 0);
+    StoreWriter writer(spec, file.path(), kStoreDefaultBlockCycles);
+    Rng rng(99);
+    u64 word = 0, expected_bubbles = 0;
+    const u64 kCycles = 10'000'000;
+    for (u64 c = 0; c < kCycles; c++) {
+        if (rng.chance(1, 50))
+            word ^= 1;
+        if (rng.chance(1, 200))
+            word ^= 2;
+        if (rng.chance(1, 500))
+            word ^= 4;
+        expected_bubbles += word & 1;
+        writer.append(word);
+        ASSERT_LE(writer.bufferedCycles(), writer.blockCycles());
+    }
+    writer.finish();
+    EXPECT_EQ(writer.cyclesWritten(), kCycles);
+    EXPECT_LE(writer.peakBufferedCycles(), writer.blockCycles());
+
+    StoreReader reader(file.path());
+    EXPECT_EQ(reader.numCycles(), kCycles);
+    EXPECT_EQ(reader.countAllLanes(EventId::FetchBubbles),
+              expected_bubbles);
+    EXPECT_EQ(reader.blocksDecoded(), 0u);
+    // Narrow window on the 10M-cycle store: only boundary blocks
+    // decode (the sublinear-query property).
+    reader.windowTma(5'000'000, 5'000'200, 1);
+    EXPECT_LE(reader.blocksDecoded(), 2u);
+}
+
+TEST(StoreWriter, ZeroBlockCyclesSelectsDefault)
+{
+    // The CLI passes 0 for "no --block given"; it must map to the
+    // default, not degenerate single-cycle blocks.
+    ScratchFile file("zero_block");
+    TraceSpec spec;
+    spec.addLane(EventId::Cycles, 0);
+    StoreWriter writer(spec, file.path(), 0);
+    EXPECT_EQ(writer.blockCycles(), kStoreDefaultBlockCycles);
+    writer.append(1);
+    writer.finish();
+    EXPECT_EQ(StoreReader(file.path()).blockCycles(),
+              kStoreDefaultBlockCycles);
+}
+
+TEST(StoreWriter, AppendAfterFinishIsFatal)
+{
+    ScratchFile file("sealed");
+    TraceSpec spec;
+    spec.addLane(EventId::Cycles, 0);
+    StoreWriter writer(spec, file.path(), 64);
+    writer.append(1);
+    writer.finish();
+    EXPECT_THROW(writer.append(1), FatalError);
+}
+
+} // namespace
+} // namespace icicle

@@ -7,11 +7,14 @@
  */
 
 #include <atomic>
+#include <filesystem>
+#include <fstream>
 #include <gtest/gtest.h>
 
 #include "common/logging.hh"
 #include "isa/builder.hh"
 #include "rocket/rocket.hh"
+#include "store/store.hh"
 #include "sweep/sweep.hh"
 #include "workloads/workloads.hh"
 
@@ -241,6 +244,52 @@ TEST(SweepEngine, TracePointsCarryTraceMetrics)
     EXPECT_EQ(results[0].status, SweepStatus::Ok);
     // A branchy recursive workload recovers at least once.
     EXPECT_GT(results[0].recoverySequences, 0u);
+}
+
+TEST(SweepEngine, TraceOutWritesDeterministicStores)
+{
+    GridSpec grid;
+    grid.cores = {"rocket"};
+    grid.workloads = {"vvadd", "towers"};
+    grid.maxCycles = 300'000;
+    grid.withTrace = true;
+
+    const std::string dir1 = "/tmp/icicle_sweep_store_w1";
+    const std::string dir4 = "/tmp/icicle_sweep_store_w4";
+    for (const std::string &dir : {dir1, dir4}) {
+        std::filesystem::remove_all(dir);
+        std::filesystem::create_directories(dir);
+    }
+    SweepOptions options;
+    options.workers = 1;
+    options.traceOutDir = dir1;
+    const std::vector<SweepResult> serial = runSweep(grid, options);
+    options.workers = 4;
+    options.traceOutDir = dir4;
+    runSweep(grid, options);
+
+    for (const SweepResult &row : serial) {
+        SCOPED_TRACE(row.label);
+        const std::string p1 = sweepTracePath(dir1, row.label);
+        const std::string p4 = sweepTracePath(dir4, row.label);
+        ASSERT_TRUE(std::filesystem::exists(p1));
+        auto slurp = [](const std::string &path) {
+            std::ifstream in(path, std::ios::binary);
+            return std::string(
+                (std::istreambuf_iterator<char>(in)),
+                std::istreambuf_iterator<char>());
+        };
+        // The store writer is deterministic: 1-worker and 4-worker
+        // campaigns must produce byte-identical files.
+        EXPECT_EQ(slurp(p1), slurp(p4));
+        // And the store agrees with the row's trace-derived metrics.
+        StoreReader reader(p1);
+        EXPECT_EQ(reader.numCycles(), row.cycles);
+        EXPECT_EQ(reader.recoveryCdf().sequences(),
+                  row.recoverySequences);
+    }
+    std::filesystem::remove_all(dir1);
+    std::filesystem::remove_all(dir4);
 }
 
 TEST(SweepCore, NamedConfigsAllConstruct)

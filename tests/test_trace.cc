@@ -206,6 +206,72 @@ TEST(TraceAnalyzer, WindowTmaMatchesFullRunOnUniformWindow)
     EXPECT_NEAR(full.badSpeculation, live.badSpeculation, 1e-9);
 }
 
+// Boundary cases must be clean errors, not silent empty results: a
+// TmaResult of all zeros from an empty window reads like a perfect
+// (0% stall) run.
+TEST(TraceAnalyzer, WindowTmaRejectsEmptyWindow)
+{
+    TraceSpec spec;
+    spec.addLane(EventId::Recovering, 0);
+    Trace trace(spec);
+    for (int c = 0; c < 100; c++)
+        trace.append(0);
+    TraceAnalyzer analyzer(trace);
+    EXPECT_THROW(analyzer.windowTma(50, 50, 1), FatalError);
+    EXPECT_THROW(analyzer.windowTma(60, 40, 1), FatalError);
+}
+
+TEST(TraceAnalyzer, WindowTmaRejectsWindowPastTraceEnd)
+{
+    TraceSpec spec;
+    spec.addLane(EventId::Recovering, 0);
+    Trace trace(spec);
+    for (int c = 0; c < 100; c++)
+        trace.append(0);
+    TraceAnalyzer analyzer(trace);
+    try {
+        analyzer.windowTma(100, 200, 1);
+        FAIL() << "window starting at the trace end accepted";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("ends at cycle"),
+                  std::string::npos);
+    }
+    // A window that merely *extends* past the end is clamped.
+    const TmaResult clamped = analyzer.windowTma(90, 10'000, 1);
+    EXPECT_EQ(clamped.cycles, 10u);
+}
+
+TEST(TraceAnalyzer, WindowTmaRejectsZeroCycleTrace)
+{
+    TraceSpec spec;
+    spec.addLane(EventId::Recovering, 0);
+    Trace trace(spec);
+    TraceAnalyzer analyzer(trace);
+    EXPECT_THROW(analyzer.windowTma(0, 1, 1), FatalError);
+}
+
+TEST(TraceAnalyzer, PlotValidatesWindowLikeWindowTma)
+{
+    RocketCore core(RocketConfig{}, branchyLoop(50));
+    Trace trace =
+        traceRun(core, TraceSpec::frontendBundle(), 1'000'000);
+    TraceAnalyzer analyzer(trace);
+    EXPECT_THROW(analyzer.plot(10, 10), FatalError);
+    EXPECT_THROW(analyzer.plot(trace.numCycles() + 5,
+                               trace.numCycles() + 80),
+                 FatalError);
+    // Clamped-but-nonempty windows still render.
+    const std::string tail =
+        analyzer.plot(trace.numCycles() - 5, trace.numCycles() + 80);
+    EXPECT_NE(tail.find('|'), std::string::npos);
+
+    TraceSpec spec;
+    spec.addLane(EventId::Recovering, 0);
+    Trace empty(spec);
+    TraceAnalyzer empty_analyzer(empty);
+    EXPECT_THROW(empty_analyzer.plot(0, 10), FatalError);
+}
+
 TEST(TraceAnalyzer, PlotRendersDots)
 {
     RocketCore core(RocketConfig{}, branchyLoop(50));

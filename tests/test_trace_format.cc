@@ -210,6 +210,109 @@ TEST(TraceFormat, RejectsTruncatedPayload)
     EXPECT_THROW(readTrace(file.path()), FatalError);
 }
 
+// ---- payload CRC (format version 2) ---------------------------------
+
+namespace
+{
+
+std::string
+slurpFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+}
+
+void
+dumpFile(const std::string &path, const std::string &bytes)
+{
+    std::ofstream out(path, std::ios::binary);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+} // namespace
+
+TEST(TraceFormat, DetectsFlippedPayloadByte)
+{
+    ScratchFile file("crc_flip");
+    RocketCore core(RocketConfig{}, tinyLoop());
+    writeTrace(traceRun(core, TraceSpec::frontendBundle(), 100'000),
+               file.path());
+    std::string bytes = slurpFile(file.path());
+    // Flip one bit in the middle of the cycle records (well past the
+    // 12-byte header + 6 x 8-byte field table + 8-byte count).
+    bytes[bytes.size() / 2] ^= 0x10;
+    dumpFile(file.path(), bytes);
+    try {
+        readTrace(file.path());
+        FAIL() << "corrupt payload accepted";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("CRC mismatch"),
+                  std::string::npos);
+    }
+}
+
+TEST(TraceFormat, TruncationReportsExpectedVsActualCycles)
+{
+    ScratchFile file("crc_trunc");
+    TraceSpec spec;
+    spec.addLane(EventId::Cycles, 0);
+    Trace trace(spec);
+    for (int c = 0; c < 10; c++)
+        trace.append(1);
+    writeTrace(trace, file.path());
+    std::string bytes = slurpFile(file.path());
+    // Drop the CRC trailer and the last three cycle records.
+    dumpFile(file.path(), bytes.substr(0, bytes.size() - 4 - 3 * 8));
+    try {
+        readTrace(file.path());
+        FAIL() << "truncated payload accepted";
+    } catch (const FatalError &err) {
+        const std::string what = err.what();
+        EXPECT_NE(what.find("promises 10 cycles"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("only 7"), std::string::npos) << what;
+    }
+}
+
+TEST(TraceFormat, MissingCrcTrailerIsTruncation)
+{
+    ScratchFile file("crc_missing");
+    TraceSpec spec;
+    spec.addLane(EventId::Cycles, 0);
+    Trace trace(spec);
+    trace.append(1);
+    writeTrace(trace, file.path());
+    std::string bytes = slurpFile(file.path());
+    dumpFile(file.path(), bytes.substr(0, bytes.size() - 4));
+    try {
+        readTrace(file.path());
+        FAIL() << "missing CRC trailer accepted";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("CRC trailer"),
+                  std::string::npos);
+    }
+}
+
+TEST(TraceFormat, AcceptsVersion1FilesWithoutCrc)
+{
+    // Pre-CRC files (version 1) must stay readable.
+    ScratchFile file("v1_legacy");
+    TraceForge forge(file.path());
+    forge.header(kMagic, 1);
+    forge.put32(1);
+    forge.field(static_cast<u32>(EventId::Recovering), 0);
+    forge.put64(3);
+    forge.put64(1);
+    forge.put64(0);
+    forge.put64(1);
+    forge.close();
+    const Trace trace = readTrace(file.path());
+    EXPECT_EQ(trace.numCycles(), 3u);
+    EXPECT_EQ(trace.count(EventId::Recovering), 2u);
+}
+
 // Regression: a duplicate (event, lane) pair used to be silently
 // deduplicated through TraceSpec::addLane, shifting the bit index of
 // every subsequent field so all later signals decoded from the wrong

@@ -28,6 +28,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -60,6 +61,10 @@ usage(FILE *out)
         "                    (default: 80000000)\n"
         "  --trace           also capture + analyze the TMA trace\n"
         "                    bundle per point\n"
+        "  --trace-out DIR   write each point's trace as a\n"
+        "                    compressed .icst store into DIR\n"
+        "                    (implies --trace; byte-identical\n"
+        "                    across worker counts)\n"
         "  --spec FILE       read axes from a spec file (flags\n"
         "                    override)\n"
         "\n"
@@ -157,6 +162,30 @@ loadSpecFile(const std::string &path, GridSpec &grid)
     }
 }
 
+/**
+ * Create-or-fail the --trace-out directory before the grid expands:
+ * a bad path must be a usage error (exit 2) up front, not N failed
+ * store writes at campaign completion time.
+ */
+void
+validateTraceOutDir(const std::string &dir)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec)
+        fatal("cannot create --trace-out directory ", dir, ": ",
+              ec.message());
+    if (!std::filesystem::is_directory(dir))
+        fatal("--trace-out path is not a directory: ", dir);
+    const std::string probe = dir + "/.icicle-write-probe";
+    {
+        std::ofstream test(probe, std::ios::binary);
+        if (!test)
+            fatal("--trace-out directory is not writable: ", dir);
+    }
+    std::filesystem::remove(probe, ec);
+}
+
 void
 listAxes()
 {
@@ -214,6 +243,9 @@ main(int argc, char **argv)
             grid.maxCycles = std::stoull(value());
         } else if (arg == "--trace") {
             grid.withTrace = true;
+        } else if (arg == "--trace-out") {
+            options.traceOutDir = value();
+            grid.withTrace = true;
         } else if (arg == "--spec") {
             spec_path = value();
         } else if (arg == "--workers") {
@@ -248,6 +280,8 @@ main(int argc, char **argv)
     }
 
     try {
+        if (!options.traceOutDir.empty())
+            validateTraceOutDir(options.traceOutDir);
         if (!spec_path.empty())
             loadSpecFile(spec_path, grid);
         appendUnique(grid.cores, flag_cores);

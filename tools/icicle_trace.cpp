@@ -1,0 +1,338 @@
+/**
+ * @file
+ * icicle-trace: inspect, convert, and query icestore (.icst) trace
+ * containers and the legacy raw (.trc) format.
+ *
+ *   $ icicle-trace info run.icst --verify
+ *   $ icicle-trace pack raw.trc run.icst --block 65536
+ *   $ icicle-trace unpack run.icst raw.trc
+ *   $ icicle-trace query fetch-bubbles run.icst --window 1000:9000
+ *   $ icicle-trace tma run.icst --window 0:500000 --width 3
+ *   $ icicle-trace capture --core boom-large --workload qsort \
+ *       --cycles 2000000 --raw run.trc --store run.icst
+ *
+ * `query` and `tma` are served from block metadata wherever
+ * possible: both report how many blocks actually decoded, the
+ * sublinear-query evidence. `capture` with only --store streams the
+ * run straight to disk without materializing the in-memory trace.
+ *
+ * Exit status: 0 ok, 2 usage error or malformed input.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "core/session.hh"
+#include "store/store.hh"
+#include "sweep/sweep.hh"
+#include "trace/trace.hh"
+#include "workloads/workloads.hh"
+
+using namespace icicle;
+
+namespace
+{
+
+int
+usage(FILE *out)
+{
+    std::fprintf(
+        out,
+        "usage: icicle-trace <command> [options]\n"
+        "\n"
+        "  info FILE.icst [--verify]\n"
+        "      header, block, and compression summary; --verify\n"
+        "      CRC-checks every block\n"
+        "  pack IN.trc OUT.icst [--block N]\n"
+        "      compress a raw trace into a block-indexed store\n"
+        "  unpack IN.icst OUT.trc\n"
+        "      expand a store back into the raw format\n"
+        "  query EVENT FILE.icst [--lane N] [--window A:B]\n"
+        "      count event cycles (all lanes unless --lane), served\n"
+        "      from block metadata where possible\n"
+        "  tma FILE.icst --window A:B [--width N]\n"
+        "      temporal TMA over the window (Table II model)\n"
+        "  capture --core NAME --workload NAME [--cycles N]\n"
+        "          [--bundle tma|frontend] [--raw F] [--store F]\n"
+        "          [--block N]\n"
+        "      run a simulation and write its trace; with only\n"
+        "      --store the capture streams (bounded memory)\n");
+    return out == stderr ? 2 : 0;
+}
+
+EventId
+parseEvent(const std::string &name)
+{
+    for (u32 e = 0; e < kNumEvents; e++) {
+        if (name == eventName(static_cast<EventId>(e)))
+            return static_cast<EventId>(e);
+    }
+    std::string known;
+    for (u32 e = 0; e < kNumEvents; e++) {
+        known += e ? ", " : "";
+        known += eventName(static_cast<EventId>(e));
+    }
+    fatal("unknown event '", name, "' (known: ", known, ")");
+}
+
+void
+parseWindow(const std::string &text, u64 &begin, u64 &end)
+{
+    const auto colon = text.find(':');
+    if (colon == std::string::npos)
+        fatal("--window expects A:B, got '", text, "'");
+    begin = std::stoull(text.substr(0, colon));
+    end = std::stoull(text.substr(colon + 1));
+}
+
+/** Flag cursor: positional args collect, --flags consume values. */
+struct Args
+{
+    std::vector<std::string> positional;
+    bool verify = false;
+    bool has_window = false;
+    u64 begin = 0, end = 0;
+    int lane = -1;
+    u32 width = 1;
+    u32 block = 0;
+    u64 cycles = 80'000'000;
+    std::string core, workload, bundle = "tma", raw, store;
+};
+
+Args
+parseArgs(int argc, char **argv, int first)
+{
+    Args args;
+    for (int i = first; i < argc; i++) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal(arg, " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--verify")
+            args.verify = true;
+        else if (arg == "--window") {
+            parseWindow(value(), args.begin, args.end);
+            args.has_window = true;
+        } else if (arg == "--lane")
+            args.lane = static_cast<int>(std::stoul(value()));
+        else if (arg == "--width")
+            args.width = static_cast<u32>(std::stoul(value()));
+        else if (arg == "--block")
+            args.block = static_cast<u32>(std::stoul(value()));
+        else if (arg == "--cycles")
+            args.cycles = std::stoull(value());
+        else if (arg == "--core")
+            args.core = value();
+        else if (arg == "--workload")
+            args.workload = value();
+        else if (arg == "--bundle")
+            args.bundle = value();
+        else if (arg == "--raw")
+            args.raw = value();
+        else if (arg == "--store")
+            args.store = value();
+        else if (arg[0] == '-')
+            fatal("unknown option ", arg);
+        else
+            args.positional.push_back(arg);
+    }
+    return args;
+}
+
+int
+cmdInfo(const Args &args)
+{
+    if (args.positional.size() != 1)
+        fatal("info expects exactly one FILE.icst");
+    StoreReader reader(args.positional[0]);
+    if (args.verify)
+        reader.verify();
+    const double ratio =
+        reader.fileBytes()
+            ? static_cast<double>(reader.rawBytes()) /
+                  static_cast<double>(reader.fileBytes())
+            : 0.0;
+    std::printf("%s\n", args.positional[0].c_str());
+    std::printf("  cycles:       %llu\n",
+                static_cast<unsigned long long>(reader.numCycles()));
+    std::printf("  fields:       %u\n", reader.spec().numFields());
+    std::printf("  blocks:       %u x %u cycles\n", reader.numBlocks(),
+                reader.blockCycles());
+    std::printf("  file bytes:   %llu\n",
+                static_cast<unsigned long long>(reader.fileBytes()));
+    std::printf("  raw bytes:    %llu (8 B/cycle in memory)\n",
+                static_cast<unsigned long long>(reader.rawBytes()));
+    std::printf("  compression:  %.2fx%s\n", ratio,
+                args.verify ? "  (all block CRCs verified)" : "");
+    std::printf("  fields (popcount over the whole trace):\n");
+    for (const TraceField &field : reader.spec().fields) {
+        std::printf("    %18s[%u]  %llu\n", eventName(field.event),
+                    field.lane,
+                    static_cast<unsigned long long>(
+                        reader.count(field.event, field.lane)));
+    }
+    return 0;
+}
+
+int
+cmdPack(const Args &args)
+{
+    if (args.positional.size() != 2)
+        fatal("pack expects IN.trc OUT.icst");
+    const Trace trace = readTrace(args.positional[0]);
+    trace.toStore(args.positional[1], args.block);
+    StoreReader reader(args.positional[1]);
+    std::printf("packed %llu cycles x %u fields into %u blocks, "
+                "%.2fx compression\n",
+                static_cast<unsigned long long>(reader.numCycles()),
+                reader.spec().numFields(), reader.numBlocks(),
+                static_cast<double>(reader.rawBytes()) /
+                    static_cast<double>(reader.fileBytes()));
+    return 0;
+}
+
+int
+cmdUnpack(const Args &args)
+{
+    if (args.positional.size() != 2)
+        fatal("unpack expects IN.icst OUT.trc");
+    StoreReader reader(args.positional[0]);
+    reader.verify();
+    writeTrace(reader.readAll(), args.positional[1]);
+    std::printf("unpacked %llu cycles x %u fields\n",
+                static_cast<unsigned long long>(reader.numCycles()),
+                reader.spec().numFields());
+    return 0;
+}
+
+int
+cmdQuery(const Args &args)
+{
+    if (args.positional.size() != 2)
+        fatal("query expects EVENT FILE.icst");
+    const EventId event = parseEvent(args.positional[0]);
+    StoreReader reader(args.positional[1]);
+    u64 count = 0;
+    if (args.has_window) {
+        clampTraceWindow(reader.numCycles(), args.begin, args.end,
+                         "icicle-trace query");
+        if (args.lane >= 0)
+            fatal("--lane with --window is not supported; windowed "
+                  "counts cover all traced lanes");
+        count = reader.countInWindow(event, args.begin, args.end);
+    } else if (args.lane >= 0) {
+        count = reader.count(event, static_cast<u8>(args.lane));
+    } else {
+        count = reader.countAllLanes(event);
+    }
+    std::printf("%s: %llu", args.positional[0].c_str(),
+                static_cast<unsigned long long>(count));
+    if (args.has_window)
+        std::printf(" in [%llu, %llu)",
+                    static_cast<unsigned long long>(args.begin),
+                    static_cast<unsigned long long>(args.end));
+    std::printf("  (%llu of %u blocks decoded)\n",
+                static_cast<unsigned long long>(
+                    reader.blocksDecoded()),
+                reader.numBlocks());
+    return 0;
+}
+
+int
+cmdTma(const Args &args)
+{
+    if (args.positional.size() != 1)
+        fatal("tma expects FILE.icst");
+    if (!args.has_window)
+        fatal("tma requires --window A:B");
+    StoreReader reader(args.positional[0]);
+    const TmaResult result =
+        reader.windowTma(args.begin, args.end, args.width);
+    char title[96];
+    std::snprintf(title, sizeof(title),
+                  "temporal TMA, cycles [%llu, %llu), width %u",
+                  static_cast<unsigned long long>(args.begin),
+                  static_cast<unsigned long long>(args.end),
+                  args.width);
+    std::fputs(formatTmaReport(result, title).c_str(), stdout);
+    std::printf("(%llu of %u blocks decoded)\n",
+                static_cast<unsigned long long>(
+                    reader.blocksDecoded()),
+                reader.numBlocks());
+    return 0;
+}
+
+int
+cmdCapture(const Args &args)
+{
+    if (args.core.empty() || args.workload.empty())
+        fatal("capture requires --core and --workload");
+    if (args.raw.empty() && args.store.empty())
+        fatal("capture requires --raw and/or --store");
+    std::unique_ptr<Core> core = makeSweepCore(
+        args.core, CounterArch::AddWires, buildWorkload(args.workload));
+    TraceSpec spec;
+    if (args.bundle == "tma")
+        spec = TraceSpec::tmaBundle(*core);
+    else if (args.bundle == "frontend")
+        spec = TraceSpec::frontendBundle();
+    else
+        fatal("unknown bundle '", args.bundle,
+              "' (tma, frontend)");
+
+    u64 cycles = 0;
+    if (args.raw.empty()) {
+        // Store-only: stream straight to disk, bounded memory.
+        cycles = streamTraceToStore(*core, spec, args.cycles,
+                                    args.store, args.block);
+    } else {
+        const Trace trace = traceRun(*core, spec, args.cycles);
+        cycles = trace.numCycles();
+        writeTrace(trace, args.raw);
+        if (!args.store.empty())
+            trace.toStore(args.store, args.block);
+    }
+    std::printf("captured %llu cycles of %s/%s (%s bundle)\n",
+                static_cast<unsigned long long>(cycles),
+                args.core.c_str(), args.workload.c_str(),
+                args.bundle.c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage(stderr);
+    const std::string command = argv[1];
+    if (command == "--help" || command == "-h" || command == "help")
+        return usage(stdout);
+    try {
+        const Args args = parseArgs(argc, argv, 2);
+        if (command == "info")
+            return cmdInfo(args);
+        if (command == "pack")
+            return cmdPack(args);
+        if (command == "unpack")
+            return cmdUnpack(args);
+        if (command == "query")
+            return cmdQuery(args);
+        if (command == "tma")
+            return cmdTma(args);
+        if (command == "capture")
+            return cmdCapture(args);
+        std::fprintf(stderr, "unknown command: %s\n",
+                     command.c_str());
+        return usage(stderr);
+    } catch (const FatalError &err) {
+        std::fprintf(stderr, "fatal: %s\n", err.what());
+        return 2;
+    }
+}
