@@ -594,11 +594,17 @@ lintTmaModel(const TmaParams &params, const LintOptions &opts,
 
     report.add(
         "TMA-005", Severity::Info,
-        "Table II prints M_nf_r = (C_bm + C_fence) / M_tf, "
-        "contradicting its own 'non-fence flush ratio' label; the "
-        "model implements the labelled semantics "
-        "(C_bm + C_flush) / M_tf so fence flushes stay out of Bad "
-        "Speculation (see src/tma/tma.hh)",
+        std::string("Table II prints M_nf_r = (C_bm + C_fence) / "
+                    "M_tf, contradicting its own 'non-fence flush "
+                    "ratio' label; the model implements the labelled "
+                    "semantics (C_bm + C_flush) / M_tf so fence "
+                    "flushes stay out of Bad Speculation. Set "
+                    "TmaParams::paperLiteralNfr to reproduce the "
+                    "printed formula verbatim") +
+            (params.paperLiteralNfr
+                 ? " [paperLiteralNfr is SET: this run uses the "
+                   "printed formula]"
+                 : ""),
         "tma-model");
 
     if (params.coreWidth == 0) {

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * SARIF 2.1.0 serialization of lint/prove reports.
+ *
+ * Both analyzers (icicle-lint, icicle-prove) can emit their findings
+ * as a SARIF log so CI can upload them via codeql-action/upload-sarif
+ * and GitHub renders rule violations as inline code-scanning
+ * annotations. Each finding is anchored to the source file that
+ * implements the checked invariant (derived from the rule-id prefix),
+ * which is where a violation would have to be fixed.
+ */
+
+#ifndef ICICLE_ANALYSIS_SARIF_HH
+#define ICICLE_ANALYSIS_SARIF_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/diagnostics.hh"
+
+namespace icicle
+{
+
+/**
+ * Render reports as one SARIF 2.1.0 run. Each pair is (subject,
+ * report); the subject (config/store name) is prefixed to every
+ * result message so multi-config runs stay distinguishable in the
+ * flat SARIF result list.
+ *
+ * @param tool_name "icicle-lint" or "icicle-prove"
+ */
+std::string toSarif(
+    const std::string &tool_name,
+    const std::vector<std::pair<std::string, LintReport>> &reports);
+
+/** Write toSarif() output to a file; fatal() on I/O failure. */
+void writeSarif(
+    const std::string &tool_name,
+    const std::vector<std::pair<std::string, LintReport>> &reports,
+    const std::string &path);
+
+} // namespace icicle
+
+#endif // ICICLE_ANALYSIS_SARIF_HH

@@ -1,6 +1,9 @@
 #include "pmu/counters.hh"
 
+#include <bit>
+
 #include "common/logging.hh"
+#include "pmu/mutants.hh"
 
 namespace icicle
 {
@@ -28,9 +31,17 @@ ScalarCounter::ScalarCounter(EventId id, u32 sources)
 void
 ScalarCounter::tick(const EventBus &bus)
 {
-    const u16 mask = bus.mask(eventId);
-    for (u32 s = 0; s < perSource.size(); s++) {
-        if (mask & (1u << s))
+    step(bus.mask(eventId));
+}
+
+void
+ScalarCounter::step(u16 source_mask)
+{
+    u32 lanes = static_cast<u32>(perSource.size());
+    if (ICICLE_MUTANT(ScalarLaneSkip) && lanes > 1)
+        lanes--;
+    for (u32 s = 0; s < lanes; s++) {
+        if (source_mask & (1u << s))
             perSource[s]++;
     }
 }
@@ -63,10 +74,19 @@ AddWiresCounter::AddWiresCounter(EventId id, u32 sources)
 void
 AddWiresCounter::tick(const EventBus &bus)
 {
+    step(bus.mask(eventId));
+}
+
+void
+AddWiresCounter::step(u16 source_mask)
+{
     // The adder chain computes the popcount of the asserted sources;
     // the RTL compiles to a sequential chain (see §IV-B), which is
     // functionally just the sum.
-    value += bus.count(eventId);
+    u64 increment = static_cast<u64>(std::popcount(source_mask));
+    if (ICICLE_MUTANT(AddWiresOrSemantics))
+        increment = increment ? 1 : 0;
+    value += increment;
 }
 
 // ------------------------------------------------- DistributedCounter
@@ -101,14 +121,24 @@ DistributedCounter::DistributedCounter(EventId id, u32 sources,
 void
 DistributedCounter::tick(const EventBus &bus)
 {
-    const u16 mask = bus.mask(eventId);
+    step(bus.mask(eventId));
+}
 
+void
+DistributedCounter::step(u16 source_mask)
+{
     // Local counters count their own source; on wrap they latch the
     // overflow register.
+    const u64 wrap_at = ICICLE_MUTANT(WrapOffByOne) ? wrap + 1 : wrap;
     for (u32 s = 0; s < numSources; s++) {
-        if (mask & (1u << s)) {
+        if (source_mask & (1u << s)) {
+            if (ICICLE_MUTANT(SaturatingLocalAdd)) {
+                if (local[s] + 1 < wrap)
+                    local[s]++;
+                continue;
+            }
             local[s]++;
-            if (local[s] == wrap) {
+            if (local[s] == wrap_at) {
                 local[s] = 0;
                 // If the previous overflow was never drained we lose
                 // it: real hardware saturates the latch. This cannot
@@ -121,11 +151,15 @@ DistributedCounter::tick(const EventBus &bus)
 
     // Rotating one-hot arbiter: inspect exactly one overflow latch per
     // cycle; clear-on-select.
-    if (overflow[select]) {
-        overflow[select] = false;
+    const bool inspect =
+        !(ICICLE_MUTANT(DrainSkipsSourceZero) && select == 0);
+    if (inspect && overflow[select]) {
+        if (!ICICLE_MUTANT(StickyOverflowDrain))
+            overflow[select] = false;
         principal++;
     }
-    select = (select + 1) % numSources;
+    const u32 advance = ICICLE_MUTANT(ArbiterDoubleAdvance) ? 2 : 1;
+    select = (select + advance) % numSources;
 }
 
 u64
@@ -134,7 +168,7 @@ DistributedCounter::residue() const
     u64 leftover = 0;
     for (u32 s = 0; s < numSources; s++) {
         leftover += local[s];
-        if (overflow[s])
+        if (overflow[s] && !ICICLE_MUTANT(ResidueDropsLatch))
             leftover += wrap;
     }
     return leftover;
@@ -150,6 +184,33 @@ u64
 DistributedCounter::undercountBound() const
 {
     return static_cast<u64>(numSources) * wrap;
+}
+
+DistributedCounterState
+DistributedCounter::snapshot() const
+{
+    DistributedCounterState state;
+    state.local = local;
+    state.overflow.assign(numSources, 0);
+    for (u32 s = 0; s < numSources; s++)
+        state.overflow[s] = overflow[s] ? 1 : 0;
+    state.select = select;
+    state.principal = principal;
+    return state;
+}
+
+void
+DistributedCounter::restore(const DistributedCounterState &state)
+{
+    ICICLE_ASSERT(state.local.size() == numSources &&
+                      state.overflow.size() == numSources &&
+                      state.select < numSources,
+                  "snapshot geometry mismatch");
+    local = state.local;
+    for (u32 s = 0; s < numSources; s++)
+        overflow[s] = state.overflow[s] != 0;
+    select = state.select;
+    principal = state.principal;
 }
 
 void

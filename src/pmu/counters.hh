@@ -41,6 +41,14 @@ class EventCounter
     virtual void tick(const EventBus &bus) = 0;
 
     /**
+     * Advance one cycle with an explicit source bitmask instead of a
+     * sampled bus — the model-checker step hook (src/prove/). tick()
+     * is defined as step(bus.mask(event)), so enumerating step() over
+     * all masks covers exactly the transitions tick() can take.
+     */
+    virtual void step(u16 source_mask) = 0;
+
+    /**
      * Value as software reads it over the CSR interface. For the
      * distributed architecture this is the *principal* counter, in
      * units of 2^localWidth events.
@@ -78,6 +86,7 @@ class ScalarCounter : public EventCounter
     ScalarCounter(EventId id, u32 sources);
 
     void tick(const EventBus &bus) override;
+    void step(u16 source_mask) override;
     u64 read() const override;
     u64 corrected() const override { return read(); }
     u32 hwCounters() const override
@@ -104,6 +113,7 @@ class AddWiresCounter : public EventCounter
     AddWiresCounter(EventId id, u32 sources);
 
     void tick(const EventBus &bus) override;
+    void step(u16 source_mask) override;
     u64 read() const override { return value; }
     u64 corrected() const override { return value; }
     u32 hwCounters() const override { return 1; }
@@ -116,6 +126,22 @@ class AddWiresCounter : public EventCounter
   private:
     u32 numSources;
     u64 value = 0;
+};
+
+/**
+ * Complete dynamic state of a DistributedCounter. The model checker
+ * (src/prove/) snapshots a counter, enumerates every input schedule
+ * from that state, and restores; overflow is stored as u8 so the
+ * struct hashes/compares without vector<bool> proxy surprises.
+ */
+struct DistributedCounterState
+{
+    std::vector<u64> local;
+    std::vector<u8> overflow;
+    u32 select = 0;
+    u64 principal = 0;
+
+    bool operator==(const DistributedCounterState &) const = default;
 };
 
 /**
@@ -142,6 +168,7 @@ class DistributedCounter : public EventCounter
     DistributedCounter(EventId id, u32 sources, u32 local_width = 0);
 
     void tick(const EventBus &bus) override;
+    void step(u16 source_mask) override;
     u64 read() const override { return principal; }
     u64 corrected() const override;
     u32 hwCounters() const override { return 1; }
@@ -154,6 +181,14 @@ class DistributedCounter : public EventCounter
     /** Worst-case undercount bound: sources x 2^localWidth. */
     u64 undercountBound() const;
     u32 localWidth() const { return width; }
+
+    /** Snapshot the complete dynamic state (model-checker hook). */
+    DistributedCounterState snapshot() const;
+    /**
+     * Restore a snapshot. The snapshot must come from a counter of
+     * the same geometry (sources, localWidth); panics otherwise.
+     */
+    void restore(const DistributedCounterState &state);
 
   private:
     u32 numSources;

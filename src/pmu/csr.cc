@@ -1,6 +1,7 @@
 #include "pmu/csr.hh"
 
 #include "common/logging.hh"
+#include "pmu/mutants.hh"
 
 namespace icicle
 {
@@ -24,7 +25,9 @@ CsrFile::decodeSelector(Hpm &hpm, u64 value)
         return;
 
     const u32 set_id = static_cast<u32>(value & 0xff);
-    const u64 mask = (value >> 8) & ((1ull << 48) - 1);
+    u64 mask = (value >> 8) & ((1ull << 48) - 1);
+    if (ICICLE_MUTANT(MaskWidthTruncation))
+        mask &= 0xF;
     const u32 lane_plus_one = static_cast<u32>(value >> 56) & 0x3f;
 
     if (set_id >= static_cast<u32>(EventSetId::NumSets)) {
@@ -66,6 +69,19 @@ CsrFile::decodeSelector(Hpm &hpm, u64 value)
 void
 CsrFile::tickHpm(Hpm &hpm, const EventBus &bus)
 {
+    const u64 n = hpm.sources.size();
+    u64 high = 0;
+    for (u64 s = 0; s < n && s < 64; s++) {
+        const auto &[event, source] = hpm.sources[s];
+        if (bus.mask(event) & (1u << source))
+            high |= 1ull << s;
+    }
+    tickHpmMasked(hpm, high);
+}
+
+void
+CsrFile::tickHpmMasked(Hpm &hpm, u64 high)
+{
     if (hpm.sources.empty())
         return;
 
@@ -78,8 +94,7 @@ CsrFile::tickHpm(Hpm &hpm, const EventBus &bus)
         // lane-select is used (then n == 1 and the two coincide).
         bool any = false;
         for (u64 s = 0; s < n; s++) {
-            const auto &[event, source] = hpm.sources[s];
-            if (bus.mask(event) & (1u << source)) {
+            if (high & (1ull << s)) {
                 hpm.perSource[s]++;
                 any = true;
             }
@@ -92,8 +107,8 @@ CsrFile::tickHpm(Hpm &hpm, const EventBus &bus)
         // The adder chain sums the concatenated (width-padded)
         // increment signals of all mapped events.
         u64 increment = 0;
-        for (const auto &[event, source] : hpm.sources) {
-            if (bus.mask(event) & (1u << source))
+        for (u64 s = 0; s < n; s++) {
+            if (high & (1ull << s))
                 increment++;
         }
         hpm.value += increment;
@@ -101,8 +116,7 @@ CsrFile::tickHpm(Hpm &hpm, const EventBus &bus)
       }
       case CounterArch::Distributed: {
         for (u64 s = 0; s < n; s++) {
-            const auto &[event, source] = hpm.sources[s];
-            if (bus.mask(event) & (1u << source)) {
+            if (high & (1ull << s)) {
                 if (++hpm.local[s] == hpm.wrap) {
                     hpm.local[s] = 0;
                     hpm.overflow[s] = true;
@@ -127,7 +141,8 @@ CsrFile::tick(const EventBus &bus)
     if (!(inhibitMask & 4ull))
         minstretValue += bus.count(EventId::InstRetired);
     for (u32 i = 0; i < csr::numHpm; i++) {
-        if (!(inhibitMask & (1ull << (i + 3))))
+        if (!(inhibitMask & (1ull << (i + 3))) ||
+            ICICLE_MUTANT(InhibitRace))
             tickHpm(hpms[i], bus);
     }
 }
@@ -167,8 +182,10 @@ CsrFile::writeCsr(u32 addr, u64 value)
         Hpm &hpm = hpms[addr - csr::mhpmcounter3];
         // Writing a counter resets all architecture-internal state;
         // only value 0 is meaningful for the distributed design.
-        const u64 selector = hpm.selector;
-        decodeSelector(hpm, selector);
+        if (!ICICLE_MUTANT(CounterWriteKeepsResidue)) {
+            const u64 selector = hpm.selector;
+            decodeSelector(hpm, selector);
+        }
         hpm.value = value;
         hpm.principal = value;
         return;
@@ -256,6 +273,56 @@ CsrFile::clearCounters()
         const u64 selector = hpm.selector;
         decodeSelector(hpm, selector);
     }
+}
+
+HpmState
+CsrFile::snapshotHpm(u32 index) const
+{
+    ICICLE_ASSERT(index < csr::numHpm, "hpm index out of range");
+    const Hpm &hpm = hpms[index];
+    HpmState state;
+    state.selector = hpm.selector;
+    state.value = hpm.value;
+    state.perSource = hpm.perSource;
+    state.localWidth = hpm.localWidth;
+    state.wrap = hpm.wrap;
+    state.local = hpm.local;
+    state.overflow.assign(hpm.overflow.size(), 0);
+    for (u64 s = 0; s < hpm.overflow.size(); s++)
+        state.overflow[s] = hpm.overflow[s] ? 1 : 0;
+    state.select = hpm.select;
+    state.principal = hpm.principal;
+    return state;
+}
+
+void
+CsrFile::restoreHpm(u32 index, const HpmState &state)
+{
+    ICICLE_ASSERT(index < csr::numHpm, "hpm index out of range");
+    Hpm &hpm = hpms[index];
+    // Re-derive the source wiring from the selector, then overlay the
+    // dynamic state on top.
+    decodeSelector(hpm, state.selector);
+    ICICLE_ASSERT(hpm.perSource.size() == state.perSource.size() &&
+                      hpm.local.size() == state.local.size() &&
+                      hpm.overflow.size() == state.overflow.size(),
+                  "snapshot geometry mismatch");
+    hpm.value = state.value;
+    hpm.perSource = state.perSource;
+    hpm.local = state.local;
+    for (u64 s = 0; s < state.overflow.size(); s++)
+        hpm.overflow[s] = state.overflow[s] != 0;
+    hpm.select = state.select;
+    hpm.principal = state.principal;
+}
+
+void
+CsrFile::stepHpm(u32 index, u16 source_mask)
+{
+    ICICLE_ASSERT(index < csr::numHpm, "hpm index out of range");
+    if (!(inhibitMask & (1ull << (index + 3))) ||
+        ICICLE_MUTANT(InhibitRace))
+        tickHpmMasked(hpms[index], source_mask);
 }
 
 u32

@@ -50,6 +50,26 @@ selector(EventSetId set, u64 mask, u32 lane_plus_one = 0)
 } // namespace csr
 
 /**
+ * Complete dynamic state of one programmable counter, including the
+ * decoded selector wiring. The model checker (src/prove/) snapshots
+ * an Hpm, enumerates input/CSR-action schedules, and restores.
+ */
+struct HpmState
+{
+    u64 selector = 0;
+    u64 value = 0;
+    std::vector<u64> perSource;
+    u32 localWidth = 0;
+    u64 wrap = 1;
+    std::vector<u64> local;
+    std::vector<u8> overflow;
+    u32 select = 0;
+    u64 principal = 0;
+
+    bool operator==(const HpmState &) const = default;
+};
+
+/**
  * The CSR file. Acts as the CsrBackend for in-band software (the
  * Zicsr path through the Executor) and exposes a host-side view for
  * out-of-band tools.
@@ -102,6 +122,18 @@ class CsrFile : public CsrBackend
     /** Total hardware counter registers the current config uses. */
     u32 hwCountersInUse() const;
 
+    // ---- model-checker hooks (src/prove/) --------------------------
+    /** Snapshot the complete dynamic state of counter `index`. */
+    HpmState snapshotHpm(u32 index) const;
+    /** Restore counter `index` from a snapshot (re-derives wiring). */
+    void restoreHpm(u32 index, const HpmState &state);
+    /**
+     * Advance only counter `index` one cycle with an explicit
+     * per-source bitmask over its decoded source list, honouring the
+     * inhibit bit — the CSR-level analogue of EventCounter::step().
+     */
+    void stepHpm(u32 index, u16 source_mask);
+
   private:
     /** One programmable counter's decoded configuration and state. */
     struct Hpm
@@ -124,6 +156,7 @@ class CsrFile : public CsrBackend
 
     void decodeSelector(Hpm &hpm, u64 value);
     void tickHpm(Hpm &hpm, const EventBus &bus);
+    void tickHpmMasked(Hpm &hpm, u64 high);
 
     CoreKind coreKind;
     CounterArch counterArch;

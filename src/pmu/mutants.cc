@@ -1,0 +1,105 @@
+#include "pmu/mutants.hh"
+
+#include "common/logging.hh"
+
+namespace icicle
+{
+
+namespace
+{
+
+const MutantInfo kRegistry[] = {
+    {CounterMutant::WrapOffByOne, "wrap-off-by-one",
+     "local counter wraps at 2^w + 1 instead of 2^w, losing one "
+     "event per wrap",
+     "PROVE-C1"},
+    {CounterMutant::ArbiterDoubleAdvance, "arbiter-double-advance",
+     "rotating one-hot select advances two slots per cycle, starving "
+     "odd sources when the source count is even",
+     "PROVE-C2"},
+    {CounterMutant::DrainSkipsSourceZero, "drain-skips-source-zero",
+     "arbiter never inspects source 0's overflow latch",
+     "PROVE-C2"},
+    {CounterMutant::SaturatingLocalAdd, "saturating-local-add",
+     "local counter saturates at 2^w - 1 instead of wrapping and "
+     "latching the overflow",
+     "PROVE-C1"},
+    {CounterMutant::StickyOverflowDrain, "sticky-overflow-drain",
+     "drain increments the principal without clearing the latch, "
+     "double-counting every rotation",
+     "PROVE-C1"},
+    {CounterMutant::ResidueDropsLatch, "residue-drops-latch",
+     "host-side residue correction omits undrained overflow latches",
+     "PROVE-C1"},
+    {CounterMutant::AddWiresOrSemantics, "addwires-or-semantics",
+     "adder chain degenerates to the legacy OR, counting bursts as "
+     "one event",
+     "PROVE-C1"},
+    {CounterMutant::ScalarLaneSkip, "scalar-lane-skip",
+     "scalar counter file drops its last source lane",
+     "PROVE-C1"},
+    {CounterMutant::MaskWidthTruncation, "mask-width-truncation",
+     "mhpmevent's 48-bit event mask truncated to 4 bits; high-bit "
+     "events are never wired",
+     "PROVE-C3"},
+    {CounterMutant::InhibitRace, "inhibit-race",
+     "increment path ignores mcountinhibit; counting continues while "
+     "inhibited",
+     "PROVE-C3"},
+    {CounterMutant::CounterWriteKeepsResidue,
+     "counter-write-keeps-residue",
+     "writing mhpmcounter keeps the local/overflow residue, "
+     "pre-loading the next epoch",
+     "PROVE-C3"},
+};
+
+CounterMutant active = CounterMutant::None;
+
+} // namespace
+
+const std::vector<MutantInfo> &
+mutantRegistry()
+{
+    static const std::vector<MutantInfo> registry(
+        std::begin(kRegistry), std::end(kRegistry));
+    return registry;
+}
+
+const MutantInfo &
+mutantInfo(CounterMutant mutant)
+{
+    for (const MutantInfo &info : mutantRegistry()) {
+        if (info.id == mutant)
+            return info;
+    }
+    panic("no registry row for mutant ", static_cast<int>(mutant));
+}
+
+bool
+mutantsCompiledIn()
+{
+#ifdef ICICLE_MUTANTS
+    return true;
+#else
+    return false;
+#endif
+}
+
+CounterMutant
+activeMutant()
+{
+    return active;
+}
+
+void
+setActiveMutant(CounterMutant mutant)
+{
+    if (mutant != CounterMutant::None && !mutantsCompiledIn()) {
+        fatal("mutant '", mutantInfo(mutant).name,
+              "' requested but this build compiled without "
+              "-DICICLE_MUTANTS=ON");
+    }
+    active = mutant;
+}
+
+} // namespace icicle

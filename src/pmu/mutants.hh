@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Seeded counter-bug registry for icicle-prove's self-validation.
+ *
+ * Each mutant is a small, realistic hardware bug injected into the
+ * counter architectures (src/pmu/counters.cc) or the CSR file
+ * (src/pmu/csr.cc): an off-by-one wrap comparison, a double-stepping
+ * arbiter, a truncated selector mask, and so on. The model checker
+ * must flag *every* mutant and *zero* findings on the unmutated
+ * implementations — a checker that passes clean configs but misses
+ * seeded bugs proves nothing.
+ *
+ * The injection branches compile only under -DICICLE_MUTANTS=ON (the
+ * `ICICLE_MUTANT(...)` macro folds to `false` otherwise), so the
+ * default build's counter tick paths carry zero mutant overhead. The
+ * registry metadata is always available so `icicle-prove mutants` can
+ * explain that the build lacks the hooks instead of silently passing.
+ */
+
+#ifndef ICICLE_PMU_MUTANTS_HH
+#define ICICLE_PMU_MUTANTS_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace icicle
+{
+
+/** The seeded counter bugs. None = unmutated implementation. */
+enum class CounterMutant : u8
+{
+    None = 0,
+    /** Local counter wraps at 2^w + 1 instead of 2^w: one event per
+     *  wrap vanishes between the residue and the latch. */
+    WrapOffByOne,
+    /** Rotating arbiter advances by two slots per cycle: with an even
+     *  source count, odd sources are never drained. */
+    ArbiterDoubleAdvance,
+    /** Arbiter never inspects source 0's latch (off-by-one loop
+     *  bound in the select decoder). */
+    DrainSkipsSourceZero,
+    /** Local counter saturates at 2^w - 1 instead of wrapping and
+     *  latching: burst events are dropped, not deferred. */
+    SaturatingLocalAdd,
+    /** Drain increments the principal without clearing the latch: the
+     *  same overflow is counted once per rotation. */
+    StickyOverflowDrain,
+    /** Host-side residue correction forgets undrained latches:
+     *  corrected() loses 2^w events per set latch. */
+    ResidueDropsLatch,
+    /** AddWires chain degenerates to the legacy OR: multi-source
+     *  bursts count as one event per cycle. */
+    AddWiresOrSemantics,
+    /** Scalar counter file drops its last source lane. */
+    ScalarLaneSkip,
+    /** mhpmevent's 48-bit event mask is truncated to 4 bits: events
+     *  with higher mask positions are silently never wired. */
+    MaskWidthTruncation,
+    /** Increment path ignores mcountinhibit: events keep counting
+     *  while software believes the counter is frozen. */
+    InhibitRace,
+    /** Writing mhpmcounter sets the principal but keeps the local /
+     *  overflow residue: the next epoch starts pre-loaded. */
+    CounterWriteKeepsResidue,
+    NumMutants
+};
+
+/** Registry metadata for one seeded bug. */
+struct MutantInfo
+{
+    CounterMutant id;
+    /** Stable CLI name ("wrap-off-by-one"). */
+    const char *name;
+    const char *description;
+    /** Rule family expected to flag it ("PROVE-C1", ...). */
+    const char *expectedRule;
+};
+
+/** All seeded mutants (None excluded), in enum order. */
+const std::vector<MutantInfo> &mutantRegistry();
+
+/** Registry row for one mutant id. */
+const MutantInfo &mutantInfo(CounterMutant mutant);
+
+/** Were the injection branches compiled in (-DICICLE_MUTANTS=ON)? */
+bool mutantsCompiledIn();
+
+/**
+ * Currently active mutant. Always None unless the build compiled the
+ * hooks and a checker activated one.
+ */
+CounterMutant activeMutant();
+
+/**
+ * Activate a mutant (or None to restore the real implementation).
+ * fatal() when asked for a real mutant in a build without the hooks.
+ */
+void setActiveMutant(CounterMutant mutant);
+
+/** RAII activation used by the mutant checker and tests. */
+class ScopedMutant
+{
+  public:
+    explicit ScopedMutant(CounterMutant mutant)
+        : previous(activeMutant())
+    {
+        setActiveMutant(mutant);
+    }
+    ~ScopedMutant() { setActiveMutant(previous); }
+    ScopedMutant(const ScopedMutant &) = delete;
+    ScopedMutant &operator=(const ScopedMutant &) = delete;
+
+  private:
+    CounterMutant previous;
+};
+
+/**
+ * Injection-point test, used by the mutated implementation files.
+ * Folds to `false` (dead branch, zero overhead) without the option.
+ */
+#ifdef ICICLE_MUTANTS
+#define ICICLE_MUTANT(m)                                                  \
+    (::icicle::activeMutant() == ::icicle::CounterMutant::m)
+#else
+#define ICICLE_MUTANT(m) false
+#endif
+
+} // namespace icicle
+
+#endif // ICICLE_PMU_MUTANTS_HH

@@ -1,0 +1,605 @@
+#include "prove/prove.hh"
+
+#include <bit>
+#include <deque>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/logging.hh"
+#include "pmu/csr.hh"
+
+namespace icicle
+{
+
+namespace
+{
+
+/** Max findings recorded per rule per run before suppression. */
+constexpr u32 kMaxFindingsPerRule = 4;
+
+u32
+autoWidth(u32 sources)
+{
+    u32 width = 1;
+    while ((1u << width) < sources)
+        width++;
+    return width;
+}
+
+/**
+ * Largest k <= sources such that the worst-case canonical state bound
+ * (wrap^k local values x 2^k latches x sources arbiter positions)
+ * fits the state budget. Always at least 1.
+ */
+u32
+budgetActiveSources(u32 sources, u64 wrap, u64 max_states)
+{
+    u32 k = 1;
+    while (k < sources) {
+        u64 bound = sources;
+        bool overflowed = false;
+        for (u32 i = 0; i < k + 1; i++) {
+            if (bound > max_states / (wrap * 2)) {
+                overflowed = true;
+                break;
+            }
+            bound *= wrap * 2;
+        }
+        if (overflowed || bound > max_states)
+            break;
+        k++;
+    }
+    return k;
+}
+
+/** Rate-limited report append; returns false once the rule is full. */
+class FindingSink
+{
+  public:
+    FindingSink(LintReport &report, std::string subject)
+        : out(report), subj(std::move(subject))
+    {}
+
+    void
+    add(const char *rule, const std::string &message)
+    {
+        u32 &n = (std::string(rule) == "PROVE-C1")   ? c1
+                 : (std::string(rule) == "PROVE-C2") ? c2
+                                                     : c3;
+        n++;
+        if (n <= kMaxFindingsPerRule) {
+            out.add(rule, Severity::Error, message, subj);
+        } else if (n == kMaxFindingsPerRule + 1) {
+            out.add(rule, Severity::Warn,
+                    "further violations of this rule suppressed "
+                    "(witnesses above are representative)",
+                    subj);
+        }
+    }
+
+  private:
+    LintReport &out;
+    std::string subj;
+    u32 c1 = 0, c2 = 0, c3 = 0;
+};
+
+std::string
+formatState(const DistributedCounterState &state)
+{
+    std::ostringstream os;
+    os << "local=[";
+    for (u64 i = 0; i < state.local.size(); i++)
+        os << (i ? "," : "") << state.local[i];
+    os << "] ovf=[";
+    for (u64 i = 0; i < state.overflow.size(); i++)
+        os << (i ? "," : "") << static_cast<u32>(state.overflow[i]);
+    os << "] sel=" << state.select;
+    return os.str();
+}
+
+std::string
+stateKey(const DistributedCounterState &state)
+{
+    std::string key;
+    key.reserve(state.local.size() * 2 + state.overflow.size() + 1);
+    for (u64 v : state.local) {
+        key.push_back(static_cast<char>(v & 0xff));
+        key.push_back(static_cast<char>((v >> 8) & 0xff));
+    }
+    for (u8 o : state.overflow)
+        key.push_back(static_cast<char>(o));
+    key.push_back(static_cast<char>(state.select));
+    return key;
+}
+
+/**
+ * PROVE-C2 probe: from `state`, run `sources` input-silent cycles and
+ * require every overflow latch to drain into the principal.
+ */
+void
+drainProbe(DistributedCounter &counter,
+           const DistributedCounterState &state, u32 sources,
+           FindingSink &sink)
+{
+    counter.restore(state);
+    u32 latched = 0;
+    for (u8 o : state.overflow)
+        latched += o ? 1 : 0;
+    for (u32 i = 0; i < sources; i++)
+        counter.step(0);
+    const DistributedCounterState after = counter.snapshot();
+    u32 still = 0;
+    for (u8 o : after.overflow)
+        still += o ? 1 : 0;
+    if (still > 0) {
+        std::ostringstream os;
+        os << still << " overflow latch(es) still pending after "
+           << sources << " silent cycles from state "
+           << formatState(state)
+           << " -- the arbiter is not live for every source";
+        sink.add("PROVE-C2", os.str());
+        return;
+    }
+    if (after.principal != state.principal + latched) {
+        std::ostringstream os;
+        os << "draining " << latched << " latch(es) from state "
+           << formatState(state) << " moved the principal by "
+           << (after.principal - state.principal)
+           << " (expected exactly one increment per latch)";
+        sink.add("PROVE-C2", os.str());
+    }
+}
+
+ProveStats
+proveDistributed(const ArchProveOptions &options, LintReport &report)
+{
+    const u32 sources = options.sources;
+    const u32 width =
+        options.localWidth ? options.localWidth : autoWidth(sources);
+    const u64 wrap = 1ull << width;
+
+    std::ostringstream subj;
+    subj << "distributed/s" << sources << "w" << width;
+    FindingSink sink(report, subj.str());
+
+    ProveStats stats;
+    stats.activeSources =
+        options.activeSources
+            ? std::min(options.activeSources, sources)
+            : budgetActiveSources(sources, wrap, options.maxStates);
+    const u32 k = stats.activeSources;
+    const u32 num_masks = 1u << k;
+
+    DistributedCounter counter(EventId::Cycles, sources, width);
+
+    DistributedCounterState init = counter.snapshot();
+    std::unordered_set<std::string> visited;
+    std::deque<std::pair<DistributedCounterState, u32>> frontier;
+    visited.insert(stateKey(init));
+    frontier.emplace_back(init, 0);
+    stats.states = 1;
+    stats.closed = true;
+
+    while (!frontier.empty()) {
+        auto [state, depth] = std::move(frontier.front());
+        frontier.pop_front();
+        stats.depth = std::max(stats.depth, depth);
+
+        drainProbe(counter, state, sources, sink);
+
+        if (depth >= options.horizon) {
+            stats.closed = false;
+            continue;
+        }
+
+        for (u32 mask = 0; mask < num_masks; mask++) {
+            counter.restore(state);
+            const u64 before = counter.corrected();
+            counter.step(static_cast<u16>(mask));
+            const u64 after = counter.corrected();
+            const u64 expected =
+                static_cast<u64>(std::popcount(mask));
+            stats.transitions++;
+            if (after != before + expected) {
+                std::ostringstream os;
+                os << "corrected value moved by "
+                   << static_cast<i64>(after - before)
+                   << " for a burst of " << expected
+                   << " event(s) (mask 0x" << std::hex << mask
+                   << std::dec << ") from state "
+                   << formatState(state);
+                sink.add("PROVE-C1", os.str());
+            }
+            DistributedCounterState next = counter.snapshot();
+            next.principal = 0; // canonical: accumulator-independent
+            if (visited.insert(stateKey(next)).second) {
+                if (visited.size() > options.maxStates) {
+                    stats.closed = false;
+                    frontier.clear();
+                    break;
+                }
+                stats.states++;
+                frontier.emplace_back(std::move(next), depth + 1);
+            }
+        }
+    }
+    return stats;
+}
+
+/**
+ * Scalar and AddWires carry no hidden control state: their dynamics
+ * are the same from every state, so one cumulative sweep over the
+ * full input alphabet is the entire (single-state) enumeration.
+ */
+ProveStats
+proveStateless(CounterArch arch, const ArchProveOptions &options,
+               LintReport &report)
+{
+    const u32 sources = options.sources;
+    std::ostringstream subj;
+    subj << counterArchName(arch) << "/s" << sources;
+    FindingSink sink(report, subj.str());
+
+    ProveStats stats;
+    stats.states = 1;
+    stats.closed = true;
+    stats.activeSources = std::min(sources, 14u);
+    const u32 num_masks = 1u << stats.activeSources;
+
+    std::unique_ptr<EventCounter> counter =
+        makeCounter(arch, EventId::Cycles, sources);
+    for (u32 mask = 0; mask < num_masks; mask++) {
+        const u64 before = counter->corrected();
+        counter->step(static_cast<u16>(mask));
+        const u64 after = counter->corrected();
+        const u64 expected = static_cast<u64>(std::popcount(mask));
+        stats.transitions++;
+        if (after != before + expected) {
+            std::ostringstream os;
+            os << "corrected value moved by "
+               << static_cast<i64>(after - before)
+               << " for a burst of " << expected
+               << " event(s) (mask 0x" << std::hex << mask << std::dec
+               << ")";
+            sink.add("PROVE-C1", os.str());
+        }
+    }
+    return stats;
+}
+
+} // namespace
+
+ProveStats
+proveCounterLossless(CounterArch arch, const ArchProveOptions &options,
+                     LintReport &report)
+{
+    ICICLE_ASSERT(options.sources >= 1 &&
+                      options.sources <= kMaxSources,
+                  "bad source count");
+    if (arch == CounterArch::Distributed)
+        return proveDistributed(options, report);
+    return proveStateless(arch, options, report);
+}
+
+// ------------------------------------------------------------ PROVE-C3
+
+namespace
+{
+
+/** CSR actions interleaved with event bursts in the C3 schedules. */
+enum class CsrAction : u8
+{
+    None = 0,
+    InhibitOn,
+    InhibitOff,
+    WriteCounterZero,
+    NumActions
+};
+
+const char *
+actionName(CsrAction action)
+{
+    switch (action) {
+      case CsrAction::None: return "none";
+      case CsrAction::InhibitOn: return "inhibit-on";
+      case CsrAction::InhibitOff: return "inhibit-off";
+      case CsrAction::WriteCounterZero: return "write-counter-0";
+      default: return "?";
+    }
+}
+
+/** Canonical C3 state: counter dynamics plus the inhibit bit. */
+struct CsrState
+{
+    HpmState hpm;
+    bool inhibited = false;
+};
+
+std::string
+csrStateKey(const CsrState &state)
+{
+    std::string key;
+    for (u64 v : state.hpm.local) {
+        key.push_back(static_cast<char>(v & 0xff));
+        key.push_back(static_cast<char>((v >> 8) & 0xff));
+    }
+    for (u8 o : state.hpm.overflow)
+        key.push_back(static_cast<char>(o));
+    key.push_back(static_cast<char>(state.hpm.select));
+    key.push_back(state.inhibited ? 1 : 0);
+    return key;
+}
+
+std::string
+formatCsrState(const CsrState &state)
+{
+    std::ostringstream os;
+    os << "local=[";
+    for (u64 i = 0; i < state.hpm.local.size(); i++)
+        os << (i ? "," : "") << state.hpm.local[i];
+    os << "] ovf=[";
+    for (u64 i = 0; i < state.hpm.overflow.size(); i++)
+        os << (i ? "," : "")
+           << static_cast<u32>(state.hpm.overflow[i]);
+    os << "] sel=" << state.hpm.select
+       << (state.inhibited ? " inhibited" : " running");
+    return os.str();
+}
+
+/** What the architecture should add for a burst, per §IV-B. */
+u64
+expectedIncrement(CounterArch arch, u32 mask)
+{
+    if (arch == CounterArch::Scalar) {
+        // Legacy Chipyard OR semantics (Fig. 1): at most one count
+        // per cycle regardless of how many sources fire.
+        return mask != 0 ? 1 : 0;
+    }
+    return static_cast<u64>(std::popcount(mask));
+}
+
+} // namespace
+
+ProveStats
+proveCsrCoherence(CounterArch arch, const CsrProveOptions &options,
+                  LintReport &report)
+{
+    const u32 sources = options.sources;
+    ICICLE_ASSERT(sources >= 1 && sources <= kMaxSources,
+                  "bad source count");
+
+    std::ostringstream subj;
+    subj << "csr/"
+         << (options.core == CoreKind::Rocket ? "rocket" : "boom")
+         << "/" << counterArchName(arch) << "/s" << sources;
+    FindingSink sink(report, subj.str());
+
+    EventBus bus;
+    bus.setNumSources(EventId::FetchBubbles, sources);
+    CsrFile csrs(options.core, arch, &bus);
+    // FetchBubbles sits at mask bit 4 of the BOOM TMA set, so the
+    // schedule also exercises selector decoding above the low nibble.
+    csrs.programEvent(0, EventId::FetchBubbles);
+    csrs.setInhibit(false);
+
+    ProveStats stats;
+    const u64 wrap = 1ull << autoWidth(sources);
+    stats.activeSources =
+        options.activeSources
+            ? std::min(options.activeSources, sources)
+            : (arch == CounterArch::Distributed
+                   ? budgetActiveSources(sources, wrap,
+                                         options.maxStates / 2)
+                   : std::min(sources, 12u));
+    const u32 k = stats.activeSources;
+    const u32 num_masks = 1u << k;
+    constexpr u32 num_actions =
+        static_cast<u32>(CsrAction::NumActions);
+
+    CsrState init;
+    init.hpm = csrs.snapshotHpm(0);
+    init.inhibited = false;
+
+    std::unordered_set<std::string> visited;
+    std::deque<std::pair<CsrState, u32>> frontier;
+    visited.insert(csrStateKey(init));
+    frontier.emplace_back(init, 0);
+    stats.states = 1;
+    stats.closed = true;
+
+    while (!frontier.empty()) {
+        auto [state, depth] = std::move(frontier.front());
+        frontier.pop_front();
+        stats.depth = std::max(stats.depth, depth);
+        if (depth >= options.horizon) {
+            stats.closed = false;
+            continue;
+        }
+
+        for (u32 a = 0; a < num_actions; a++) {
+            const CsrAction action = static_cast<CsrAction>(a);
+            for (u32 mask = 0; mask < num_masks; mask++) {
+                csrs.restoreHpm(0, state.hpm);
+                csrs.writeCsr(csr::mcountinhibit,
+                              state.inhibited ? ~0ull : 0ull);
+
+                bool inhibited = state.inhibited;
+                const u64 at_entry = csrs.hpmCorrected(0);
+                switch (action) {
+                  case CsrAction::InhibitOn:
+                    csrs.writeCsr(csr::mcountinhibit, ~0ull);
+                    inhibited = true;
+                    break;
+                  case CsrAction::InhibitOff:
+                    csrs.writeCsr(csr::mcountinhibit, 0ull);
+                    inhibited = false;
+                    break;
+                  case CsrAction::WriteCounterZero:
+                    csrs.writeCsr(csr::mhpmcounter3, 0);
+                    break;
+                  default: break;
+                }
+
+                if (action == CsrAction::WriteCounterZero) {
+                    const u64 v = csrs.hpmCorrected(0);
+                    if (v != 0) {
+                        std::ostringstream os;
+                        os << "writing mhpmcounter=0 left a corrected "
+                              "value of "
+                           << v << " (stale residue) from state "
+                           << formatCsrState(state);
+                        sink.add("PROVE-C3", os.str());
+                    }
+                } else if (csrs.hpmCorrected(0) != at_entry) {
+                    std::ostringstream os;
+                    os << "CSR action '" << actionName(action)
+                       << "' changed the corrected value by "
+                       << static_cast<i64>(csrs.hpmCorrected(0) -
+                                           at_entry)
+                       << " from state " << formatCsrState(state);
+                    sink.add("PROVE-C3", os.str());
+                }
+
+                const u64 before = csrs.hpmCorrected(0);
+                csrs.stepHpm(0, static_cast<u16>(mask));
+                const u64 after = csrs.hpmCorrected(0);
+                const u64 expected =
+                    inhibited ? 0 : expectedIncrement(arch, mask);
+                stats.transitions++;
+                if (after != before + expected) {
+                    std::ostringstream os;
+                    os << "corrected value moved by "
+                       << static_cast<i64>(after - before)
+                       << " (expected " << expected
+                       << ") for burst mask 0x" << std::hex << mask
+                       << std::dec << " after action '"
+                       << actionName(action) << "' from state "
+                       << formatCsrState(state)
+                       << (inhibited ? " [counter inhibited]" : "");
+                    sink.add("PROVE-C3", os.str());
+                }
+
+                CsrState next;
+                next.hpm = csrs.snapshotHpm(0);
+                // Canonical: accumulators don't drive the dynamics.
+                next.hpm.value = 0;
+                next.hpm.principal = 0;
+                for (u64 &v : next.hpm.perSource)
+                    v = 0;
+                next.inhibited = inhibited;
+                if (visited.insert(csrStateKey(next)).second) {
+                    if (visited.size() > options.maxStates) {
+                        stats.closed = false;
+                        frontier.clear();
+                        a = num_actions;
+                        break;
+                    }
+                    stats.states++;
+                    frontier.emplace_back(std::move(next), depth + 1);
+                }
+            }
+        }
+    }
+    return stats;
+}
+
+// ------------------------------------------------------------- matrix
+
+std::vector<ProveRun>
+proveArchMatrix(u32 horizon)
+{
+    // Rocket single-source events through Giga BOOM's 9-wide issue
+    // (Table V geometries), plus the intermediate decode widths.
+    static const u32 kGeometries[] = {1, 2, 3, 4, 5, 8, 9};
+    static const CounterArch kArchs[] = {CounterArch::Scalar,
+                                         CounterArch::AddWires,
+                                         CounterArch::Distributed};
+
+    std::vector<ProveRun> runs;
+    for (CounterArch arch : kArchs) {
+        for (u32 sources : kGeometries) {
+            ProveRun run;
+            ArchProveOptions options;
+            options.sources = sources;
+            options.horizon = horizon;
+            run.stats =
+                proveCounterLossless(arch, options, run.report);
+            std::ostringstream name;
+            name << counterArchName(arch) << "/s" << sources;
+            if (arch == CounterArch::Distributed)
+                name << "w" << autoWidth(sources);
+            run.name = name.str();
+            runs.push_back(std::move(run));
+        }
+    }
+    for (CounterArch arch : kArchs) {
+        for (CoreKind core : {CoreKind::Rocket, CoreKind::Boom}) {
+            ProveRun run;
+            CsrProveOptions options;
+            options.core = core;
+            options.sources = core == CoreKind::Rocket ? 1 : 4;
+            options.horizon = std::min(horizon, 16u);
+            run.stats = proveCsrCoherence(arch, options, run.report);
+            std::ostringstream name;
+            name << "csr/"
+                 << (core == CoreKind::Rocket ? "rocket" : "boom")
+                 << "/" << counterArchName(arch) << "/s"
+                 << options.sources;
+            run.name = name.str();
+            runs.push_back(std::move(run));
+        }
+    }
+    return runs;
+}
+
+// ------------------------------------------------------------- mutants
+
+std::vector<MutantResult>
+runMutantSuite(u32 horizon)
+{
+    if (!mutantsCompiledIn()) {
+        fatal("mutant self-validation requires a build with "
+              "-DICICLE_MUTANTS=ON");
+    }
+
+    std::vector<MutantResult> results;
+    for (const MutantInfo &info : mutantRegistry()) {
+        MutantResult result;
+        result.info = info;
+
+        ScopedMutant activate(info.id);
+        LintReport report;
+
+        // Reduced matrix: a 4-source geometry exposes every seeded
+        // bug (the arbiter double-advance needs an even source count)
+        // and keeps the suite fast enough for CI.
+        for (CounterArch arch :
+             {CounterArch::Scalar, CounterArch::AddWires,
+              CounterArch::Distributed}) {
+            ArchProveOptions arch_options;
+            arch_options.sources = 4;
+            arch_options.horizon = horizon;
+            proveCounterLossless(arch, arch_options, report);
+
+            CsrProveOptions csr_options;
+            csr_options.core = CoreKind::Boom;
+            csr_options.sources = 4;
+            csr_options.horizon = std::min(horizon, 12u);
+            proveCsrCoherence(arch, csr_options, report);
+        }
+
+        result.findings = report.errorCount();
+        result.caught = result.findings > 0;
+        result.expectedRuleHit = report.hasRule(info.expectedRule);
+        for (const Diagnostic &diag : report.diagnostics()) {
+            if (diag.severity != Severity::Error)
+                continue;
+            result.firstFinding = diag.rule + ": " + diag.message;
+            break;
+        }
+        results.push_back(std::move(result));
+    }
+    return results;
+}
+
+} // namespace icicle

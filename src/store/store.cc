@@ -638,6 +638,15 @@ StoreReader::countInWindow(EventId event, u64 begin, u64 end) const
 TmaResult
 StoreReader::windowTma(u64 begin, u64 end, u32 core_width) const
 {
+    TmaParams params;
+    params.coreWidth = core_width;
+    return windowTma(begin, end, params);
+}
+
+TmaResult
+StoreReader::windowTma(u64 begin, u64 end,
+                       const TmaParams &params) const
+{
     end = clampTraceWindow(totalCycles, begin, end,
                            "StoreReader::windowTma");
 
@@ -658,8 +667,6 @@ StoreReader::windowTma(u64 begin, u64 end, u32 core_width) const
     counters.icacheBlocked = count_in(EventId::ICacheBlocked);
     counters.dcacheBlocked = count_in(EventId::DCacheBlocked);
 
-    TmaParams params;
-    params.coreWidth = core_width;
     return computeTma(counters, params);
 }
 
@@ -816,6 +823,26 @@ StoreReader::verify() const
         if (crc32(raw.data(), record_bytes - 4) != stored_crc)
             fatal("corrupt trace store ", filePath, ": block ", b,
                   " CRC mismatch");
+    }
+}
+
+void
+StoreReader::forEachCycleWord(
+    u64 begin, u64 end,
+    const std::function<void(u64, u64)> &fn) const
+{
+    end = std::min(end, totalCycles);
+    if (begin >= end)
+        return;
+    for (u32 b = blockOf(begin); b <= blockOf(end - 1); b++) {
+        const BlockMeta &block = blocks[b];
+        const u64 lo = std::max(begin, block.startCycle);
+        const u64 hi =
+            std::min(end, block.startCycle + block.numCycles);
+        const Trace window = readWindow(lo, hi);
+        const std::vector<u64> &words = window.raw();
+        for (u64 c = 0; c < words.size(); c++)
+            fn(lo + c, words[c]);
     }
 }
 

@@ -40,6 +40,7 @@
 #define ICICLE_STORE_STORE_HH
 
 #include <fstream>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -166,6 +167,9 @@ class StoreReader
      * Table II model) while decoding only boundary blocks.
      */
     TmaResult windowTma(u64 begin, u64 end, u32 core_width) const;
+    /** As above, with full model-parameter control (TMA-005 flag). */
+    TmaResult windowTma(u64 begin, u64 end,
+                        const TmaParams &params) const;
 
     /**
      * Contiguous runs where any traced lane of the event is high.
@@ -182,6 +186,18 @@ class StoreReader
 
     /** CRC-check every block payload; fatal() on corruption. */
     void verify() const;
+
+    /**
+     * Read-side invariant hook: decode cycles [begin, end) one block
+     * at a time and call fn(cycle, packed word) for each — bounded
+     * memory regardless of window length. The trace-invariant
+     * verifier (src/prove/trace_check.cc) replays stores through this
+     * to check per-cycle event implications without materializing the
+     * trace.
+     */
+    void forEachCycleWord(
+        u64 begin, u64 end,
+        const std::function<void(u64, u64)> &fn) const;
 
     /** Blocks whose planes were decoded since construction. */
     u64 blocksDecoded() const { return decodedBlocks; }

@@ -39,10 +39,14 @@ computeTma(const TmaCounters &c, const TmaParams &p)
         c.machineClears + c.branchMispredicts + c.fencesRetired);
     const double m_br_mr =
         m_tf > 0 ? static_cast<double>(c.branchMispredicts) / m_tf : 0;
-    // Labelled semantics: pathological (non-fence) flush ratio.
+    // Pathological (non-fence) flush ratio. Labelled semantics by
+    // default; paperLiteralNfr selects the paper's printed
+    // (C_bm + C_fence)/M_tf form instead (TMA-005 note).
     const double m_nf_r =
-        m_tf > 0 ? static_cast<double>(c.branchMispredicts +
-                                       c.machineClears) /
+        m_tf > 0 ? static_cast<double>(
+                       c.branchMispredicts +
+                       (p.paperLiteralNfr ? c.fencesRetired
+                                          : c.machineClears)) /
                        m_tf
                  : 0;
     const double m_fl_r =

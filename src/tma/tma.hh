@@ -89,6 +89,14 @@ struct TmaParams
     u32 coreWidth = 1;
     /** M_rl: assumed frontend recovery length per mispredict. */
     u32 recoverLength = 4;
+    /**
+     * Table II's printed M_nf_r formula is (C_bm + C_fence)/M_tf,
+     * contradicting its own "non-fence flush ratio" label; by default
+     * we implement the labelled semantics (C_bm + C_flush)/M_tf so
+     * intended fence flushes never inflate Bad Speculation (TMA-005).
+     * Set this to reproduce the paper's printed formula verbatim.
+     */
+    bool paperLiteralNfr = false;
 };
 
 /**

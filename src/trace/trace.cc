@@ -451,6 +451,15 @@ RecoveryCdf::mode() const
 TmaResult
 TraceAnalyzer::windowTma(u64 begin, u64 end, u32 core_width) const
 {
+    TmaParams params;
+    params.coreWidth = core_width;
+    return windowTma(begin, end, params);
+}
+
+TmaResult
+TraceAnalyzer::windowTma(u64 begin, u64 end,
+                         const TmaParams &params) const
+{
     end = clampTraceWindow(trace.numCycles(), begin, end,
                            "TraceAnalyzer::windowTma");
 
@@ -481,8 +490,6 @@ TraceAnalyzer::windowTma(u64 begin, u64 end, u32 core_width) const
     counters.icacheBlocked = count_in(EventId::ICacheBlocked);
     counters.dcacheBlocked = count_in(EventId::DCacheBlocked);
 
-    TmaParams params;
-    params.coreWidth = core_width;
     return computeTma(counters, params);
 }
 

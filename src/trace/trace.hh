@@ -227,6 +227,13 @@ class TraceAnalyzer
     TmaResult windowTma(u64 begin, u64 end, u32 core_width) const;
 
     /**
+     * As above, with full model-parameter control (recovery length,
+     * TMA-005 paper-literal M_nf_r formula, ...).
+     */
+    TmaResult windowTma(u64 begin, u64 end,
+                        const TmaParams &params) const;
+
+    /**
      * Render a Fig. 3 style ASCII dot plot of the traced signals over
      * [begin, end), one row per signal. Window validation as in
      * windowTma (end is clamped; empty windows are fatal).

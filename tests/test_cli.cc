@@ -1,0 +1,151 @@
+/**
+ * @file
+ * CLI exit-code regression tests. These shell out to the real
+ * icicle-trace and icicle-prove binaries (paths baked in by CMake) to
+ * pin the exit-status contract scripts and CI depend on:
+ *
+ *   0  clean / query answered
+ *   1  findings (prove)
+ *   2  usage error or malformed input — including a query against an
+ *      empty (header-only) store, which used to succeed vacuously
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <sys/wait.h>
+
+#include "core/session.hh"
+#include "store/store.hh"
+#include "sweep/sweep.hh"
+#include "trace/trace.hh"
+#include "workloads/workloads.hh"
+
+#ifndef ICICLE_TRACE_BIN
+#error "CMake must define ICICLE_TRACE_BIN for test_cli"
+#endif
+#ifndef ICICLE_PROVE_BIN
+#error "CMake must define ICICLE_PROVE_BIN for test_cli"
+#endif
+
+namespace icicle
+{
+namespace
+{
+
+/** Run a shell command, stdout/stderr silenced; return exit status. */
+int
+run(const std::string &command)
+{
+    const int status =
+        std::system((command + " > /dev/null 2>&1").c_str());
+    if (status < 0 || !WIFEXITED(status))
+        return -1;
+    return WEXITSTATUS(status);
+}
+
+std::string
+quoted(const std::string &path)
+{
+    return "'" + path + "'";
+}
+
+class TempPath
+{
+  public:
+    explicit TempPath(const char *name)
+        : path(std::string(::testing::TempDir()) + name)
+    {}
+    ~TempPath() { std::remove(path.c_str()); }
+    const std::string path;
+};
+
+TEST(CliTrace, QueryOnEmptyStoreExitsTwo)
+{
+    // Regression: `icicle-trace query` on a header-only store used to
+    // print a count of 0 and exit 0, indistinguishable from a real
+    // empty window. It must now refuse with the malformed-input code.
+    TempPath store("cli_empty.icst");
+    std::unique_ptr<Core> core = makeSweepCore(
+        "rocket", CounterArch::AddWires, buildWorkload("vvadd"));
+    streamTraceToStore(*core, TraceSpec::tmaBundle(*core), 0,
+                       store.path, 4096);
+
+    EXPECT_EQ(run(std::string(ICICLE_TRACE_BIN) +
+                  " query fetch-bubbles " + quoted(store.path)),
+              2);
+    // `info` on the same store stays informational (exit 0).
+    EXPECT_EQ(run(std::string(ICICLE_TRACE_BIN) + " info " +
+                  quoted(store.path)),
+              0);
+}
+
+TEST(CliTrace, QueryOnRealStoreExitsZero)
+{
+    TempPath store("cli_real.icst");
+    std::unique_ptr<Core> core = makeSweepCore(
+        "rocket", CounterArch::AddWires, buildWorkload("vvadd"));
+    streamTraceToStore(*core, TraceSpec::tmaBundle(*core), 20000,
+                       store.path, 4096);
+
+    EXPECT_EQ(run(std::string(ICICLE_TRACE_BIN) +
+                  " query fetch-bubbles " + quoted(store.path)),
+              0);
+    EXPECT_EQ(run(std::string(ICICLE_TRACE_BIN) +
+                  " query fetch-bubbles " + quoted(store.path) +
+                  " --window 0:1000"),
+              0);
+}
+
+TEST(CliTrace, MissingFileExitsTwo)
+{
+    EXPECT_EQ(run(std::string(ICICLE_TRACE_BIN) +
+                  " query fetch-bubbles /nonexistent/x.icst"),
+              2);
+    EXPECT_EQ(run(std::string(ICICLE_TRACE_BIN) + " bogus-command"),
+              2);
+}
+
+TEST(CliProve, ArchMatrixExitsZero)
+{
+    EXPECT_EQ(run(std::string(ICICLE_PROVE_BIN) +
+                  " arch --horizon 16"),
+              0);
+    EXPECT_EQ(run(std::string(ICICLE_PROVE_BIN) +
+                  " arch --horizon 16 --json"),
+              0);
+}
+
+TEST(CliProve, TraceVerifiesACapturedStore)
+{
+    TempPath store("cli_prove.icst");
+    std::unique_ptr<Core> core = makeSweepCore(
+        "boom-small", CounterArch::AddWires,
+        buildWorkload("dhrystone"));
+    streamTraceToStore(*core, TraceSpec::tmaBundle(*core), 20000,
+                       store.path, 4096);
+
+    EXPECT_EQ(run(std::string(ICICLE_PROVE_BIN) + " trace " +
+                  quoted(store.path)),
+              0);
+}
+
+TEST(CliProve, UsageErrorsExitTwo)
+{
+    EXPECT_EQ(run(std::string(ICICLE_PROVE_BIN)), 2);
+    EXPECT_EQ(run(std::string(ICICLE_PROVE_BIN) + " bogus"), 2);
+    EXPECT_EQ(run(std::string(ICICLE_PROVE_BIN) +
+                  " trace /nonexistent/x.icst"),
+              2);
+#ifndef ICICLE_MUTANTS
+    // Without the mutant build the suite must refuse, not vacuously
+    // pass: a CI misconfiguration that drops -DICICLE_MUTANTS=ON
+    // would otherwise look green.
+    EXPECT_EQ(run(std::string(ICICLE_PROVE_BIN) + " mutants"), 2);
+#endif
+}
+
+} // namespace
+} // namespace icicle

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <functional>
+#include <vector>
 
 #include "pmu/counters.hh"
 #include "pmu/event.hh"
@@ -175,6 +176,87 @@ TEST(DistributedBoundary, ResidueDecomposition)
         // Residue = local values (< wrap each) plus undrained latches
         // (wrap each), so it stays below twice the paper bound.
         ASSERT_LT(counter.residue(), 2 * counter.undercountBound());
+    }
+}
+
+TEST(DistributedBoundary, StepMaskEquivalentToBusTick)
+{
+    // The prover drives counters through step(mask) instead of a full
+    // EventBus tick; the two paths must be indistinguishable. Replay
+    // identical random bursts through both and compare corrected()
+    // every cycle.
+    u64 rng = 0x9e3779b97f4a7c15ull;
+    auto next = [&rng]() {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        return rng;
+    };
+    for (u32 width : {1u, 2u, 4u}) {
+        const u32 sources = 4;
+        EventBus bus;
+        bus.setNumSources(kEvent, sources);
+        DistributedCounter via_bus(kEvent, sources, width);
+        DistributedCounter via_step(kEvent, sources, width);
+        for (u64 cycle = 0; cycle < 20000; cycle++) {
+            const u16 mask =
+                static_cast<u16>(next() & ((1u << sources) - 1));
+            bus.clear();
+            for (u32 s = 0; s < sources; s++) {
+                if (mask & (1u << s))
+                    bus.raise(kEvent, s);
+            }
+            via_bus.tick(bus);
+            via_step.step(mask);
+            ASSERT_EQ(via_bus.corrected(), via_step.corrected())
+                << "width " << width << " cycle " << cycle;
+        }
+        ASSERT_EQ(via_bus.snapshot(), via_step.snapshot())
+            << "width " << width;
+    }
+}
+
+TEST(DistributedBoundary, SnapshotRestoreRoundTripMatchesLiveRun)
+{
+    // Snapshot/restore is the prover's state hook: freezing a counter
+    // mid-burst, restoring into a fresh instance, and continuing the
+    // same schedule must be byte-for-byte equivalent to never having
+    // stopped — for every width and at every split point.
+    u64 rng = 0xdeadbeefcafef00dull;
+    auto next = [&rng]() {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        return rng;
+    };
+    for (u32 width : {1u, 2u, 4u}) {
+        const u32 sources = 4;
+        const u64 cycles = 4096;
+        std::vector<u16> schedule(cycles);
+        for (u64 c = 0; c < cycles; c++)
+            schedule[c] =
+                static_cast<u16>(next() & ((1u << sources) - 1));
+
+        DistributedCounter live(kEvent, sources, width);
+        for (u64 c = 0; c < cycles; c++)
+            live.step(schedule[c]);
+
+        for (u64 split : {u64{1}, u64{7}, u64{1000}, cycles - 1}) {
+            DistributedCounter first(kEvent, sources, width);
+            for (u64 c = 0; c < split; c++)
+                first.step(schedule[c]);
+            const DistributedCounterState state = first.snapshot();
+
+            DistributedCounter resumed(kEvent, sources, width);
+            resumed.restore(state);
+            for (u64 c = split; c < cycles; c++)
+                resumed.step(schedule[c]);
+
+            ASSERT_EQ(resumed.corrected(), live.corrected())
+                << "width " << width << " split " << split;
+            ASSERT_EQ(resumed.snapshot(), live.snapshot())
+                << "width " << width << " split " << split;
+        }
     }
 }
 

@@ -303,5 +303,50 @@ TEST(TmaEndToEnd, RocketRsortNearIdealIpc)
     EXPECT_GT(r.retiring, 0.6) << formatTmaLine(r);
 }
 
+TEST(TmaModel, PaperLiteralNfrPinsBothTableIIReadings)
+{
+    // TMA-005: Table II prints M_nf_r = (C_bm + C_fence)/M_tf, which
+    // contradicts its own "non-fence flush ratio" label; the default
+    // implements the labelled (C_bm + C_flush)/M_tf semantics. Pin
+    // BOTH readings on a fixed counter set so any silent change to
+    // either formula (or to which one is the default) fails here.
+    //
+    // With M_tf = 10 + 5 + 25 = 40:
+    //   labelled  M_nf_r = (10 + 5)/40  = 0.375
+    //   literal   M_nf_r = (10 + 25)/40 = 0.875
+    // and slots = 2000, flushed = 300, rec_slots = 120, M_rl*bm*W = 80:
+    //   labelled  badspec = (300*0.375 + 120 + 80)/2000 = 0.15625
+    //   literal   badspec = (300*0.875 + 120 + 80)/2000 = 0.23125
+    // Both leave the four classes summing to one pre-normalization,
+    // so these are exact closed-form values, not normalized residues.
+    TmaCounters c;
+    c.cycles = 1000;
+    c.retiredUops = 900;
+    c.issuedUops = 1200;
+    c.fetchBubbles = 300;
+    c.recovering = 60;
+    c.branchMispredicts = 10;
+    c.machineClears = 5;
+    c.fencesRetired = 25;
+
+    TmaParams labelled = boomParams(2);
+    ASSERT_FALSE(labelled.paperLiteralNfr) << "labelled must be default";
+    TmaParams literal = boomParams(2);
+    literal.paperLiteralNfr = true;
+
+    const TmaResult rl = computeTma(c, labelled);
+    const TmaResult rp = computeTma(c, literal);
+    EXPECT_NEAR(rl.badSpeculation, 0.15625, 1e-12);
+    EXPECT_NEAR(rp.badSpeculation, 0.23125, 1e-12);
+    // Only Bad Speculation (and, by conservation, Backend) may move.
+    EXPECT_NEAR(rl.retiring, rp.retiring, 1e-12);
+    EXPECT_NEAR(rl.frontend, rp.frontend, 1e-12);
+    EXPECT_NEAR(rl.backend - rp.backend,
+                rp.badSpeculation - rl.badSpeculation, 1e-12);
+    EXPECT_NEAR(rp.retiring + rp.badSpeculation + rp.frontend +
+                    rp.backend,
+                1.0, 1e-12);
+}
+
 } // namespace
 } // namespace icicle

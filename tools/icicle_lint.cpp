@@ -27,6 +27,8 @@
 #include <vector>
 
 #include "analysis/lint.hh"
+#include "analysis/sarif.hh"
+#include "common/logging.hh"
 #include "core/session.hh"
 #include "isa/builder.hh"
 
@@ -124,7 +126,7 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: icicle-lint [--json] [--quiet] [--list] "
-                 "[config ...]\n");
+                 "[--sarif FILE] [config ...]\n");
 }
 
 } // namespace
@@ -134,6 +136,7 @@ main(int argc, char **argv)
 {
     bool json = false;
     bool quiet = false;
+    std::string sarif_path;
     std::vector<std::string> selected;
 
     for (int i = 1; i < argc; i++) {
@@ -142,6 +145,12 @@ main(int argc, char **argv)
             json = true;
         } else if (arg == "--quiet") {
             quiet = true;
+        } else if (arg == "--sarif") {
+            if (i + 1 >= argc) {
+                usage();
+                return 2;
+            }
+            sarif_path = argv[++i];
         } else if (arg == "--list") {
             for (const NamedConfig &config : allConfigs())
                 std::printf("%s\n", config.name.c_str());
@@ -183,6 +192,7 @@ main(int argc, char **argv)
     u32 total_warnings = 0;
     bool first = true;
 
+    std::vector<std::pair<std::string, LintReport>> sarif_reports;
     if (json) {
         std::printf("[");
     }
@@ -190,6 +200,8 @@ main(int argc, char **argv)
         const LintReport report = lintConfig(*config, program);
         total_errors += report.errorCount();
         total_warnings += report.count(Severity::Warn);
+        if (!sarif_path.empty())
+            sarif_reports.emplace_back(config->name, report);
 
         if (json) {
             std::printf("%s{\"config\":\"%s\",\"report\":%s}",
@@ -223,6 +235,14 @@ main(int argc, char **argv)
         std::printf("%u config(s) linted: %u errors, %u warnings\n",
                     static_cast<u32>(to_lint.size()), total_errors,
                     total_warnings);
+    }
+    if (!sarif_path.empty()) {
+        try {
+            writeSarif("icicle-lint", sarif_reports, sarif_path);
+        } catch (const FatalError &err) {
+            std::fprintf(stderr, "fatal: %s\n", err.what());
+            return 2;
+        }
     }
     return total_errors > 0 ? 1 : 0;
 }

@@ -217,6 +217,9 @@ cmdQuery(const Args &args)
         fatal("query expects EVENT FILE.icst");
     const EventId event = parseEvent(args.positional[0]);
     StoreReader reader(args.positional[1]);
+    if (reader.numCycles() == 0)
+        fatal("store '", args.positional[1],
+              "' holds zero cycles; nothing to query");
     u64 count = 0;
     if (args.has_window) {
         clampTraceWindow(reader.numCycles(), args.begin, args.end,
