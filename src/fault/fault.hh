@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Deterministic fault injection (the icicle-harden layer).
+ *
+ * Long-horizon measurement is only trustworthy if the failure paths
+ * are exercised on purpose: a FaultPlan injects short writes, torn
+ * final blocks, single-bit payload flips, ENOSPC, process kills, and
+ * spurious sweep-job failures/hangs at *reproducible* points. Every
+ * write-side module (store writer, trace writer, sweep journal,
+ * report output) and the sweep thread pool consults the global plan,
+ * so any tool can run under faults via the `ICICLE_FAULT` environment
+ * variable (or a `--fault` CLI flag where one is exposed).
+ *
+ * Spec grammar (comma-separated clauses):
+ *
+ *   seed=N                 RNG seed for bit-flip positions
+ *   short-write@SITE#K     K-th write op to SITE writes half, then
+ *                          fails with an I/O error
+ *   enospc@SITE#K          K-th write op to SITE fails (no space)
+ *   kill@SITE#K            K-th write op to SITE writes half, then
+ *                          _Exit(137) — a crash mid-write
+ *   torn-final@store       the store's final block is truncated to
+ *                          half and the file sealed without its
+ *                          index/trailer (a torn tail on media)
+ *   bitflip@store#B        one seeded bit of block record B is
+ *                          flipped before it is written
+ *   fail@job#J[=TIMES]     sweep job with grid index J throws on its
+ *                          first TIMES attempts (default 1)
+ *   hang@job#J             sweep job with grid index J hangs until
+ *                          its deadline (bounded when no timeout)
+ *
+ * Sites: store (.icst writes), trace (.trc writes), journal (sweep
+ * journal appends), report (sweep/salvage report output). Write-op
+ * ordinals are global per site; they are reproducible whenever the
+ * writer order is (single-worker sweeps, single captures). Job
+ * clauses key on the grid index and are reproducible at any worker
+ * count. Each clause fires a bounded number of times, so a plan
+ * describes a finite, replayable failure schedule.
+ */
+
+#ifndef ICICLE_FAULT_FAULT_HH
+#define ICICLE_FAULT_FAULT_HH
+
+#include <atomic>
+#include <array>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace icicle
+{
+
+/** Write-path hook sites a fault clause can target. */
+enum class FaultSite : u8
+{
+    StoreWrite,
+    TraceWrite,
+    JournalWrite,
+    ReportWrite,
+};
+
+constexpr u32 kNumFaultSites = 4;
+
+const char *faultSiteName(FaultSite site);
+
+/** One parsed clause of a fault spec. */
+struct FaultClause
+{
+    enum class Kind : u8
+    {
+        ShortWrite,
+        Enospc,
+        Kill,
+        TornFinal,
+        BitFlip,
+        JobFail,
+        JobHang,
+    };
+
+    Kind kind;
+    FaultSite site = FaultSite::StoreWrite;
+    /** Write-op ordinal, block ordinal, or sweep job index. */
+    u64 at = 0;
+    /** Times the clause fires before going quiet. */
+    u64 times = 1;
+    /** Times fired so far (guarded by the plan mutex). */
+    u64 fired = 0;
+};
+
+/**
+ * A seeded, replayable failure schedule. Thread-safe: sweep workers
+ * and store writers consult the plan concurrently. The inactive plan
+ * (no clauses) short-circuits on an atomic flag, so the hooks cost
+ * one relaxed load on the non-faulty path.
+ */
+class FaultPlan
+{
+  public:
+    FaultPlan() = default;
+
+    /**
+     * Replace this plan with the parsed spec ("" deactivates).
+     * fatal() on a malformed spec.
+     */
+    void reset(const std::string &spec);
+
+    bool
+    active() const
+    {
+        return enabled.load(std::memory_order_relaxed);
+    }
+
+    /** Human-readable summary of the armed clauses. */
+    std::string describe() const;
+
+    // ---- write-path hooks ----------------------------------------
+
+    /** What a write op at this site should do. */
+    enum class WriteAction : u8
+    {
+        None,  ///< write normally
+        Short, ///< write half the bytes, then raise an I/O error
+        Enospc,///< write nothing, raise ENOSPC
+        Kill,  ///< write half the bytes, then _Exit(137)
+    };
+
+    /** Consume one write op at `site` and return its fate. */
+    WriteAction onWrite(FaultSite site);
+
+    /**
+     * Store-writer finish hook: true if the plan wants the final
+     * block torn (file truncated mid-block, no index written).
+     */
+    bool tornFinalStore();
+
+    /**
+     * Store-writer block hook: flips one seeded bit of the record if
+     * a bitflip clause targets this block ordinal.
+     */
+    void corruptStoreBlock(u64 block_ordinal, std::string &record);
+
+    // ---- sweep-pool hooks ----------------------------------------
+
+    struct JobDecision
+    {
+        bool fail = false; ///< throw an injected failure
+        bool hang = false; ///< stall until the job deadline
+    };
+
+    /** Consume one attempt of sweep job `index`. */
+    JobDecision onJob(u64 index);
+
+  private:
+    mutable std::mutex mutex;
+    std::atomic<bool> enabled{false};
+    std::vector<FaultClause> clauses;
+    u64 seed = 0x1c1c1e;
+    std::array<u64, kNumFaultSites> writeOps{};
+};
+
+/**
+ * The process-wide plan. First use parses `ICICLE_FAULT` from the
+ * environment (fatal() if malformed); tools and tests may re-arm it
+ * with setFaultSpec().
+ */
+FaultPlan &faultPlan();
+
+/** Re-arm the global plan from a spec string ("" disarms). */
+void setFaultSpec(const std::string &spec);
+
+} // namespace icicle
+
+#endif // ICICLE_FAULT_FAULT_HH

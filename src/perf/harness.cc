@@ -138,6 +138,10 @@ PerfHarness::harvestGroup(u32 group)
         if (alloc.group != group)
             continue;
         alloc.accumulated += csrs.hpmCorrected(alloc.hpmIndex);
+        // Latch reliability flags before reprogramming clears them:
+        // one bad epoch taints the whole accumulated value.
+        alloc.saturated |= csrs.hpmSaturated(alloc.hpmIndex);
+        alloc.armedWrite |= csrs.hpmArmedWrite(alloc.hpmIndex);
     }
 }
 
@@ -191,6 +195,39 @@ PerfHarness::value(EventId event) const
         return static_cast<u64>(static_cast<double>(total) * scale);
     }
     return total;
+}
+
+std::vector<UnreliableEvent>
+PerfHarness::unreliableEvents() const
+{
+    std::vector<UnreliableEvent> out;
+    for (const PerfAllocation &alloc : allocations) {
+        if (!alloc.saturated && !alloc.armedWrite)
+            continue;
+        // Any tainted lane taints the event's aggregate.
+        UnreliableEvent *entry = nullptr;
+        for (UnreliableEvent &e : out) {
+            if (e.event == alloc.event)
+                entry = &e;
+        }
+        if (!entry) {
+            out.push_back(UnreliableEvent{alloc.event, false, false});
+            entry = &out.back();
+        }
+        entry->saturated |= alloc.saturated;
+        entry->armedWrite |= alloc.armedWrite;
+    }
+    return out;
+}
+
+bool
+PerfHarness::anyUnreliable() const
+{
+    for (const PerfAllocation &alloc : allocations) {
+        if (alloc.saturated || alloc.armedWrite)
+            return true;
+    }
+    return false;
 }
 
 TmaCounters

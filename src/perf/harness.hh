@@ -38,6 +38,18 @@ struct PerfAllocation
     u32 hpmIndex = 0;
     /** Accumulated (scaled at read time) count. */
     u64 accumulated = 0;
+    /** The backing counter wrapped its hpmWidth-bit register. */
+    bool saturated = false;
+    /** The backing counter was written while armed (§IV-D breach). */
+    bool armedWrite = false;
+};
+
+/** Why one counted event's value cannot be trusted. */
+struct UnreliableEvent
+{
+    EventId event;
+    bool saturated = false;
+    bool armedWrite = false;
 };
 
 /** Programs counters, runs the core, reads TMA inputs back. */
@@ -73,6 +85,16 @@ class PerfHarness
     u32 numGroups() const { return groupCount; }
     /** Hardware counters used by the largest group. */
     u32 countersUsed() const { return maxGroupSize; }
+
+    /**
+     * Events whose counts are suspect: their backing counter either
+     * saturated (wrapped its hpmWidth-bit register) or was written
+     * while armed. Captured at every harvest; callers should surface
+     * these instead of trusting the silently-degraded values.
+     */
+    std::vector<UnreliableEvent> unreliableEvents() const;
+    /** True if any requested event came back unreliable. */
+    bool anyUnreliable() const;
 
   private:
     void allocate();

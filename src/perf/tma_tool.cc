@@ -17,6 +17,7 @@ runTmaAnalysis(Core &core, TmaSource source, u64 max_cycles)
         harness.addTmaEvents();
         run.cycles = harness.run(max_cycles);
         run.counters = harness.tmaCounters();
+        run.unreliable = harness.unreliableEvents();
     } else {
         run.cycles = core.run(max_cycles);
         run.counters = gatherTmaCounters(core);
@@ -27,6 +28,37 @@ runTmaAnalysis(Core &core, TmaSource source, u64 max_cycles)
     return run;
 }
 
+const char *
+tmaFieldOfEvent(EventId event)
+{
+    switch (event) {
+      case EventId::InstRetired:
+      case EventId::UopsRetired:
+        return "Retiring";
+      case EventId::InstIssued:
+      case EventId::UopsIssued:
+        return "Bad Speculation";
+      case EventId::FetchBubbles:
+        return "Frontend Bound";
+      case EventId::Recovering:
+        return "Recovery Bubbles";
+      case EventId::BranchMispredict:
+        return "Branch Mispredicts";
+      case EventId::Flush:
+        return "Machine Clears";
+      case EventId::FenceRetired:
+        return "Machine Clears";
+      case EventId::ICacheBlocked:
+        return "Fetch Latency";
+      case EventId::DCacheBlocked:
+        return "Mem Bound";
+      case EventId::DCacheBlockedDram:
+        return "Mem Bound (DRAM)";
+      default:
+        return "";
+    }
+}
+
 std::string
 tmaToolReport(const TmaRun &run, const std::string &title)
 {
@@ -34,6 +66,20 @@ tmaToolReport(const TmaRun &run, const std::string &title)
     os << formatTmaReport(run.tma, title);
     if (!run.finished)
         os << "(workload did not run to completion)\n";
+    for (const UnreliableEvent &e : run.unreliable) {
+        os << "UNRELIABLE: " << eventName(e.event);
+        const char *field = tmaFieldOfEvent(e.event);
+        if (field[0] != '\0')
+            os << " (feeds " << field << ")";
+        os << " —";
+        if (e.saturated)
+            os << " counter saturated";
+        if (e.saturated && e.armedWrite)
+            os << ";";
+        if (e.armedWrite)
+            os << " written while armed";
+        os << "\n";
+    }
     return os.str();
 }
 

@@ -10,8 +10,10 @@
 #define ICICLE_PERF_TMA_TOOL_HH
 
 #include <string>
+#include <vector>
 
 #include "core/core.hh"
+#include "perf/harness.hh"
 #include "tma/tma.hh"
 
 namespace icicle
@@ -34,7 +36,18 @@ struct TmaRun
     u64 cycles = 0;
     u64 instructions = 0;
     bool finished = false;
+    /**
+     * Events whose counters saturated or were written while armed
+     * during an in-band run. The TMA fields these feed are computed
+     * anyway (the raw value is the best available estimate) but the
+     * report flags them as unreliable instead of presenting a
+     * silently wrapped count as truth. Always empty out-of-band.
+     */
+    std::vector<UnreliableEvent> unreliable;
 };
+
+/** Human name of the TMA field an event feeds ("" if none). */
+const char *tmaFieldOfEvent(EventId event);
 
 /**
  * Run a workload to completion (or max_cycles) and compute TMA.

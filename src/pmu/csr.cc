@@ -21,6 +21,8 @@ CsrFile::decodeSelector(Hpm &hpm, u64 value)
     hpm.overflow.clear();
     hpm.select = 0;
     hpm.principal = 0;
+    hpm.saturated = false;
+    hpm.armedWrite = false;
     if (value == 0)
         return;
 
@@ -85,6 +87,17 @@ CsrFile::tickHpmMasked(Hpm &hpm, u64 high)
     if (hpm.sources.empty())
         return;
 
+    // hpmWidth-bit registers: an increment that carries past the
+    // implemented width wraps, and the wrap is latched in the sticky
+    // saturation flag (hardware would just lose the count).
+    const auto bump = [&hpm](u64 &reg, u64 increment) {
+        reg += increment;
+        if (reg > csr::hpmValueMask) {
+            reg &= csr::hpmValueMask;
+            hpm.saturated = true;
+        }
+    };
+
     const u64 n = hpm.sources.size();
     switch (counterArch) {
       case CounterArch::Scalar: {
@@ -95,12 +108,12 @@ CsrFile::tickHpmMasked(Hpm &hpm, u64 high)
         bool any = false;
         for (u64 s = 0; s < n; s++) {
             if (high & (1ull << s)) {
-                hpm.perSource[s]++;
+                bump(hpm.perSource[s], 1);
                 any = true;
             }
         }
         if (any)
-            hpm.value++;
+            bump(hpm.value, 1);
         break;
       }
       case CounterArch::AddWires: {
@@ -111,7 +124,7 @@ CsrFile::tickHpmMasked(Hpm &hpm, u64 high)
             if (high & (1ull << s))
                 increment++;
         }
-        hpm.value += increment;
+        bump(hpm.value, increment);
         break;
       }
       case CounterArch::Distributed: {
@@ -125,7 +138,7 @@ CsrFile::tickHpmMasked(Hpm &hpm, u64 high)
         }
         if (hpm.overflow[hpm.select]) {
             hpm.overflow[hpm.select] = false;
-            hpm.principal++;
+            bump(hpm.principal, 1);
         }
         hpm.select = static_cast<u32>((hpm.select + 1) % n);
         break;
@@ -179,7 +192,8 @@ CsrFile::writeCsr(u32 addr, u64 value)
     }
     if (addr >= csr::mhpmcounter3 &&
         addr < csr::mhpmcounter3 + csr::numHpm) {
-        Hpm &hpm = hpms[addr - csr::mhpmcounter3];
+        const u32 index = addr - csr::mhpmcounter3;
+        Hpm &hpm = hpms[index];
         // Writing a counter resets all architecture-internal state;
         // only value 0 is meaningful for the distributed design.
         if (!ICICLE_MUTANT(CounterWriteKeepsResidue)) {
@@ -188,10 +202,19 @@ CsrFile::writeCsr(u32 addr, u64 value)
         }
         hpm.value = value;
         hpm.principal = value;
+        // §IV-D requires inhibiting before reconfiguration; a write
+        // that lands while the counter is armed races the increment
+        // logic in hardware, so latch it (after the decode above,
+        // which clears the flags for a clean reprogram).
+        if (!(inhibitMask & (1ull << (index + 3))))
+            hpm.armedWrite = true;
         return;
     }
     if (addr >= csr::mhpmevent3 && addr < csr::mhpmevent3 + csr::numHpm) {
-        decodeSelector(hpms[addr - csr::mhpmevent3], value);
+        const u32 index = addr - csr::mhpmevent3;
+        decodeSelector(hpms[index], value);
+        if (!(inhibitMask & (1ull << (index + 3))))
+            hpms[index].armedWrite = true;
         return;
     }
     if (addr == csr::mcountinhibit) {
@@ -323,6 +346,20 @@ CsrFile::stepHpm(u32 index, u16 source_mask)
     if (!(inhibitMask & (1ull << (index + 3))) ||
         ICICLE_MUTANT(InhibitRace))
         tickHpmMasked(hpms[index], source_mask);
+}
+
+bool
+CsrFile::hpmSaturated(u32 index) const
+{
+    ICICLE_ASSERT(index < csr::numHpm, "hpm index out of range");
+    return hpms[index].saturated;
+}
+
+bool
+CsrFile::hpmArmedWrite(u32 index) const
+{
+    ICICLE_ASSERT(index < csr::numHpm, "hpm index out of range");
+    return hpms[index].armedWrite;
 }
 
 u32

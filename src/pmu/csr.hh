@@ -40,6 +40,18 @@ constexpr u32 hpmcounter3 = 0xC03;
 /** Number of programmable counters (3..31). */
 constexpr u32 numHpm = 29;
 
+/**
+ * Implemented width of each programmable counter. The RTL does not
+ * flop a full 64 bits per counter; like real designs it implements a
+ * narrower register and software is expected to harvest before it
+ * wraps. The model reproduces that wrap (value truncates to hpmWidth
+ * bits) but, unlike silicon, records it in a sticky per-counter
+ * saturation flag so the perf harness can mark the affected TMA
+ * inputs unreliable instead of silently under-counting.
+ */
+constexpr u32 hpmWidth = 48;
+constexpr u64 hpmValueMask = (1ull << hpmWidth) - 1;
+
 /** Build an mhpmevent selector value. */
 constexpr u64
 selector(EventSetId set, u64 mask, u32 lane_plus_one = 0)
@@ -113,6 +125,21 @@ class CsrFile : public CsrBackend
     u64 inhibitBits() const { return inhibitMask; }
     void clearCounters();
 
+    // ---- reliability flags (graceful degradation) ------------------
+    /**
+     * Counter `index` wrapped its hpmWidth-bit register since it was
+     * last programmed: its value silently lost 2^hpmWidth counts at
+     * least once and cannot be trusted.
+     */
+    bool hpmSaturated(u32 index) const;
+    /**
+     * Counter `index` (its value or its event selector) was written
+     * while the counter was *not* inhibited. The §IV-D protocol
+     * requires inhibit around reconfiguration; an armed write races
+     * the increment logic in hardware, so the count is suspect.
+     */
+    bool hpmArmedWrite(u32 index) const;
+
     u64 cycles() const { return mcycleValue; }
     u64 instsRetired() const { return minstretValue; }
 
@@ -152,6 +179,12 @@ class CsrFile : public CsrBackend
         std::vector<bool> overflow;
         u32 select = 0;
         u64 principal = 0;
+        // Reliability flags — sticky until the counter is
+        // reprogrammed. Deliberately NOT part of HpmState: the model
+        // checker canonicalizes accumulators, so a wrap is
+        // unreachable there and the snapshot geometry stays stable.
+        bool saturated = false;
+        bool armedWrite = false;
     };
 
     void decodeSelector(Hpm &hpm, u64 value);

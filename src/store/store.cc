@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <bit>
 #include <cstring>
+#include <sstream>
 
 #include "common/crc32.hh"
 #include "common/logging.hh"
 #include "core/session.hh"
+#include "fault/fault.hh"
 
 namespace icicle
 {
@@ -45,6 +47,14 @@ putVarint(std::string &buf, u64 v)
     buf.push_back(static_cast<char>(v));
 }
 
+/** Throw a typed StoreError (a FatalError carrying its kind). */
+template <typename... Args>
+[[noreturn]] void
+storeFatal(StoreErrorKind kind, const Args &...args)
+{
+    throw StoreError(kind, detail::format(args...));
+}
+
 /** Cursor over a byte buffer with truncation checks. */
 struct ByteCursor
 {
@@ -52,12 +62,14 @@ struct ByteCursor
     std::size_t size;
     std::size_t pos = 0;
     const char *path;
+    StoreErrorKind kind = StoreErrorKind::Block;
 
     void
     need(std::size_t n, const char *what) const
     {
         if (pos + n > size)
-            fatal("corrupt trace store ", path, ": truncated ", what);
+            storeFatal(kind, "corrupt trace store ", path,
+                       ": truncated ", what);
     }
 
     u32
@@ -89,8 +101,8 @@ struct ByteCursor
             need(1, what);
             const unsigned char byte = data[pos++];
             if (shift >= 64)
-                fatal("corrupt trace store ", path,
-                      ": oversized varint in ", what);
+                storeFatal(kind, "corrupt trace store ", path,
+                           ": oversized varint in ", what);
             v |= static_cast<u64>(byte & 0x7f) << shift;
             if (!(byte & 0x80))
                 return v;
@@ -107,6 +119,41 @@ u64
 blockFooterBytes(u32 num_fields)
 {
     return static_cast<u64>(num_fields) * kFieldMetaBytes + 4;
+}
+
+/** Seek + full read; false (with stream cleared) on short read. */
+bool
+readExact(std::ifstream &in, u64 offset, void *dst, u64 len)
+{
+    in.clear();
+    in.seekg(static_cast<std::streamoff>(offset));
+    in.read(static_cast<char *>(dst),
+            static_cast<std::streamsize>(len));
+    const bool ok = static_cast<bool>(in);
+    if (!ok)
+        in.clear();
+    return ok;
+}
+
+void
+jsonEscapeTo(std::ostringstream &os, const std::string &text)
+{
+    for (const char c : text) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char hex[8];
+                std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+                os << hex;
+            } else {
+                os << c;
+            }
+        }
+    }
 }
 
 /** Merge-union of sorted absolute intervals (start, end pairs). */
@@ -146,17 +193,54 @@ intersectIntervals(const std::vector<std::pair<u64, u64>> &lhs,
 
 } // namespace
 
+const char *
+storeErrorKindName(StoreErrorKind kind)
+{
+    switch (kind) {
+      case StoreErrorKind::Io: return "io";
+      case StoreErrorKind::Header: return "header";
+      case StoreErrorKind::Index: return "index";
+      case StoreErrorKind::Block: return "block";
+      case StoreErrorKind::DamagedWindow: return "damaged-window";
+      case StoreErrorKind::Unrecoverable: return "unrecoverable";
+      default: return "?";
+    }
+}
+
+std::string
+StoreDamage::toJson(const std::string &path) const
+{
+    std::ostringstream os;
+    os << "{\n  \"file\": \"";
+    jsonEscapeTo(os, path);
+    os << "\",\n  \"salvaged\": " << (salvaged ? "true" : "false")
+       << ",\n  \"clean\": " << (clean() ? "true" : "false")
+       << ",\n  \"index_valid\": " << (indexValid ? "true" : "false")
+       << ",\n  \"recovered_blocks\": " << recoveredBlocks
+       << ",\n  \"recovered_cycles\": " << recoveredCycles
+       << ",\n  \"damaged_blocks\": " << damaged.size()
+       << ",\n  \"damaged_cycles\": " << damagedCycles
+       << ",\n  \"trailing_bytes\": " << trailingBytes
+       << ",\n  \"damaged\": [";
+    for (std::size_t i = 0; i < damaged.size(); i++) {
+        const DamagedBlock &block = damaged[i];
+        os << (i ? "," : "") << "\n    {\"block\": " << block.block
+           << ", \"start_cycle\": " << block.startCycle
+           << ", \"num_cycles\": " << block.numCycles << "}";
+    }
+    os << (damaged.empty() ? "]" : "\n  ]") << "\n}\n";
+    return os.str();
+}
+
 // --------------------------------------------------------- StoreWriter
 
 StoreWriter::StoreWriter(const TraceSpec &spec,
                          const std::string &path, u32 block_cycles)
     : traceSpec(spec), filePath(path),
-      out(path, std::ios::binary),
+      out(path, FaultSite::StoreWrite),
       cyclesPerBlock(block_cycles ? block_cycles
                                   : kStoreDefaultBlockCycles)
 {
-    if (!out)
-        fatal("cannot open trace store for writing: ", path);
     buffer.reserve(cyclesPerBlock);
     std::string header;
     put32(header, kStoreMagic);
@@ -167,8 +251,10 @@ StoreWriter::StoreWriter(const TraceSpec &spec,
         put32(header, static_cast<u32>(field.event));
         put32(header, field.lane);
     }
-    out.write(header.data(),
-              static_cast<std::streamsize>(header.size()));
+    // v2: the header guards itself, so salvage can tell "damaged
+    // data" apart from "untrustworthy spec".
+    put32(header, crc32(header.data(), header.size()));
+    out.append(header);
 }
 
 StoreWriter::~StoreWriter()
@@ -193,17 +279,17 @@ StoreWriter::append(u64 word)
         std::max(peakBuffered, static_cast<u32>(buffer.size()));
     totalCycles++;
     if (buffer.size() >= cyclesPerBlock)
-        flushBlock();
+        flushBlock(false);
 }
 
 void
-StoreWriter::flushBlock()
+StoreWriter::flushBlock(bool torn)
 {
     const u32 cycles = static_cast<u32>(buffer.size());
     const u32 num_fields = traceSpec.numFields();
 
     IndexEntry entry;
-    entry.offset = static_cast<u64>(out.tellp());
+    entry.offset = out.size();
     entry.startCycle = totalCycles - cycles;
     entry.numCycles = cycles;
     index.push_back(entry);
@@ -263,8 +349,15 @@ StoreWriter::flushBlock()
     record += footer;
     const u32 crc = crc32(record.data(), record.size());
     put32(record, crc);
-    out.write(record.data(),
-              static_cast<std::streamsize>(record.size()));
+
+    // Fault hooks: a bitflip clause corrupts this block's payload
+    // after its CRC was computed; a torn final block writes only half
+    // its record (a crash mid-block).
+    faultPlan().corruptStoreBlock(index.size() - 1, record);
+    if (torn)
+        out.append(record.data(), record.size() / 2);
+    else
+        out.append(record);
     buffer.clear();
 }
 
@@ -273,12 +366,20 @@ StoreWriter::finish()
 {
     if (sealed)
         return;
-    if (!buffer.empty())
-        flushBlock();
     sealed = true;
 
+    const bool torn = faultPlan().tornFinalStore();
+    if (!buffer.empty())
+        flushBlock(torn);
+    if (torn) {
+        // Seal the torn artifact without its index/trailer — exactly
+        // what a crash between the data and index writes leaves.
+        out.commit();
+        return;
+    }
+
     std::string tail;
-    const u64 index_offset = static_cast<u64>(out.tellp());
+    const u64 index_offset = out.size();
     put32(tail, static_cast<u32>(index.size()));
     for (const IndexEntry &entry : index) {
         put64(tail, entry.offset);
@@ -290,96 +391,186 @@ StoreWriter::finish()
     put32(tail, crc);
     put64(tail, index_offset);
     put32(tail, kStoreTrailerMagic);
-    out.write(tail.data(), static_cast<std::streamsize>(tail.size()));
-    out.flush();
-    if (!out)
-        fatal("error writing trace store: ", filePath);
-    out.close();
+    out.append(tail);
+    out.commit();
 }
 
 // --------------------------------------------------------- StoreReader
 
-StoreReader::StoreReader(const std::string &path)
-    : filePath(path), in(path, std::ios::binary)
+StoreReader::StoreReader(const std::string &path, StoreOpen open)
+    : filePath(path), in(path, std::ios::binary), openMode(open)
 {
     if (!in)
-        fatal("cannot open trace store: ", path);
+        storeFatal(StoreErrorKind::Io, "cannot open trace store: ",
+                   path);
     in.seekg(0, std::ios::end);
     fileSize = static_cast<u64>(in.tellg());
 
-    auto readAt = [&](u64 offset, void *dst, u64 len,
-                      const char *what) {
-        in.seekg(static_cast<std::streamoff>(offset));
-        in.read(static_cast<char *>(dst),
-                static_cast<std::streamsize>(len));
-        if (!in)
-            fatal("corrupt trace store ", path, ": truncated ", what);
-    };
+    const u64 data_begin = openHeader();
+    if (openMode == StoreOpen::Strict)
+        openStrict(data_begin);
+    else
+        openSalvage(data_begin);
+}
 
-    // ---- header ----
+u64
+StoreReader::openHeader()
+{
+    // A header failure leaves nothing to salvage: without a trusted
+    // field table every decoded bit would be misattributed.
+    const StoreErrorKind kind = openMode == StoreOpen::Strict
+                                    ? StoreErrorKind::Header
+                                    : StoreErrorKind::Unrecoverable;
+
     u32 head[4];
-    if (fileSize < sizeof(head) + 12)
-        fatal("not an Icicle trace store (too short): ", path);
-    readAt(0, head, sizeof(head), "header");
+    if (fileSize < sizeof(head))
+        storeFatal(kind, "not an Icicle trace store (too short): ",
+                   filePath);
+    if (!readExact(in, 0, head, sizeof(head)))
+        storeFatal(kind, "corrupt trace store ", filePath,
+                   ": truncated header");
     if (head[0] != kStoreMagic)
-        fatal("not an Icicle trace store: ", path);
-    if (head[1] != kStoreVersion)
-        fatal("unsupported trace store version ", head[1], " in ",
-              path);
+        storeFatal(kind, "not an Icicle trace store: ", filePath);
+    if (head[1] == 0 || head[1] > kStoreVersion)
+        storeFatal(kind, "unsupported trace store version ", head[1],
+                   " in ", filePath);
+    formatVersion = head[1];
     const u32 num_fields = head[2];
     cyclesPerBlock = head[3];
     if (num_fields > 64)
-        fatal("corrupt trace store ", path, ": ", num_fields,
-              " fields (trace bundles are limited to 64 signals)");
+        storeFatal(kind, "corrupt trace store ", filePath, ": ",
+                   num_fields,
+                   " fields (trace bundles are limited to 64 signals)");
     if (cyclesPerBlock == 0)
-        fatal("corrupt trace store ", path, ": zero block size");
+        storeFatal(kind, "corrupt trace store ", filePath,
+                   ": zero block size");
+
+    const u64 table_bytes = static_cast<u64>(num_fields) * 8;
+    u64 data_begin = 16 + table_bytes;
+    if (formatVersion >= 2)
+        data_begin += 4;
+    if (fileSize < data_begin)
+        storeFatal(kind, "corrupt trace store ", filePath,
+                   ": truncated field table");
+
+    std::vector<unsigned char> table(table_bytes);
+    if (table_bytes &&
+        !readExact(in, 16, table.data(), table_bytes))
+        storeFatal(kind, "corrupt trace store ", filePath,
+                   ": truncated field table");
+    if (formatVersion >= 2) {
+        u32 stored_crc;
+        if (!readExact(in, 16 + table_bytes, &stored_crc, 4))
+            storeFatal(kind, "corrupt trace store ", filePath,
+                       ": truncated header CRC");
+        Crc32 crc;
+        crc.update(head, sizeof(head));
+        crc.update(table.data(), table_bytes);
+        if (crc.value() != stored_crc)
+            storeFatal(kind, "corrupt trace store ", filePath,
+                       ": header CRC mismatch");
+    }
+
     for (u32 f = 0; f < num_fields; f++) {
         u32 pair[2];
-        readAt(16 + static_cast<u64>(f) * 8, pair, 8, "field table");
+        std::memcpy(pair, table.data() + static_cast<u64>(f) * 8, 8);
         if (pair[0] >= kNumEvents)
-            fatal("corrupt trace store ", path, ": field ", f,
-                  " has out-of-range event id ", pair[0]);
+            storeFatal(kind, "corrupt trace store ", filePath,
+                       ": field ", f, " has out-of-range event id ",
+                       pair[0]);
         if (pair[1] >= kMaxSources)
-            fatal("corrupt trace store ", path, ": field ", f,
-                  " has out-of-range lane ", pair[1]);
+            storeFatal(kind, "corrupt trace store ", filePath,
+                       ": field ", f, " has out-of-range lane ",
+                       pair[1]);
         const EventId id = static_cast<EventId>(pair[0]);
         if (traceSpec.indexOf(id, static_cast<u8>(pair[1])) >= 0)
-            fatal("corrupt trace store ", path, ": field ", f,
-                  " duplicates (", eventName(id), ", lane ", pair[1],
-                  ")");
+            storeFatal(kind, "corrupt trace store ", filePath,
+                       ": field ", f, " duplicates (", eventName(id),
+                       ", lane ", pair[1], ")");
         traceSpec.fields.push_back(
             TraceField{id, static_cast<u8>(pair[1])});
     }
+    return data_begin;
+}
+
+void
+StoreReader::loadBlockFooter(BlockMeta &block, u32 block_id,
+                             bool strict)
+{
+    const u32 num_fields = traceSpec.numFields();
+    const u64 meta_bytes = blockFooterBytes(num_fields) - 4;
+    std::vector<unsigned char> raw(meta_bytes);
+    if (meta_bytes &&
+        !readExact(in, block.payloadEnd, raw.data(), meta_bytes))
+        storeFatal(StoreErrorKind::Block, "corrupt trace store ",
+                   filePath, ": truncated block footer");
+    ByteCursor meta{raw.data(), raw.size(), 0, filePath.c_str(),
+                    StoreErrorKind::Block};
+    block.fields.resize(num_fields);
+    for (u32 f = 0; f < num_fields; f++) {
+        FieldMeta &fm = block.fields[f];
+        fm.popcount = meta.get64("block footer");
+        fm.firstSet = meta.get32("block footer");
+        fm.lastSet = meta.get32("block footer");
+        if (fm.popcount > block.numCycles) {
+            if (strict)
+                storeFatal(StoreErrorKind::Block,
+                           "corrupt trace store ", filePath,
+                           ": block ", block_id, " field ", f,
+                           " popcount ", fm.popcount, " exceeds ",
+                           block.numCycles, " cycles");
+            block.damaged = true;
+            block.fields.assign(num_fields, FieldMeta{});
+            return;
+        }
+    }
+}
+
+bool
+StoreReader::loadIndexedBlocks(u64 data_begin, bool strict)
+{
+    const auto bad = [&](const auto &...args) -> bool {
+        if (strict)
+            storeFatal(StoreErrorKind::Index, args...);
+        return false;
+    };
 
     // ---- trailer + footer index ----
+    if (fileSize < data_begin + 12)
+        return bad("corrupt trace store ", filePath,
+                   ": truncated trailer");
     unsigned char trailer[12];
-    readAt(fileSize - 12, trailer, 12, "trailer");
+    if (!readExact(in, fileSize - 12, trailer, 12))
+        return bad("corrupt trace store ", filePath,
+                   ": truncated trailer");
     u64 index_offset;
     u32 trailer_magic;
     std::memcpy(&index_offset, trailer, 8);
     std::memcpy(&trailer_magic, trailer + 8, 4);
     if (trailer_magic != kStoreTrailerMagic)
-        fatal("corrupt trace store ", path,
-              ": bad trailer magic (file truncated or not sealed)");
-    if (index_offset >= fileSize - 12)
-        fatal("corrupt trace store ", path, ": bad index offset");
+        return bad("corrupt trace store ", filePath,
+                   ": bad trailer magic (file truncated or not "
+                   "sealed)");
+    if (index_offset < data_begin || index_offset >= fileSize - 12)
+        return bad("corrupt trace store ", filePath,
+                   ": bad index offset");
     const u64 index_bytes = fileSize - 12 - index_offset;
     std::vector<unsigned char> index_raw(index_bytes);
-    readAt(index_offset, index_raw.data(), index_bytes,
-           "footer index");
+    if (!readExact(in, index_offset, index_raw.data(), index_bytes))
+        return bad("corrupt trace store ", filePath,
+                   ": truncated footer index");
     if (index_bytes < 4 + 8 + 4)
-        fatal("corrupt trace store ", path, ": footer index too small");
-    const u32 stored_crc = [&] {
-        u32 v;
-        std::memcpy(&v, index_raw.data() + index_bytes - 4, 4);
-        return v;
-    }();
+        return bad("corrupt trace store ", filePath,
+                   ": footer index too small");
+    u32 stored_crc;
+    std::memcpy(&stored_crc, index_raw.data() + index_bytes - 4, 4);
     if (crc32(index_raw.data(), index_bytes - 4) != stored_crc)
-        fatal("corrupt trace store ", path,
-              ": footer index CRC mismatch");
+        return bad("corrupt trace store ", filePath,
+                   ": footer index CRC mismatch");
 
+    const u32 num_fields = traceSpec.numFields();
     ByteCursor cur{index_raw.data(), index_bytes - 4, 0,
-                   filePath.c_str()};
+                   filePath.c_str(), StoreErrorKind::Index};
     const u32 num_blocks = cur.get32("footer index");
     const u64 footer_bytes = blockFooterBytes(num_fields);
     blocks.resize(num_blocks);
@@ -389,17 +580,17 @@ StoreReader::StoreReader(const std::string &path)
         block.startCycle = cur.get64("footer index");
         block.numCycles = cur.get32("footer index");
         if (block.numCycles == 0 || block.numCycles > cyclesPerBlock)
-            fatal("corrupt trace store ", path, ": block ", b,
-                  " has bad cycle count ", block.numCycles);
+            return bad("corrupt trace store ", filePath, ": block ",
+                       b, " has bad cycle count ", block.numCycles);
         const u64 expected_start =
             static_cast<u64>(b) * cyclesPerBlock;
         if (block.startCycle != expected_start)
-            fatal("corrupt trace store ", path, ": block ", b,
-                  " starts at cycle ", block.startCycle,
-                  ", expected ", expected_start);
+            return bad("corrupt trace store ", filePath, ": block ",
+                       b, " starts at cycle ", block.startCycle,
+                       ", expected ", expected_start);
         if (b + 1 < num_blocks && block.numCycles != cyclesPerBlock)
-            fatal("corrupt trace store ", path,
-                  ": interior block ", b, " is short");
+            return bad("corrupt trace store ", filePath,
+                       ": interior block ", b, " is short");
     }
     totalCycles = cur.get64("footer index");
     const u64 tallied = num_blocks == 0
@@ -407,33 +598,175 @@ StoreReader::StoreReader(const std::string &path)
                             : blocks.back().startCycle +
                                   blocks.back().numCycles;
     if (totalCycles != tallied)
-        fatal("corrupt trace store ", path, ": index claims ",
-              totalCycles, " cycles but blocks cover ", tallied);
+        return bad("corrupt trace store ", filePath,
+                   ": index claims ", totalCycles,
+                   " cycles but blocks cover ", tallied);
 
     // ---- per-block footers (popcounts, first/last-set, bounds) ----
+    std::vector<unsigned char> record;
     for (u32 b = 0; b < num_blocks; b++) {
         BlockMeta &block = blocks[b];
         const u64 block_end =
             b + 1 < num_blocks ? blocks[b + 1].offset : index_offset;
-        if (block.offset + 4 + footer_bytes > block_end)
-            fatal("corrupt trace store ", path, ": block ", b,
-                  " record is too small");
+        if (block.offset < data_begin ||
+            block.offset + 4 + footer_bytes > block_end)
+            return bad("corrupt trace store ", filePath, ": block ",
+                       b, " record is too small");
         block.payloadEnd = block_end - footer_bytes;
-        std::vector<unsigned char> raw(footer_bytes - 4);
-        readAt(block.payloadEnd, raw.data(), raw.size(),
-               "block footer");
-        ByteCursor meta{raw.data(), raw.size(), 0, filePath.c_str()};
-        block.fields.resize(num_fields);
-        for (u32 f = 0; f < num_fields; f++) {
-            FieldMeta &fm = block.fields[f];
-            fm.popcount = meta.get64("block footer");
-            fm.firstSet = meta.get32("block footer");
-            fm.lastSet = meta.get32("block footer");
-            if (fm.popcount > block.numCycles)
-                fatal("corrupt trace store ", path, ": block ", b,
-                      " field ", f, " popcount ", fm.popcount,
-                      " exceeds ", block.numCycles, " cycles");
+        if (strict) {
+            // Strict open trusts block CRCs lazily (checked when the
+            // block is first decoded), exactly as before.
+            loadBlockFooter(block, b, true);
+            continue;
         }
+        // Salvage: verify every block's CRC up front so the damage
+        // mask is complete at open.
+        const u64 record_bytes = block_end - block.offset;
+        record.resize(record_bytes);
+        if (!readExact(in, block.offset, record.data(), record_bytes))
+            return bad("corrupt trace store ", filePath,
+                       ": truncated block ", b);
+        u32 block_crc;
+        std::memcpy(&block_crc, record.data() + record_bytes - 4, 4);
+        if (crc32(record.data(), record_bytes - 4) != block_crc) {
+            block.damaged = true;
+            block.fields.assign(num_fields, FieldMeta{});
+        } else {
+            loadBlockFooter(block, b, false);
+        }
+    }
+    return true;
+}
+
+void
+StoreReader::scanBlocks(u64 data_begin)
+{
+    // No trustworthy index: walk block records from the front and
+    // keep every one whose framing parses and CRC verifies. The scan
+    // stops at the first damaged record — framing beyond a corrupt
+    // record cannot be trusted — so this path recovers the CRC-valid
+    // prefix (the whole data section for a torn/unsealed file).
+    const u32 num_fields = traceSpec.numFields();
+    const u64 footer_bytes = blockFooterBytes(num_fields);
+    std::vector<unsigned char> raw(fileSize);
+    if (fileSize && !readExact(in, 0, raw.data(), fileSize))
+        storeFatal(StoreErrorKind::Io, "cannot read trace store: ",
+                   filePath);
+
+    const auto try_varint = [&](u64 &pos, u64 &value) -> bool {
+        value = 0;
+        u32 shift = 0;
+        for (;;) {
+            if (pos >= fileSize || shift >= 64)
+                return false;
+            const unsigned char byte = raw[pos++];
+            value |= static_cast<u64>(byte & 0x7f) << shift;
+            if (!(byte & 0x80))
+                return true;
+            shift += 7;
+        }
+    };
+
+    u64 pos = data_begin;
+    while (true) {
+        const u64 record_start = pos;
+        if (record_start + 4 > fileSize)
+            break;
+        u32 cycles;
+        std::memcpy(&cycles, raw.data() + record_start, 4);
+        if (cycles == 0 || cycles > cyclesPerBlock)
+            break;
+        u64 p = record_start + 4;
+        bool framed = true;
+        for (u32 f = 0; f < num_fields && framed; f++) {
+            u64 plane_bytes;
+            if (!try_varint(p, plane_bytes) ||
+                plane_bytes > fileSize - p)
+                framed = false;
+            else
+                p += plane_bytes;
+        }
+        if (!framed || footer_bytes > fileSize - p)
+            break;
+        const u64 payload_end = p;
+        const u64 record_end = p + footer_bytes;
+        u32 stored_crc;
+        std::memcpy(&stored_crc, raw.data() + record_end - 4, 4);
+        const bool crc_ok =
+            crc32(raw.data() + record_start,
+                  record_end - 4 - record_start) == stored_crc;
+
+        BlockMeta block;
+        block.offset = record_start;
+        block.payloadEnd = payload_end;
+        block.startCycle =
+            static_cast<u64>(blocks.size()) * cyclesPerBlock;
+        block.numCycles = cycles;
+        block.damaged = !crc_ok;
+        if (crc_ok) {
+            loadBlockFooter(block, static_cast<u32>(blocks.size()),
+                            false);
+        } else {
+            block.fields.assign(num_fields, FieldMeta{});
+        }
+        const bool done = !crc_ok || cycles < cyclesPerBlock;
+        blocks.push_back(std::move(block));
+        pos = record_end;
+        if (done)
+            break;
+    }
+    damageInfo.trailingBytes = fileSize - pos;
+    totalCycles = blocks.empty()
+                      ? 0
+                      : blocks.back().startCycle +
+                            blocks.back().numCycles;
+}
+
+void
+StoreReader::openStrict(u64 data_begin)
+{
+    loadIndexedBlocks(data_begin, true);
+    damageInfo.recoveredBlocks = blocks.size();
+    damageInfo.recoveredCycles = totalCycles;
+}
+
+void
+StoreReader::openSalvage(u64 data_begin)
+{
+    damageInfo.salvaged = true;
+    if (!loadIndexedBlocks(data_begin, false)) {
+        damageInfo.indexValid = false;
+        blocks.clear();
+        totalCycles = 0;
+        scanBlocks(data_begin);
+    }
+    for (u32 b = 0; b < blocks.size(); b++) {
+        const BlockMeta &block = blocks[b];
+        if (block.damaged) {
+            damageInfo.damaged.push_back(StoreDamage::DamagedBlock{
+                b, block.startCycle, block.numCycles});
+            damageInfo.damagedCycles += block.numCycles;
+        } else {
+            damageInfo.recoveredBlocks++;
+            damageInfo.recoveredCycles += block.numCycles;
+        }
+    }
+}
+
+void
+StoreReader::requireIntact(u64 begin, u64 end, const char *what) const
+{
+    if (damageInfo.damaged.empty() || begin >= end || blocks.empty())
+        return;
+    for (u32 b = blockOf(begin); b <= blockOf(end - 1); b++) {
+        if (!blocks[b].damaged)
+            continue;
+        storeFatal(StoreErrorKind::DamagedWindow, what, ": cycles [",
+                   begin, ", ", end, ") of ", filePath,
+                   " overlap damaged block ", b,
+                   " (cycles ", blocks[b].startCycle, "..",
+                   blocks[b].startCycle + blocks[b].numCycles,
+                   "); consult damage() for intact windows");
     }
 }
 
@@ -453,43 +786,48 @@ StoreReader::decodeBlock(u32 block_index) const
         return cache;
 
     const BlockMeta &block = blocks[block_index];
+    if (block.damaged)
+        storeFatal(StoreErrorKind::DamagedWindow,
+                   "corrupt trace store ", filePath, ": block ",
+                   block_index, " is damaged");
     const u64 record_bytes = block.payloadEnd +
                              blockFooterBytes(traceSpec.numFields()) -
                              block.offset;
     std::vector<unsigned char> raw(record_bytes);
-    in.seekg(static_cast<std::streamoff>(block.offset));
-    in.read(reinterpret_cast<char *>(raw.data()),
-            static_cast<std::streamsize>(record_bytes));
-    if (!in)
-        fatal("corrupt trace store ", filePath, ": truncated block ",
-              block_index);
+    if (!readExact(in, block.offset, raw.data(), record_bytes))
+        storeFatal(StoreErrorKind::Block, "corrupt trace store ",
+                   filePath, ": truncated block ", block_index);
     u32 stored_crc;
     std::memcpy(&stored_crc, raw.data() + record_bytes - 4, 4);
     if (crc32(raw.data(), record_bytes - 4) != stored_crc)
-        fatal("corrupt trace store ", filePath, ": block ",
-              block_index, " CRC mismatch");
+        storeFatal(StoreErrorKind::Block, "corrupt trace store ",
+                   filePath, ": block ", block_index,
+                   " CRC mismatch");
 
-    ByteCursor cur{raw.data(), record_bytes - 4, 0, filePath.c_str()};
+    ByteCursor cur{raw.data(), record_bytes - 4, 0, filePath.c_str(),
+                   StoreErrorKind::Block};
     const u32 cycles = cur.get32("block");
     if (cycles != block.numCycles)
-        fatal("corrupt trace store ", filePath, ": block ",
-              block_index, " cycle count disagrees with index");
+        storeFatal(StoreErrorKind::Block, "corrupt trace store ",
+                   filePath, ": block ", block_index,
+                   " cycle count disagrees with index");
 
     cache.planes.assign(traceSpec.numFields(), {});
     for (u32 f = 0; f < traceSpec.numFields(); f++) {
         const u64 plane_bytes = cur.getVarint("block plane");
         cur.need(plane_bytes, "block plane");
         ByteCursor plane{raw.data() + cur.pos, plane_bytes, 0,
-                         filePath.c_str()};
+                         filePath.c_str(), StoreErrorKind::Block};
         cur.pos += plane_bytes;
         u64 at = 0;
         bool ones = false;
         while (at < cycles) {
             const u64 run = plane.getVarint("block plane run");
             if (run > cycles - at)
-                fatal("corrupt trace store ", filePath, ": block ",
-                      block_index, " field ", f,
-                      " runs exceed the block");
+                storeFatal(StoreErrorKind::Block,
+                           "corrupt trace store ", filePath,
+                           ": block ", block_index, " field ", f,
+                           " runs exceed the block");
             if (ones && run)
                 cache.planes[f].push_back(SetInterval{
                     static_cast<u32>(at), static_cast<u32>(run)});
@@ -497,8 +835,9 @@ StoreReader::decodeBlock(u32 block_index) const
             ones = !ones;
         }
         if (plane.pos != plane.size)
-            fatal("corrupt trace store ", filePath, ": block ",
-                  block_index, " field ", f, " has trailing bytes");
+            storeFatal(StoreErrorKind::Block, "corrupt trace store ",
+                       filePath, ": block ", block_index, " field ",
+                       f, " has trailing bytes");
     }
     cache.blockIndex = block_index;
     cache.valid = true;
@@ -533,6 +872,7 @@ StoreReader::readWindow(u64 begin, u64 end) const
     end = std::min(end, totalCycles);
     if (begin >= end)
         return trace;
+    requireIntact(begin, end, "StoreReader::readWindow");
     std::vector<u64> words;
     for (u32 b = blockOf(begin); b <= blockOf(end - 1); b++) {
         const BlockMeta &block = blocks[b];
@@ -564,6 +904,8 @@ StoreReader::count(EventId event, u8 lane) const
     if (field < 0)
         return 0;
     u64 total = 0;
+    // Damaged blocks carry zeroed footers, so salvage aggregates
+    // naturally count only recovered cycles.
     for (const BlockMeta &block : blocks)
         total += block.fields[static_cast<u32>(field)].popcount;
     return total;
@@ -588,6 +930,7 @@ StoreReader::countInWindow(EventId event, u64 begin, u64 end) const
     end = std::min(end, totalCycles);
     if (begin >= end)
         return 0;
+    requireIntact(begin, end, "StoreReader::countInWindow");
     std::vector<u32> fields;
     for (u32 f = 0; f < traceSpec.numFields(); f++) {
         if (traceSpec.fields[f].event == event)
@@ -649,6 +992,7 @@ StoreReader::windowTma(u64 begin, u64 end,
 {
     end = clampTraceWindow(totalCycles, begin, end,
                            "StoreReader::windowTma");
+    requireIntact(begin, end, "StoreReader::windowTma");
 
     TmaCounters counters;
     counters.cycles = end - begin;
@@ -698,6 +1042,8 @@ StoreReader::runsOfAny(EventId event) const
 
     for (u32 b = 0; b < blocks.size(); b++) {
         const BlockMeta &block = blocks[b];
+        if (block.damaged)
+            continue; // salvage: damaged span reads as a gap
         u64 pop_sum = 0;
         bool saturated = false;
         for (u32 f : fields) {
@@ -808,22 +1154,44 @@ StoreReader::verify() const
     std::vector<unsigned char> raw;
     for (u32 b = 0; b < blocks.size(); b++) {
         const BlockMeta &block = blocks[b];
+        if (block.damaged)
+            storeFatal(StoreErrorKind::Block, "corrupt trace store ",
+                       filePath, ": block ", b, " CRC mismatch");
         const u64 record_bytes =
             block.payloadEnd +
             blockFooterBytes(traceSpec.numFields()) - block.offset;
         raw.resize(record_bytes);
-        in.seekg(static_cast<std::streamoff>(block.offset));
-        in.read(reinterpret_cast<char *>(raw.data()),
-                static_cast<std::streamsize>(record_bytes));
-        if (!in)
-            fatal("corrupt trace store ", filePath,
-                  ": truncated block ", b);
+        if (!readExact(in, block.offset, raw.data(), record_bytes))
+            storeFatal(StoreErrorKind::Block, "corrupt trace store ",
+                       filePath, ": truncated block ", b);
         u32 stored_crc;
         std::memcpy(&stored_crc, raw.data() + record_bytes - 4, 4);
         if (crc32(raw.data(), record_bytes - 4) != stored_crc)
-            fatal("corrupt trace store ", filePath, ": block ", b,
-                  " CRC mismatch");
+            storeFatal(StoreErrorKind::Block, "corrupt trace store ",
+                       filePath, ": block ", b, " CRC mismatch");
     }
+    if (!damageInfo.clean())
+        storeFatal(StoreErrorKind::Block, "corrupt trace store ",
+                   filePath, ": salvaged container is incomplete (",
+                   damageInfo.damaged.size(), " damaged blocks, ",
+                   damageInfo.trailingBytes, " trailing bytes)");
+}
+
+u64
+StoreReader::writeRepaired(const std::string &path) const
+{
+    StoreWriter writer(traceSpec, path, cyclesPerBlock);
+    for (u32 b = 0; b < blocks.size(); b++) {
+        const BlockMeta &block = blocks[b];
+        if (block.damaged)
+            continue;
+        const Trace window = readWindow(
+            block.startCycle, block.startCycle + block.numCycles);
+        for (u64 word : window.raw())
+            writer.append(word);
+    }
+    writer.finish();
+    return writer.cyclesWritten();
 }
 
 void

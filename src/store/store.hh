@@ -20,11 +20,21 @@
  * interface Session/core capture feeds one packed word per cycle.
  * Peak memory is one block buffer (blockCycles * 8 bytes) regardless
  * of trace length — billion-cycle captures run in bounded memory.
+ * Output lands via AtomicFile (tmp + fsync + rename), so a crashed
+ * capture never leaves a half-written .icst behind.
+ *
+ * Reader side: corruption raises typed StoreErrors (a FatalError
+ * subclass, so embedders and the CLI keep their existing handling),
+ * and StoreOpen::Salvage recovers every block whose CRC still
+ * verifies from a truncated or corrupted file — valid-window queries
+ * keep working and damage() reports exactly what was lost (DESIGN.md
+ * §11).
  *
  * On-disk layout (all integers little-endian; see DESIGN.md §9):
  *
  *   header:   magic, version, numFields, blockCycles,
- *             numFields x { event u32, lane u32 }
+ *             numFields x { event u32, lane u32 },
+ *             crc32 u32 over the preceding header bytes (v2+)
  *   blocks:   numCycles u32,
  *             per field: varint planeBytes + alternating varint run
  *             lengths (starting with a zeros run, summing to
@@ -41,9 +51,12 @@
 
 #include <fstream>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/logging.hh"
+#include "fault/atomic_file.hh"
 #include "trace/trace.hh"
 
 namespace icicle
@@ -51,9 +64,48 @@ namespace icicle
 
 constexpr u32 kStoreMagic = 0x49435354;        // "ICST"
 constexpr u32 kStoreTrailerMagic = 0x54534349; // reversed
-constexpr u32 kStoreVersion = 1;
+/** v2 appends a header CRC32; v1 files are still read. */
+constexpr u32 kStoreVersion = 2;
 /** Default cycles per block: 64K cycles = 512 KiB of raw words. */
 constexpr u32 kStoreDefaultBlockCycles = 1u << 16;
+
+/** What part of a store an error was detected in. */
+enum class StoreErrorKind : u8
+{
+    Io,            ///< open/read/write syscall failure
+    Header,        ///< bad magic/version/field table/header CRC
+    Index,         ///< bad footer index or trailer
+    Block,         ///< bad block record (CRC, framing, run sums)
+    DamagedWindow, ///< salvage query touched a damaged region
+    Unrecoverable, ///< salvage found nothing trustworthy to recover
+};
+
+const char *storeErrorKindName(StoreErrorKind kind);
+
+/**
+ * Typed store corruption/IO error. Subclasses FatalError so existing
+ * catch sites (CLI exit 2, EXPECT_THROW in tests) keep working while
+ * salvage-aware callers can dispatch on kind().
+ */
+class StoreError : public FatalError
+{
+  public:
+    StoreError(StoreErrorKind kind, const std::string &msg)
+        : FatalError(msg), errorKind(kind)
+    {}
+
+    StoreErrorKind kind() const { return errorKind; }
+
+  private:
+    StoreErrorKind errorKind;
+};
+
+/** How strictly StoreReader treats a damaged file. */
+enum class StoreOpen : u8
+{
+    Strict,  ///< any corruption throws (the historical behavior)
+    Salvage, ///< recover every CRC-valid block, expose a damage mask
+};
 
 /**
  * Streaming consumer of packed trace words, one per cycle. The
@@ -75,7 +127,8 @@ class TraceSink
  * output is a pure function of (spec, blockCycles, word sequence):
  * no timestamps or platform state, so stores from identical runs are
  * byte-identical — the property the sweep engine's determinism
- * guarantee extends to `--trace-out`.
+ * guarantee extends to `--trace-out`. The file is committed
+ * atomically on finish(); a crash mid-capture leaves only a `.tmp`.
  */
 class StoreWriter : public TraceSink
 {
@@ -97,11 +150,11 @@ class StoreWriter : public TraceSink
     u32 blockCycles() const { return cyclesPerBlock; }
 
   private:
-    void flushBlock();
+    void flushBlock(bool torn);
 
     TraceSpec traceSpec;
     std::string filePath;
-    std::ofstream out;
+    AtomicFile out;
     u32 cyclesPerBlock;
     std::vector<u64> buffer;
     struct IndexEntry
@@ -124,16 +177,61 @@ struct SetInterval
 };
 
 /**
+ * The damage mask of a salvage-opened store: which blocks survived
+ * CRC verification, which cycle ranges are gone, and whether the
+ * footer index itself was trustworthy. A Strict open that succeeds is
+ * always clean().
+ */
+struct StoreDamage
+{
+    struct DamagedBlock
+    {
+        u32 block = 0;
+        u64 startCycle = 0;
+        u32 numCycles = 0;
+    };
+
+    /** Opened via StoreOpen::Salvage. */
+    bool salvaged = false;
+    /** Trailer + footer index passed validation. */
+    bool indexValid = true;
+    u64 recoveredBlocks = 0;
+    u64 recoveredCycles = 0;
+    u64 damagedCycles = 0;
+    /** Tail bytes no block record could be parsed from. */
+    u64 trailingBytes = 0;
+    /** Blocks present in geometry but failing CRC/framing. */
+    std::vector<DamagedBlock> damaged;
+
+    bool
+    clean() const
+    {
+        return damaged.empty() && trailingBytes == 0 && indexValid;
+    }
+
+    /** The `icicle-trace salvage` damage-report body. */
+    std::string toJson(const std::string &path) const;
+};
+
+/**
  * Random-access reader over an .icst file. Footer metadata (per-field
  * popcounts, first/last-set cycles) is loaded once at open; queries
  * that full blocks can answer from metadata never decode a plane.
  * blocksDecoded() counts the blocks whose planes were actually
  * decoded — the sublinear-query evidence bench_trace_store reports.
+ *
+ * StoreOpen::Strict throws a typed StoreError on any corruption.
+ * StoreOpen::Salvage recovers every CRC-valid block: whole-store
+ * aggregates (count/countAllLanes/runsOfAny/recoveryCdf) skip
+ * damaged blocks, window queries over intact ranges work normally,
+ * and window queries touching a damaged range throw
+ * StoreErrorKind::DamagedWindow — consult damage() for the mask.
  */
 class StoreReader
 {
   public:
-    explicit StoreReader(const std::string &path);
+    explicit StoreReader(const std::string &path,
+                         StoreOpen open = StoreOpen::Strict);
 
     const TraceSpec &spec() const { return traceSpec; }
     u64 numCycles() const { return totalCycles; }
@@ -144,6 +242,9 @@ class StoreReader
     u64 fileBytes() const { return fileSize; }
     /** Raw in-memory footprint of the same trace (8 B / cycle). */
     u64 rawBytes() const { return totalCycles * 8; }
+
+    /** The damage mask (clean() unless salvage found damage). */
+    const StoreDamage &damage() const { return damageInfo; }
 
     /** Decode the whole store into an in-memory Trace. */
     Trace readAll() const;
@@ -184,8 +285,16 @@ class StoreReader
     /** Table VI overlap bound, matching TraceAnalyzer exactly. */
     OverlapBound overlapUpperBound(u32 core_width, u32 pad = 50) const;
 
-    /** CRC-check every block payload; fatal() on corruption. */
+    /** CRC-check every block payload; StoreError on corruption. */
     void verify() const;
+
+    /**
+     * Re-stream every recovered (CRC-valid) block into a fresh,
+     * fully-sealed store at `path`, renumbering cycles contiguously
+     * when interior blocks were lost. Returns cycles written. This is
+     * what `icicle-trace salvage` emits next to its damage report.
+     */
+    u64 writeRepaired(const std::string &path) const;
 
     /**
      * Read-side invariant hook: decode cycles [begin, end) one block
@@ -215,6 +324,7 @@ class StoreReader
         u64 payloadEnd = 0; // offset of the block footer
         u64 startCycle = 0;
         u32 numCycles = 0;
+        bool damaged = false; // salvage: CRC/framing failed
         std::vector<FieldMeta> fields;
     };
 
@@ -226,6 +336,15 @@ class StoreReader
         std::vector<std::vector<SetInterval>> planes;
     };
 
+    u64 openHeader();
+    void openStrict(u64 data_begin);
+    void openSalvage(u64 data_begin);
+    bool loadIndexedBlocks(u64 data_begin, bool strict);
+    void scanBlocks(u64 data_begin);
+    void loadBlockFooter(BlockMeta &block, u32 block_id, bool strict);
+    /** Throw DamagedWindow if [begin, end) touches damaged blocks. */
+    void requireIntact(u64 begin, u64 end, const char *what) const;
+
     const DecodedBlock &decodeBlock(u32 block_index) const;
     u64 countPlaneInRange(const std::vector<SetInterval> &plane,
                           u32 lo, u32 hi) const;
@@ -235,10 +354,13 @@ class StoreReader
     std::string filePath;
     mutable std::ifstream in;
     TraceSpec traceSpec;
+    StoreOpen openMode = StoreOpen::Strict;
+    u32 formatVersion = kStoreVersion;
     u32 cyclesPerBlock = 0;
     u64 totalCycles = 0;
     u64 fileSize = 0;
     std::vector<BlockMeta> blocks;
+    StoreDamage damageInfo;
     mutable DecodedBlock cache;
     mutable u64 decodedBlocks = 0;
 };

@@ -10,7 +10,9 @@
 #include "boom/boom.hh"
 #include "common/logging.hh"
 #include "core/session.hh"
+#include "fault/fault.hh"
 #include "rocket/rocket.hh"
+#include "sweep/journal.hh"
 #include "trace/trace.hh"
 #include "workloads/workloads.hh"
 
@@ -140,7 +142,8 @@ using Clock = std::chrono::steady_clock;
  * Throws FatalError upward; the retry loop in runJob() handles it.
  */
 SweepResult
-runAttempt(const SweepJob &job, const SweepOptions &options)
+runAttempt(const SweepJob &job, const SweepOptions &options,
+           u64 index)
 {
     SweepResult result;
     const Clock::time_point start = Clock::now();
@@ -149,6 +152,14 @@ runAttempt(const SweepJob &job, const SweepOptions &options)
         start + std::chrono::duration_cast<Clock::duration>(
                     std::chrono::duration<double>(
                         bounded ? options.timeoutSec : 0));
+
+    // Fault hooks, keyed on the grid index so they are reproducible
+    // at any worker count: an injected failure exercises the retry
+    // path, an injected hang exercises the timeout path.
+    const FaultPlan::JobDecision decision = faultPlan().onJob(index);
+    if (decision.fail)
+        fatal("sweep job '", job.label,
+              "': injected fault (fail@job#", index, ")");
 
     std::unique_ptr<Core> core = job.make();
     if (!core)
@@ -168,7 +179,22 @@ runAttempt(const SweepJob &job, const SweepOptions &options)
     const u64 chunk = std::max<u64>(1, options.chunkCycles);
     u64 simulated = 0;
     bool timed_out = false;
-    while (!core->done() && simulated < job.maxCycles) {
+    if (decision.hang) {
+        // An injected hang: stall to the deadline when the job is
+        // bounded (so the cooperative timeout fires), or for a
+        // bounded beat when it is not (so unbounded campaigns still
+        // terminate).
+        if (bounded) {
+            while (Clock::now() < deadline)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+            timed_out = true;
+        } else {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(200));
+        }
+    }
+    while (!timed_out && !core->done() && simulated < job.maxCycles) {
         const u64 step = std::min(chunk, job.maxCycles - simulated);
         simulated += core->run(step, hook);
         if (bounded && Clock::now() >= deadline && !core->done()) {
@@ -193,11 +219,23 @@ runAttempt(const SweepJob &job, const SweepOptions &options)
         result.overlapFraction =
             analyzer.overlapUpperBound(core->coreWidth())
                 .overlapFraction;
-        // Timed-out traces are wall-clock dependent; writing them
-        // would break the byte-identical guarantee across workers.
-        if (!options.traceOutDir.empty() && !timed_out)
-            trace->toStore(
-                sweepTracePath(options.traceOutDir, job.label));
+        if (!options.traceOutDir.empty()) {
+            if (timed_out) {
+                // Timed-out traces are wall-clock dependent; writing
+                // them would break the byte-identical guarantee
+                // across workers. The skip is recorded, not silent.
+                result.traceSkipped =
+                    "timeout: partial trace not stored";
+            } else {
+                const std::string path =
+                    sweepTracePath(options.traceOutDir, job.label);
+                trace->toStore(path);
+                const auto slash = path.find_last_of('/');
+                result.traceStore = slash == std::string::npos
+                                        ? path
+                                        : path.substr(slash + 1);
+            }
+        }
     }
     result.status =
         timed_out ? SweepStatus::Timeout : SweepStatus::Ok;
@@ -211,13 +249,13 @@ runAttempt(const SweepJob &job, const SweepOptions &options)
 
 /** Attempt/retry loop: never throws. */
 SweepResult
-runJob(const SweepJob &job, const SweepOptions &options)
+runJob(const SweepJob &job, const SweepOptions &options, u64 index)
 {
     const u32 max_attempts = std::max(1u, options.maxAttempts);
     SweepResult result;
     for (u32 attempt = 1; attempt <= max_attempts; attempt++) {
         try {
-            result = runAttempt(job, options);
+            result = runAttempt(job, options, index);
             result.attempts = attempt;
             return result;
         } catch (const std::exception &err) {
@@ -243,6 +281,41 @@ runSweepJobs(const std::vector<SweepJob> &jobs,
     if (num_jobs == 0)
         return results;
 
+    // Journal: restore completed points before any worker starts.
+    // Only Ok points are served from the journal; Failed/Timeout
+    // rows re-run (that is the point of resuming).
+    SweepJournal journal;
+    std::vector<bool> restored(num_jobs, false);
+    if (!options.journalPath.empty()) {
+        const u32 grid_hash = sweepGridHash(jobs);
+        if (options.resume) {
+            u64 reused = 0;
+            for (SweepResult &result : journal.resume(
+                     options.journalPath, grid_hash, num_jobs)) {
+                const u64 index = result.index;
+                if (result.status != SweepStatus::Ok)
+                    continue;
+                result.label = jobs[index].label;
+                result.point = jobs[index].point;
+                if (!restored[index])
+                    reused++;
+                restored[index] = true;
+                results[index] = std::move(result);
+            }
+            if (reused)
+                inform("sweep journal: restored ", reused, " of ",
+                       num_jobs, " points; re-running the rest");
+            if (options.onResult) {
+                for (u64 i = 0; i < num_jobs; i++) {
+                    if (restored[i])
+                        options.onResult(results[i]);
+                }
+            }
+        } else {
+            journal.create(options.journalPath, grid_hash, num_jobs);
+        }
+    }
+
     std::atomic<u64> cursor{0};
     std::mutex callback_mutex;
 
@@ -252,15 +325,22 @@ runSweepJobs(const std::vector<SweepJob> &jobs,
                 cursor.fetch_add(1, std::memory_order_relaxed);
             if (index >= num_jobs)
                 return;
-            SweepResult result = runJob(jobs[index], options);
+            if (restored[index])
+                continue;
+            SweepResult result = runJob(jobs[index], options, index);
             result.index = index;
             result.label = jobs[index].label;
             result.point = jobs[index].point;
             // Distinct slots: no lock needed for the store itself.
             results[index] = std::move(result);
-            if (options.onResult) {
+            if (journal.isOpen() || options.onResult) {
                 std::lock_guard<std::mutex> lock(callback_mutex);
-                options.onResult(results[index]);
+                // Journal first: a record implies the row (and its
+                // trace store, already renamed into place) is
+                // durable before the user sees it reported.
+                journal.append(results[index]);
+                if (options.onResult)
+                    options.onResult(results[index]);
             }
         }
     };
@@ -379,7 +459,7 @@ formatSweepCsv(const std::vector<SweepResult> &results, bool timing)
           "backend,"
           "machine_clears,branch_mispredicts,fetch_latency,pc_resteer,"
           "core_bound,mem_bound,recovery_sequences,overlap_fraction,"
-          "error";
+          "trace_store,error";
     if (timing)
         os << ",wall_ms";
     os << "\n";
@@ -403,6 +483,7 @@ formatSweepCsv(const std::vector<SweepResult> &results, bool timing)
            << fmtDouble(r.tma.memBound) << ','
            << r.recoverySequences << ','
            << fmtDouble(r.overlapFraction) << ','
+           << csvEscape(r.traceStore) << ','
            << csvEscape(r.error);
         if (timing)
             os << ',' << fmtDouble(r.wallMs);
@@ -437,6 +518,12 @@ formatSweepJson(const std::vector<SweepResult> &results, bool timing)
            << "\"recovery_sequences\": " << r.recoverySequences
            << ", \"overlap_fraction\": "
            << fmtDouble(r.overlapFraction);
+        if (!r.traceStore.empty())
+            os << ", \"trace_store\": \"" << jsonEscape(r.traceStore)
+               << "\"";
+        else if (!r.traceSkipped.empty())
+            os << ", \"trace_store\": null, \"trace_skipped\": \""
+               << jsonEscape(r.traceSkipped) << "\"";
         if (timing)
             os << ", \"wall_ms\": " << fmtDouble(r.wallMs);
         if (!r.error.empty())

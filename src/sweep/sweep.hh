@@ -125,6 +125,19 @@ struct SweepResult
     double wallMs = 0;
     /** Failure message for Failed / Timeout rows. */
     std::string error;
+    /**
+     * Basename of the .icst written under --trace-out ("" if none).
+     * A pure function of the label, so reports stay byte-identical
+     * across output directories and worker counts.
+     */
+    std::string traceStore;
+    /**
+     * Why a traced job wrote no store under --trace-out ("" when it
+     * did) — e.g. a timed-out job, whose partial trace would be
+     * wall-clock dependent. Makes the skip visible in every report
+     * instead of silent.
+     */
+    std::string traceSkipped;
 };
 
 /** Engine knobs. */
@@ -148,8 +161,23 @@ struct SweepOptions
      */
     std::string traceOutDir;
     /**
+     * When non-empty, append a CRC-guarded journal record per
+     * completed point to this file (crash-safe: each record is
+     * fsync'd, a torn tail is dropped on resume). See
+     * src/sweep/journal.hh.
+     */
+    std::string journalPath;
+    /**
+     * Replay journalPath before running: points whose last record is
+     * Ok are restored bit-exactly from the journal and only
+     * missing/failed/timed-out points re-run. The final report is
+     * byte-identical to an uninterrupted run.
+     */
+    bool resume = false;
+    /**
      * Completion callback (progress reporting). Serialized under the
      * engine mutex; called in completion order, not grid order.
+     * Resumed points are reported up front, before workers start.
      */
     std::function<void(const SweepResult &)> onResult;
 };

@@ -9,6 +9,7 @@
 
 #include "common/crc32.hh"
 #include "common/logging.hh"
+#include "fault/atomic_file.hh"
 
 namespace icicle
 {
@@ -161,16 +162,11 @@ constexpr u32 kTraceVersion = 2;
 void
 writeTrace(const Trace &trace, const std::string &path)
 {
-    std::ofstream out(path, std::ios::binary);
-    if (!out)
-        fatal("cannot open trace file for writing: ", path);
+    // Crash-atomic: the .trc appears only once fully written.
+    AtomicFile out(path, FaultSite::TraceWrite);
     Crc32 crc;
-    auto put32 = [&out](u32 v) {
-        out.write(reinterpret_cast<const char *>(&v), 4);
-    };
-    auto put64 = [&out](u64 v) {
-        out.write(reinterpret_cast<const char *>(&v), 8);
-    };
+    auto put32 = [&out](u32 v) { out.append(&v, 4); };
+    auto put64 = [&out](u64 v) { out.append(&v, 8); };
     put32(kTraceMagic);
     put32(kTraceVersion);
     put32(trace.spec().numFields());
@@ -184,9 +180,7 @@ writeTrace(const Trace &trace, const std::string &path)
         crc.update(&word, 8);
     }
     put32(crc.value());
-    out.flush();
-    if (!out)
-        fatal("error writing trace file: ", path);
+    out.commit();
 }
 
 Trace

@@ -14,6 +14,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <sys/wait.h>
 
@@ -28,6 +31,9 @@
 #endif
 #ifndef ICICLE_PROVE_BIN
 #error "CMake must define ICICLE_PROVE_BIN for test_cli"
+#endif
+#ifndef ICICLE_SWEEP_BIN
+#error "CMake must define ICICLE_SWEEP_BIN for test_cli"
 #endif
 
 namespace icicle
@@ -57,10 +63,21 @@ class TempPath
   public:
     explicit TempPath(const char *name)
         : path(std::string(::testing::TempDir()) + name)
-    {}
+    {
+        std::remove(path.c_str());
+    }
     ~TempPath() { std::remove(path.c_str()); }
     const std::string path;
 };
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
 
 TEST(CliTrace, QueryOnEmptyStoreExitsTwo)
 {
@@ -105,6 +122,95 @@ TEST(CliTrace, MissingFileExitsTwo)
                   " query fetch-bubbles /nonexistent/x.icst"),
               2);
     EXPECT_EQ(run(std::string(ICICLE_TRACE_BIN) + " bogus-command"),
+              2);
+}
+
+TEST(CliTrace, SalvageExitCodeContract)
+{
+    // 0 = clean, 1 = damage found and recovered around, 2 = nothing
+    // recoverable. Scripts route on these; pin all three.
+    TempPath store("cli_salvage.icst");
+    TempPath repaired("cli_salvage_repaired.icst");
+    TempPath report("cli_salvage_report.json");
+    std::unique_ptr<Core> core = makeSweepCore(
+        "rocket", CounterArch::AddWires, buildWorkload("vvadd"));
+    streamTraceToStore(*core, TraceSpec::tmaBundle(*core), 20000,
+                       store.path, 4096);
+
+    EXPECT_EQ(run(std::string(ICICLE_TRACE_BIN) + " salvage " +
+                  quoted(store.path)),
+              0);
+
+    // Truncate mid-store: the tail is gone, the prefix must survive.
+    const auto size = std::filesystem::file_size(store.path);
+    std::filesystem::resize_file(store.path, size - size / 3);
+    EXPECT_EQ(run(std::string(ICICLE_TRACE_BIN) + " salvage " +
+                  quoted(store.path) + " --repaired " +
+                  quoted(repaired.path) + " --report " +
+                  quoted(report.path)),
+              1);
+    // The repaired store opens strictly clean, and the damage report
+    // is real JSON naming the source file.
+    EXPECT_EQ(run(std::string(ICICLE_TRACE_BIN) + " info " +
+                  quoted(repaired.path)),
+              0);
+    const std::string damage = slurp(report.path);
+    EXPECT_NE(damage.find("\"salvaged\""), std::string::npos);
+    EXPECT_NE(damage.find("cli_salvage.icst"), std::string::npos);
+
+    // A file that is not an icicle store at all is unrecoverable.
+    {
+        std::ofstream garbage(store.path, std::ios::binary |
+                                              std::ios::trunc);
+        garbage << "this is not a trace store";
+    }
+    EXPECT_EQ(run(std::string(ICICLE_TRACE_BIN) + " salvage " +
+                  quoted(store.path)),
+              2);
+}
+
+TEST(CliSweep, KillDuringJournalThenResumeIsByteIdentical)
+{
+    // End-to-end crash drill: a SIGKILL-equivalent fault lands in the
+    // middle of the second journal append; the resumed campaign must
+    // reproduce the uninterrupted report byte for byte.
+    TempPath golden("cli_sweep_golden.csv");
+    TempPath crashed("cli_sweep_crashed.csv");
+    TempPath resumed("cli_sweep_resumed.csv");
+    TempPath journal("cli_sweep.icjn");
+
+    const std::string grid_flags =
+        " --cores rocket --archs addwires"
+        " --workloads vvadd,towers --cycles 2000000"
+        " --format csv --out ";
+
+    ASSERT_EQ(run(std::string(ICICLE_SWEEP_BIN) + grid_flags +
+                  quoted(golden.path)),
+              0);
+
+    // kill@journal#1 _Exit(137)s mid-append of the second record.
+    EXPECT_EQ(run("ICICLE_FAULT='kill@journal#1' " +
+                  std::string(ICICLE_SWEEP_BIN) + grid_flags +
+                  quoted(crashed.path) + " --journal " +
+                  quoted(journal.path)),
+              137);
+    // The crash precedes the report: no partial output published.
+    EXPECT_FALSE(std::filesystem::exists(crashed.path));
+    EXPECT_TRUE(std::filesystem::exists(journal.path));
+
+    EXPECT_EQ(run(std::string(ICICLE_SWEEP_BIN) + grid_flags +
+                  quoted(resumed.path) + " --journal " +
+                  quoted(journal.path) + " --resume"),
+              0);
+    const std::string golden_csv = slurp(golden.path);
+    ASSERT_FALSE(golden_csv.empty());
+    EXPECT_EQ(slurp(resumed.path), golden_csv);
+}
+
+TEST(CliSweep, ResumeWithoutJournalExitsTwo)
+{
+    EXPECT_EQ(run(std::string(ICICLE_SWEEP_BIN) +
+                  " --workloads vvadd --resume"),
               2);
 }
 

@@ -11,8 +11,10 @@
 #include "boom/boom.hh"
 #include "common/logging.hh"
 #include "core/session.hh"
+#include "isa/builder.hh"
 #include "perf/harness.hh"
 #include "perf/tma_tool.hh"
+#include "pmu/csr.hh"
 #include "rocket/rocket.hh"
 #include "workloads/workloads.hh"
 
@@ -166,6 +168,82 @@ TEST(TmaTool, InBandAndOutOfBandAgree)
     EXPECT_NEAR(in_band.tma.retiring, oob.tma.retiring, 1e-9);
     EXPECT_NEAR(in_band.tma.backend, oob.tma.backend, 1e-9);
     EXPECT_NEAR(in_band.tma.frontend, oob.tma.frontend, 1e-9);
+}
+
+/**
+ * A workload that violates the inhibit-before-write protocol: it
+ * clobbers mhpmcounter3 through the in-band Zicsr path while the
+ * harness has the counter armed. Every TMA field fed by that counter
+ * is garbage afterwards, and the harness must say so.
+ */
+Program counterClobberWorkload()
+{
+    ProgramBuilder b("clobber");
+    Label warm = b.newLabel(), cool = b.newLabel();
+    b.li(reg::t2, 2000);
+    b.bind(warm);
+    b.addi(reg::t2, reg::t2, -1);
+    b.bnez(reg::t2, warm);
+    b.csrrwi(reg::zero, csr::mhpmcounter3, 0);
+    b.li(reg::t2, 2000);
+    b.bind(cool);
+    b.addi(reg::t2, reg::t2, -1);
+    b.bnez(reg::t2, cool);
+    b.halt();
+    return b.build();
+}
+
+TEST(PerfHarness, InBandCounterClobberIsMarkedUnreliable)
+{
+    RocketCore core(RocketConfig{}, counterClobberWorkload());
+    PerfHarness harness(core);
+    harness.addTmaEvents();
+    harness.run(1'000'000);
+    ASSERT_TRUE(core.done());
+
+    EXPECT_TRUE(harness.anyUnreliable());
+    const std::vector<UnreliableEvent> unreliable =
+        harness.unreliableEvents();
+    ASSERT_FALSE(unreliable.empty());
+    // The first TMA event lands on hpm index 0 = mhpmcounter3, the
+    // counter the workload clobbers.
+    EXPECT_EQ(unreliable[0].event, EventId::InstRetired);
+    EXPECT_TRUE(unreliable[0].armedWrite);
+    EXPECT_FALSE(unreliable[0].saturated);
+}
+
+TEST(PerfHarness, CleanRunsHaveNoUnreliableEvents)
+{
+    RocketCore core(RocketConfig{}, workloads::towers());
+    PerfHarness harness(core);
+    harness.addTmaEvents();
+    harness.run(80'000'000);
+    ASSERT_TRUE(core.done());
+    EXPECT_FALSE(harness.anyUnreliable());
+    EXPECT_TRUE(harness.unreliableEvents().empty());
+}
+
+TEST(TmaTool, ReportFlagsUnreliableCounters)
+{
+    RocketCore core(RocketConfig{}, counterClobberWorkload());
+    const TmaRun run =
+        runTmaAnalysis(core, TmaSource::InBand, 1'000'000);
+    ASSERT_TRUE(run.finished);
+    ASSERT_FALSE(run.unreliable.empty());
+
+    const std::string report = tmaToolReport(run, "clobber");
+    EXPECT_NE(report.find("UNRELIABLE"), std::string::npos);
+    EXPECT_NE(report.find("Retiring"), std::string::npos);
+    EXPECT_NE(report.find("written while armed"), std::string::npos);
+
+    // A protocol-respecting run carries no warnings.
+    RocketCore clean_core(RocketConfig{}, workloads::towers());
+    const TmaRun clean =
+        runTmaAnalysis(clean_core, TmaSource::InBand, 80'000'000);
+    ASSERT_TRUE(clean.finished);
+    EXPECT_TRUE(clean.unreliable.empty());
+    EXPECT_EQ(tmaToolReport(clean, "towers").find("UNRELIABLE"),
+              std::string::npos);
 }
 
 TEST(TmaTool, ReportMentionsCompletion)

@@ -378,6 +378,98 @@ TEST(CsrFile, ClearCountersResetsValues)
     EXPECT_EQ(csrs.cycles(), 0u);
 }
 
+// ------------------------------------- reliability degradation
+
+TEST(CsrFile, SaturationLatchesInsteadOfSilentlyWrapping)
+{
+    // Counters implement csr::hpmWidth bits; a wrap must latch the
+    // sticky saturation flag so the harness can mark the value
+    // unreliable instead of reporting a silently truncated count.
+    for (CounterArch arch :
+         {CounterArch::Scalar, CounterArch::AddWires}) {
+        SCOPED_TRACE(counterArchName(arch));
+        EventBus bus;
+        CsrFile csrs(CoreKind::Rocket, arch, &bus);
+        csrs.programEvent(0, EventId::BranchMispredict);
+        // Park the counter one increment below the implemented width
+        // (writes while inhibited are protocol-clean).
+        csrs.writeCsr(csr::mhpmcounter3, csr::hpmValueMask);
+        EXPECT_FALSE(csrs.hpmSaturated(0));
+        csrs.setInhibit(false);
+        bus.clear();
+        bus.raise(EventId::BranchMispredict);
+        csrs.tick(bus);
+        EXPECT_TRUE(csrs.hpmSaturated(0));
+        EXPECT_EQ(csrs.hpmValue(0), 0u) << "value wraps like silicon";
+        // Sticky: further clean ticks do not clear it.
+        csrs.tick(bus);
+        EXPECT_TRUE(csrs.hpmSaturated(0));
+        // Reprogramming (inhibited) clears the flag.
+        csrs.setInhibit(true);
+        csrs.programEvent(0, EventId::BranchMispredict);
+        EXPECT_FALSE(csrs.hpmSaturated(0));
+    }
+}
+
+TEST(CsrFile, DistributedPrincipalSaturates)
+{
+    EventBus bus;
+    bus.setNumSources(EventId::FetchBubbles, 2);
+    CsrFile csrs(CoreKind::Boom, CounterArch::Distributed, &bus);
+    csrs.programEvent(0, EventId::FetchBubbles);
+    csrs.writeCsr(csr::mhpmcounter3, csr::hpmValueMask);
+    csrs.setInhibit(false);
+    // Drive both lanes until a local counter overflows and the
+    // arbiter drains it into the (parked) principal counter.
+    for (u32 c = 0; c < 16 && !csrs.hpmSaturated(0); c++) {
+        bus.clear();
+        bus.raise(EventId::FetchBubbles, 0);
+        bus.raise(EventId::FetchBubbles, 1);
+        csrs.tick(bus);
+    }
+    EXPECT_TRUE(csrs.hpmSaturated(0));
+}
+
+TEST(CsrFile, ArmedWriteLatchesWhenInhibitProtocolIsSkipped)
+{
+    EventBus bus;
+    CsrFile csrs(CoreKind::Rocket, CounterArch::AddWires, &bus);
+    csrs.programEvent(0, EventId::BranchMispredict);
+    csrs.programEvent(1, EventId::ICacheMiss);
+    // Protocol-clean so far: everything written while inhibited.
+    EXPECT_FALSE(csrs.hpmArmedWrite(0));
+    EXPECT_FALSE(csrs.hpmArmedWrite(1));
+
+    csrs.setInhibit(false);
+    // Writing the armed counter's value races the increment logic.
+    csrs.writeCsr(csr::mhpmcounter3, 0);
+    EXPECT_TRUE(csrs.hpmArmedWrite(0));
+    EXPECT_FALSE(csrs.hpmArmedWrite(1)) << "flags are per-counter";
+    // Reprogramming the armed counter's selector is also a breach.
+    csrs.writeCsr(csr::mhpmevent3 + 1,
+                  csrs.readCsr(csr::mhpmevent3 + 1));
+    EXPECT_TRUE(csrs.hpmArmedWrite(1));
+
+    // Inhibit, then reprogram: the clean protocol clears both flags.
+    csrs.setInhibit(true);
+    csrs.programEvent(0, EventId::BranchMispredict);
+    csrs.programEvent(1, EventId::ICacheMiss);
+    EXPECT_FALSE(csrs.hpmArmedWrite(0));
+    EXPECT_FALSE(csrs.hpmArmedWrite(1));
+}
+
+TEST(CsrFile, InhibitedWritesNeverLatchArmedWrite)
+{
+    EventBus bus;
+    CsrFile csrs(CoreKind::Rocket, CounterArch::Scalar, &bus);
+    // Counters start inhibited: the four-step protocol's writes are
+    // clean by construction.
+    csrs.programEvent(3, EventId::DCacheMiss);
+    csrs.writeCsr(csr::mhpmcounter3 + 3, 17);
+    EXPECT_FALSE(csrs.hpmArmedWrite(3));
+    EXPECT_FALSE(csrs.hpmSaturated(3));
+}
+
 TEST(CsrFile, DistributedHpmCorrected)
 {
     EventBus bus;

@@ -12,9 +12,11 @@
 #include <gtest/gtest.h>
 
 #include "common/logging.hh"
+#include "fault/fault.hh"
 #include "isa/builder.hh"
 #include "rocket/rocket.hh"
 #include "store/store.hh"
+#include "sweep/journal.hh"
 #include "sweep/sweep.hh"
 #include "workloads/workloads.hh"
 
@@ -330,6 +332,226 @@ TEST(SweepFormat, CsvEscapesAndJsonIsWellFormedish)
     EXPECT_EQ(csv.find("wall_ms"), std::string::npos);
     EXPECT_NE(formatSweepCsv({r}, true).find("wall_ms"),
               std::string::npos);
+}
+
+TEST(SweepEngine, TimedOutTracedJobSkipIsVisibleNotSilent)
+{
+    // Regression: a traced job that timed out under --trace-out used
+    // to silently write no store — the row looked like every other
+    // and the missing file surfaced only when a consumer went
+    // looking. The skip must be visible in the result and reports.
+    SweepJob endless;
+    endless.label = "endless-traced";
+    endless.maxCycles = ~0ull;
+    endless.withTrace = true;
+    endless.make = [] {
+        return std::make_unique<RocketCore>(RocketConfig{},
+                                            endlessLoop());
+    };
+    const std::string dir = "/tmp/icicle_sweep_timeout_trace";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    SweepOptions options;
+    options.timeoutSec = 0.05;
+    options.chunkCycles = 4096;
+    options.maxAttempts = 1;
+    options.traceOutDir = dir;
+    const std::vector<SweepResult> results =
+        runSweepJobs({endless}, options);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].status, SweepStatus::Timeout);
+    EXPECT_TRUE(results[0].traceStore.empty());
+    EXPECT_FALSE(results[0].traceSkipped.empty());
+    EXPECT_FALSE(std::filesystem::exists(
+        sweepTracePath(dir, endless.label)));
+    // The skip reaches both serialized reports.
+    const std::string json = formatSweepJson(results);
+    EXPECT_NE(json.find("\"trace_store\": null"), std::string::npos);
+    EXPECT_NE(json.find("trace_skipped"), std::string::npos);
+    const std::string csv = formatSweepCsv(results);
+    EXPECT_NE(csv.find("trace_store"), std::string::npos);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(SweepEngine, TracedOkRowNamesItsStoreInReports)
+{
+    GridSpec grid;
+    grid.cores = {"rocket"};
+    grid.workloads = {"vvadd"};
+    grid.maxCycles = 300'000;
+    grid.withTrace = true;
+    const std::string dir = "/tmp/icicle_sweep_named_store";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    SweepOptions options;
+    options.traceOutDir = dir;
+    const std::vector<SweepResult> results = runSweep(grid, options);
+    ASSERT_EQ(results.size(), 1u);
+    // Basename only: reports stay byte-identical across directories.
+    EXPECT_EQ(results[0].traceStore, "rocket_vvadd_add-wires.icst");
+    EXPECT_NE(formatSweepJson(results)
+                  .find("\"trace_store\": \"rocket_vvadd_add-wires"
+                        ".icst\""),
+              std::string::npos);
+    std::filesystem::remove_all(dir);
+}
+
+// ---- journal / resume ------------------------------------------------
+
+std::vector<SweepJob>
+twoCountJobs()
+{
+    std::vector<SweepJob> jobs;
+    for (const char *label : {"count-a", "count-b"}) {
+        SweepJob job;
+        job.label = label;
+        job.maxCycles = 100'000;
+        job.make = [] {
+            return std::make_unique<RocketCore>(RocketConfig{},
+                                                countLoop(500));
+        };
+        jobs.push_back(std::move(job));
+    }
+    return jobs;
+}
+
+TEST(SweepJournalFile, ResumeRestoresRecordsBitExactly)
+{
+    const std::string path = "/tmp/icicle_journal_unit.bin";
+    std::remove(path.c_str());
+    const std::vector<SweepJob> jobs = twoCountJobs();
+    const u32 hash = sweepGridHash(jobs);
+
+    // Run the full grid with a journal.
+    SweepOptions options;
+    options.journalPath = path;
+    const std::vector<SweepResult> first =
+        runSweepJobs(jobs, options);
+    ASSERT_EQ(first.size(), 2u);
+
+    // Resuming the finished journal restores both points without
+    // re-running anything, bit-exactly.
+    SweepJournal journal;
+    const std::vector<SweepResult> restored =
+        journal.resume(path, hash, jobs.size());
+    journal.close();
+    ASSERT_EQ(restored.size(), 2u);
+    for (u64 i = 0; i < 2; i++) {
+        EXPECT_EQ(restored[i].index, first[i].index);
+        EXPECT_EQ(restored[i].status, first[i].status);
+        EXPECT_EQ(restored[i].cycles, first[i].cycles);
+        // Doubles travel as raw bit patterns: exact, not approximate.
+        EXPECT_EQ(restored[i].ipc, first[i].ipc);
+        EXPECT_EQ(restored[i].tma.retiring, first[i].tma.retiring);
+        EXPECT_EQ(restored[i].counters.retiredUops,
+                  first[i].counters.retiredUops);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(SweepJournalFile, TornTailIsDroppedOnResume)
+{
+    const std::string path = "/tmp/icicle_journal_torn.bin";
+    std::remove(path.c_str());
+    const std::vector<SweepJob> jobs = twoCountJobs();
+    const u32 hash = sweepGridHash(jobs);
+    SweepOptions options;
+    options.journalPath = path;
+    runSweepJobs(jobs, options);
+
+    // Tear the last record: chop 7 bytes off the file.
+    const auto size = std::filesystem::file_size(path);
+    std::filesystem::resize_file(path, size - 7);
+
+    SweepJournal journal;
+    const std::vector<SweepResult> restored =
+        journal.resume(path, hash, jobs.size());
+    journal.close();
+    ASSERT_EQ(restored.size(), 1u);
+    EXPECT_EQ(restored[0].index, 0u);
+    // The torn bytes were truncated away: a second resume sees a
+    // clean single-record journal.
+    SweepJournal again;
+    EXPECT_EQ(again.resume(path, hash, jobs.size()).size(), 1u);
+    std::remove(path.c_str());
+}
+
+TEST(SweepJournalFile, RefusesAForeignGrid)
+{
+    const std::string path = "/tmp/icicle_journal_foreign.bin";
+    std::remove(path.c_str());
+    const std::vector<SweepJob> jobs = twoCountJobs();
+    SweepOptions options;
+    options.journalPath = path;
+    runSweepJobs(jobs, options);
+
+    SweepJournal journal;
+    // Wrong hash, wrong job count: both must refuse loudly.
+    EXPECT_THROW(journal.resume(path, sweepGridHash(jobs) ^ 1,
+                                jobs.size()),
+                 FatalError);
+    EXPECT_THROW(journal.resume(path, sweepGridHash(jobs),
+                                jobs.size() + 1),
+                 FatalError);
+    std::remove(path.c_str());
+}
+
+TEST(SweepEngine, ResumeAfterInjectedFailureIsByteIdentical)
+{
+    // A point that fails on every attempt of the first campaign is
+    // journaled as Failed; the resumed campaign re-runs only that
+    // point (now healthy) and the final report is byte-identical to
+    // an uninterrupted clean run.
+    const std::string path = "/tmp/icicle_journal_resume.bin";
+    std::remove(path.c_str());
+    const std::vector<SweepJob> jobs = twoCountJobs();
+
+    SweepOptions clean_options;
+    const std::vector<SweepResult> golden =
+        runSweepJobs(jobs, clean_options);
+
+    setFaultSpec("fail@job#1=2");
+    SweepOptions first_options;
+    first_options.journalPath = path;
+    first_options.maxAttempts = 2;
+    const std::vector<SweepResult> first =
+        runSweepJobs(jobs, first_options);
+    setFaultSpec("");
+    ASSERT_EQ(first[0].status, SweepStatus::Ok);
+    ASSERT_EQ(first[1].status, SweepStatus::Failed);
+    EXPECT_NE(first[1].error.find("injected fault"),
+              std::string::npos);
+
+    SweepOptions resume_options;
+    resume_options.journalPath = path;
+    resume_options.resume = true;
+    u32 reran = 0;
+    resume_options.onResult = [&](const SweepResult &r) {
+        if (r.index == 1)
+            reran++;
+    };
+    const std::vector<SweepResult> resumed =
+        runSweepJobs(jobs, resume_options);
+    EXPECT_EQ(reran, 1u);
+    EXPECT_EQ(formatSweepCsv(resumed), formatSweepCsv(golden));
+    EXPECT_EQ(formatSweepJson(resumed), formatSweepJson(golden));
+    EXPECT_EQ(formatSweepTable(resumed), formatSweepTable(golden));
+    std::remove(path.c_str());
+}
+
+TEST(SweepEngine, InjectedHangTimesOutInsteadOfWedging)
+{
+    setFaultSpec("hang@job#0");
+    std::vector<SweepJob> jobs = twoCountJobs();
+    SweepOptions options;
+    options.timeoutSec = 0.05;
+    options.maxAttempts = 1;
+    const std::vector<SweepResult> results =
+        runSweepJobs(jobs, options);
+    setFaultSpec("");
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].status, SweepStatus::Timeout);
+    EXPECT_EQ(results[1].status, SweepStatus::Ok);
 }
 
 TEST(SweepEngine, UnknownWorkloadBecomesFailedRow)

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "fault/atomic_file.hh"
 #include "sweep/sweep.hh"
 #include "workloads/workloads.hh"
 
@@ -73,6 +74,11 @@ usage(FILE *out)
         "  --retries N       attempts per job (default: 2)\n"
         "  --timeout SEC     per-job wall-clock timeout\n"
         "                    (default: none)\n"
+        "  --journal FILE    append a crash-safe record per\n"
+        "                    completed point to FILE\n"
+        "  --resume          replay --journal first and re-run only\n"
+        "                    missing/failed points; the report is\n"
+        "                    byte-identical to an uninterrupted run\n"
         "\n"
         "output:\n"
         "  --format F        text | csv | json (default: text)\n"
@@ -256,6 +262,10 @@ main(int argc, char **argv)
                 static_cast<u32>(std::stoul(value()));
         } else if (arg == "--timeout") {
             options.timeoutSec = std::stod(value());
+        } else if (arg == "--journal") {
+            options.journalPath = value();
+        } else if (arg == "--resume") {
+            options.resume = true;
         } else if (arg == "--format") {
             format = value();
         } else if (arg == "--timing") {
@@ -276,6 +286,10 @@ main(int argc, char **argv)
     }
     if (format != "text" && format != "csv" && format != "json") {
         std::fprintf(stderr, "unknown format: %s\n", format.c_str());
+        return usage(stderr);
+    }
+    if (options.resume && options.journalPath.empty()) {
+        std::fprintf(stderr, "--resume requires --journal\n");
         return usage(stderr);
     }
 
@@ -333,10 +347,20 @@ main(int argc, char **argv)
         if (out_path.empty()) {
             std::fputs(report.c_str(), stdout);
         } else {
-            std::ofstream out(out_path);
-            if (!out)
-                fatal("cannot open output file: ", out_path);
-            out << report;
+            // Crash-atomic tmp+rename, except onto non-regular
+            // targets (/dev/null, FIFOs) where rename is wrong.
+            std::error_code ec;
+            const auto st = std::filesystem::status(out_path, ec);
+            if (!ec && std::filesystem::exists(st) &&
+                !std::filesystem::is_regular_file(st)) {
+                std::ofstream out(out_path);
+                if (!out)
+                    fatal("cannot open output file: ", out_path);
+                out << report;
+            } else {
+                writeFileAtomic(out_path, report,
+                                FaultSite::ReportWrite);
+            }
         }
 
         for (const SweepResult &r : results) {

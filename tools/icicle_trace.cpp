@@ -16,7 +16,8 @@
  * sublinear-query evidence. `capture` with only --store streams the
  * run straight to disk without materializing the in-memory trace.
  *
- * Exit status: 0 ok, 2 usage error or malformed input.
+ * Exit status: 0 ok, 2 usage error or malformed input; `salvage`
+ * additionally exits 1 when it recovered a damaged store.
  */
 
 #include <cstdio>
@@ -26,6 +27,7 @@
 
 #include "common/logging.hh"
 #include "core/session.hh"
+#include "fault/atomic_file.hh"
 #include "store/store.hh"
 #include "sweep/sweep.hh"
 #include "trace/trace.hh"
@@ -59,7 +61,13 @@ usage(FILE *out)
         "          [--bundle tma|frontend] [--raw F] [--store F]\n"
         "          [--block N]\n"
         "      run a simulation and write its trace; with only\n"
-        "      --store the capture streams (bounded memory)\n");
+        "      --store the capture streams (bounded memory)\n"
+        "  salvage FILE.icst [--repaired OUT.icst] [--report F.json]\n"
+        "      recover every CRC-valid block from a damaged store;\n"
+        "      --repaired re-streams them into a sealed store,\n"
+        "      --report writes a JSON damage report\n"
+        "      (exit 0 clean, 1 salvaged with damage,\n"
+        "      2 unrecoverable)\n");
     return out == stderr ? 2 : 0;
 }
 
@@ -100,6 +108,7 @@ struct Args
     u32 block = 0;
     u64 cycles = 80'000'000;
     std::string core, workload, bundle = "tma", raw, store;
+    std::string repaired, report;
 };
 
 Args
@@ -136,6 +145,10 @@ parseArgs(int argc, char **argv, int first)
             args.raw = value();
         else if (arg == "--store")
             args.store = value();
+        else if (arg == "--repaired")
+            args.repaired = value();
+        else if (arg == "--report")
+            args.report = value();
         else if (arg[0] == '-')
             fatal("unknown option ", arg);
         else
@@ -307,6 +320,45 @@ cmdCapture(const Args &args)
     return 0;
 }
 
+int
+cmdSalvage(const Args &args)
+{
+    if (args.positional.size() != 1)
+        fatal("salvage expects FILE.icst");
+    const std::string &path = args.positional[0];
+    // An unrecoverable store (unreadable header / field table) throws
+    // StoreErrorKind::Unrecoverable here, which main() maps to exit 2.
+    StoreReader reader(path, StoreOpen::Salvage);
+    const StoreDamage &damage = reader.damage();
+
+    std::printf("%s\n", path.c_str());
+    std::printf("  index:            %s\n",
+                damage.indexValid ? "valid" : "rebuilt by scan");
+    std::printf("  recovered blocks: %llu (%llu cycles)\n",
+                static_cast<unsigned long long>(
+                    damage.recoveredBlocks),
+                static_cast<unsigned long long>(
+                    damage.recoveredCycles));
+    std::printf("  damaged blocks:   %llu (%llu cycles lost)\n",
+                static_cast<unsigned long long>(damage.damaged.size()),
+                static_cast<unsigned long long>(damage.damagedCycles));
+    if (damage.trailingBytes)
+        std::printf("  trailing bytes:   %llu (unparsed tail)\n",
+                    static_cast<unsigned long long>(
+                        damage.trailingBytes));
+
+    if (!args.report.empty())
+        writeFileAtomic(args.report, damage.toJson(path),
+                        FaultSite::ReportWrite);
+    if (!args.repaired.empty()) {
+        const u64 cycles = reader.writeRepaired(args.repaired);
+        std::printf("  repaired store:   %s (%llu cycles)\n",
+                    args.repaired.c_str(),
+                    static_cast<unsigned long long>(cycles));
+    }
+    return damage.clean() ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -331,6 +383,8 @@ main(int argc, char **argv)
             return cmdTma(args);
         if (command == "capture")
             return cmdCapture(args);
+        if (command == "salvage")
+            return cmdSalvage(args);
         std::fprintf(stderr, "unknown command: %s\n",
                      command.c_str());
         return usage(stderr);
