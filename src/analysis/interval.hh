@@ -15,12 +15,20 @@
  * All operations are conservative (the result interval contains every
  * pointwise result) but not necessarily tight under correlated
  * operands — fine for proving invariants, which only needs soundness.
+ *
+ * The constraint-derivation engine (analysis/constraints.hh) adds two
+ * more needs served here: saturating u64 arithmetic for counter-width
+ * bounds (hpm counters are 48 bits wide; a derived slot capacity like
+ * sources * cycles must clamp instead of silently wrapping) and a
+ * widening operator for terminating fixpoint iteration over growing
+ * counter domains.
  */
 
 #ifndef ICICLE_ANALYSIS_INTERVAL_HH
 #define ICICLE_ANALYSIS_INTERVAL_HH
 
 #include <algorithm>
+#include <limits>
 
 #include "common/logging.hh"
 #include "common/types.hh"
@@ -105,6 +113,66 @@ inline Interval
 intervalHull(const Interval &a, const Interval &b)
 {
     return Interval(std::min(a.lo, b.lo), std::max(a.hi, b.hi));
+}
+
+/**
+ * Classic widening: keep the bounds of `older` that still hold for
+ * `newer`, and jump any bound that grew straight to +-infinity.
+ * Guarantees termination of fixpoint iteration over a chain of
+ * growing intervals (each bound can only widen once).
+ */
+inline Interval
+intervalWiden(const Interval &older, const Interval &newer)
+{
+    const double inf = std::numeric_limits<double>::infinity();
+    return Interval(newer.lo < older.lo ? -inf : older.lo,
+                    newer.hi > older.hi ? inf : older.hi);
+}
+
+// ---- saturating u64 arithmetic (counter-width bounds) ----------------
+//
+// Derived capacities like `sources * max_cycles` routinely exceed
+// 2^64 for architectural run lengths; the derivation engine needs
+// them to clamp at the type maximum, never wrap, so a width bound is
+// always conservative.
+
+constexpr u64 kU64Max = ~0ull;
+
+inline u64
+satAddU64(u64 a, u64 b)
+{
+    const u64 sum = a + b;
+    return sum < a ? kU64Max : sum;
+}
+
+/** a - b, clamped at zero instead of wrapping. */
+inline u64
+satSubU64(u64 a, u64 b)
+{
+    return a > b ? a - b : 0;
+}
+
+inline u64
+satMulU64(u64 a, u64 b)
+{
+    if (a == 0 || b == 0)
+        return 0;
+    if (a > kU64Max / b)
+        return kU64Max;
+    return a * b;
+}
+
+/**
+ * a / b with the b == 0 case saturated: an unbounded quotient is the
+ * conservative answer for "how many events fit" when the divisor
+ * degenerates (0 / 0 stays 0).
+ */
+inline u64
+satDivU64(u64 a, u64 b)
+{
+    if (b == 0)
+        return a == 0 ? 0 : kU64Max;
+    return a / b;
 }
 
 } // namespace icicle

@@ -5,6 +5,7 @@
 #include <map>
 #include <sstream>
 
+#include "analysis/constraints.hh"
 #include "analysis/interval.hh"
 #include "common/logging.hh"
 
@@ -769,6 +770,9 @@ lintCore(const Core &core, const LintOptions &opts)
     TmaParams params;
     params.coreWidth = core.coreWidth();
     report.merge(lintTmaModel(params, opts));
+    // REF-*: the derived constraint set itself must be statically
+    // satisfiable (analysis/constraints.hh).
+    report.merge(lintConstraints(core, opts));
     return report;
 }
 

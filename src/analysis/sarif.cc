@@ -60,6 +60,10 @@ ruleUri(const std::string &rule)
         return "src/prove/prove.cc";
     if (rule.rfind("PROVE-T", 0) == 0)
         return "src/prove/trace_check.cc";
+    if (rule.rfind("PROVE-R", 0) == 0)
+        return "src/prove/refute.cc";
+    if (rule.rfind("REF-", 0) == 0)
+        return "src/analysis/constraints.cc";
     if (rule.rfind("EVT-", 0) == 0)
         return "src/pmu/event.cc";
     if (rule.rfind("CSR-", 0) == 0)

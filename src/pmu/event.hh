@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "pmu/mutants.hh"
 
 namespace icicle
 {
@@ -149,13 +150,32 @@ class EventBus
     }
 
     /** Clear all signals (start of cycle). */
-    void clear() { signals.fill(0); }
+    void
+    clear()
+    {
+        signals.fill(0);
+        if (ICICLE_MUTANT(RetireWireStuckAtOne))
+            signals[static_cast<u32>(EventId::InstRetired)] |= 1;
+    }
 
     /** Assert source bit `source` of event `id` for this cycle. */
     void
     raise(EventId id, u32 source = 0)
     {
+        if (ICICLE_MUTANT(RetireClassDeadWire) &&
+            id == EventId::BranchRetired) {
+            return;
+        }
         signals[static_cast<u32>(id)] |= (1u << source);
+        if (ICICLE_MUTANT(EventDoubleFire) &&
+            id == EventId::InstRetired) {
+            signals[static_cast<u32>(id)] |=
+                static_cast<u16>(1u << (source + 1));
+        }
+        if (ICICLE_MUTANT(GatedEventLeak) &&
+            id == EventId::Recovering) {
+            signals[static_cast<u32>(EventId::DCacheBlockedDram)] |= 1;
+        }
     }
 
     /** Assert the first `count` sources of an event. */

@@ -51,6 +51,21 @@ const MutantInfo kRegistry[] = {
      "writing mhpmcounter keeps the local/overflow residue, "
      "pre-loading the next epoch",
      "PROVE-C3"},
+    {CounterMutant::EventDoubleFire, "event-double-fire",
+     "inst-retired raise also asserts the neighbouring source bit, "
+     "double-firing the retire wire",
+     "PROVE-R3"},
+    {CounterMutant::GatedEventLeak, "gated-event-leak",
+     "the recovering signal leaks onto the dcache-blocked-dram wire, "
+     "firing a gated event outside its gate",
+     "PROVE-R2"},
+    {CounterMutant::RetireWireStuckAtOne, "retire-wire-stuck-at-one",
+     "bus clear leaves inst-retired source 0 asserted every cycle",
+     "PROVE-R2"},
+    {CounterMutant::RetireClassDeadWire, "retire-class-dead-wire",
+     "the branch-retired class wire is dead; branches retire without "
+     "their class event",
+     "PROVE-R3"},
 };
 
 CounterMutant active = CounterMutant::None;

@@ -3,12 +3,14 @@
  * Seeded counter-bug registry for icicle-prove's self-validation.
  *
  * Each mutant is a small, realistic hardware bug injected into the
- * counter architectures (src/pmu/counters.cc) or the CSR file
- * (src/pmu/csr.cc): an off-by-one wrap comparison, a double-stepping
- * arbiter, a truncated selector mask, and so on. The model checker
- * must flag *every* mutant and *zero* findings on the unmutated
- * implementations — a checker that passes clean configs but misses
- * seeded bugs proves nothing.
+ * counter architectures (src/pmu/counters.cc), the CSR file
+ * (src/pmu/csr.cc), or the event bus itself (src/pmu/event.hh): an
+ * off-by-one wrap comparison, a double-stepping arbiter, a truncated
+ * selector mask, a double-firing or stuck event wire, and so on. The
+ * model checker (counter mutants) or the PROVE-R litmus refuter
+ * (event-bus mutants) must flag *every* mutant and report *zero*
+ * findings on the unmutated implementations — a checker that passes
+ * clean configs but misses seeded bugs proves nothing.
  *
  * The injection branches compile only under -DICICLE_MUTANTS=ON (the
  * `ICICLE_MUTANT(...)` macro folds to `false` otherwise), so the
@@ -63,6 +65,24 @@ enum class CounterMutant : u8
     /** Writing mhpmcounter sets the principal but keeps the local /
      *  overflow residue: the next epoch starts pre-loaded. */
     CounterWriteKeepsResidue,
+
+    // ---- Event-bus refutation mutants (caught by PROVE-R, not the
+    // ---- counter model checker: the counters faithfully count the
+    // ---- wrong wires).
+    /** inst-retired raise also asserts the neighbouring source bit:
+     *  the retire wire double-fires, breaking the retire-class
+     *  partition (Rocket) and instret == uops-retired (BOOM). */
+    EventDoubleFire,
+    /** The recovering signal leaks onto the dcache-blocked-dram wire:
+     *  a gated event fires outside its gate, breaking DRAM-blocked <=
+     *  dcache-blocked dominance. */
+    GatedEventLeak,
+    /** Bus clear leaves inst-retired source 0 asserted: the retire
+     *  wire is stuck at one, out-counting the issue wire. */
+    RetireWireStuckAtOne,
+    /** The branch-retired class wire is dead: branches retire without
+     *  their class event, breaking instret conservation. */
+    RetireClassDeadWire,
     NumMutants
 };
 

@@ -7,6 +7,7 @@
 
 #include "common/logging.hh"
 #include "pmu/csr.hh"
+#include "prove/refute.hh"
 
 namespace icicle
 {
@@ -568,6 +569,16 @@ runMutantSuite(u32 horizon)
         result.info = info;
 
         ScopedMutant activate(info.id);
+
+        // Event-bus mutants break the *wiring*, not the counters: the
+        // counter matrix would come back clean because the counters
+        // faithfully count the wrong wires. They are checked by the
+        // PROVE-R litmus refuter instead.
+        if (std::string(info.expectedRule).rfind("PROVE-R", 0) == 0) {
+            results.push_back(refuteMutantCheck(info));
+            continue;
+        }
+
         LintReport report;
 
         // Reduced matrix: a 4-source geometry exposes every seeded

@@ -1,0 +1,226 @@
+#include "prove/refute.hh"
+
+#include <memory>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "core/session.hh"
+#include "sweep/sweep.hh"
+#include "tma/tma.hh"
+#include "workloads/litmus.hh"
+
+namespace icicle
+{
+
+namespace
+{
+
+/** End-of-run per-event deltas from the host-side ground truth. */
+std::array<u64, kNumEvents>
+gatherDeltas(const Core &core)
+{
+    std::array<u64, kNumEvents> deltas{};
+    for (u32 e = 0; e < kNumEvents; e++)
+        deltas[e] = core.total(static_cast<EventId>(e));
+    return deltas;
+}
+
+/** "delta(cycles) = 123, delta(instret) = 45" witness string. */
+std::string
+termDeltas(const LinearConstraint &c,
+           const std::array<u64, kNumEvents> &deltas)
+{
+    std::ostringstream os;
+    for (u32 i = 0; i < c.terms.size(); i++) {
+        const EventId id = c.terms[i].event;
+        os << (i ? ", " : "") << "delta(" << eventName(id)
+           << ") = " << deltas[static_cast<u32>(id)];
+    }
+    return os.str();
+}
+
+/** PROVE-R rule families, in reporting order. */
+constexpr const char *kFamilies[] = {"PROVE-R0", "PROVE-R1", "PROVE-R2",
+                                     "PROVE-R3", "PROVE-R4"};
+constexpr u32 kNumFamilies = 5;
+
+u32
+familyIndex(const char *rule)
+{
+    for (u32 i = 0; i < kNumFamilies; i++) {
+        if (std::string(rule) == kFamilies[i])
+            return i;
+    }
+    return 0;
+}
+
+} // namespace
+
+RefuteResult
+proveRefutation(const RefuteOptions &options)
+{
+    std::vector<std::string> cores = options.cores;
+    if (cores.empty())
+        cores = {"rocket", "boom-small"};
+    std::vector<std::string> workloads = options.workloads;
+    if (workloads.empty()) {
+        for (const LitmusInfo &info : litmusSuite())
+            workloads.push_back(info.name);
+    }
+
+    // Build (and validate) every litmus program up front: an unknown
+    // name fatal()s before any simulation runs.
+    std::vector<Program> programs;
+    programs.reserve(workloads.size());
+    for (const std::string &name : workloads)
+        programs.push_back(buildLitmus(name));
+
+    RefuteResult result;
+    struct Tally
+    {
+        u64 checked = 0;
+        u64 violations = 0;
+    };
+    std::array<Tally, kNumFamilies> tallies{};
+
+    for (const std::string &core_name : cores) {
+        // Derivation is configuration-only: one probe core per name.
+        ConstraintSet set;
+        {
+            const std::unique_ptr<Core> probe = makeSweepCore(
+                core_name, options.arch, programs.front());
+            set = deriveConstraints(*probe);
+        }
+
+        for (u32 w = 0; w < workloads.size(); w++) {
+            const std::unique_ptr<Core> core =
+                makeSweepCore(core_name, options.arch, programs[w]);
+            core->run(options.maxCycles);
+
+            RefuteRun run;
+            run.core = core_name;
+            run.workload = workloads[w];
+            run.cycles = core->cycle();
+            run.halted = core->done();
+            const std::string where = core_name + "/" + workloads[w];
+
+            // PROVE-R0: harness sanity — the litmus program must halt
+            // and its architectural self-check must pass, otherwise
+            // the measured deltas refute nothing.
+            tallies[0].checked++;
+            run.checked++;
+            if (!run.halted) {
+                std::ostringstream msg;
+                msg << "litmus run did not complete within "
+                    << options.maxCycles
+                    << " cycles; end-of-run constraints were skipped";
+                result.report.add("PROVE-R0", Severity::Error,
+                                  msg.str(), where);
+                tallies[0].violations++;
+                run.violations++;
+            } else if (core->executor().exitCode() != 0) {
+                std::ostringstream msg;
+                msg << "litmus self-check failed (exit code "
+                    << core->executor().exitCode()
+                    << "): the core computed a wrong architectural "
+                       "result";
+                result.report.add("PROVE-R0", Severity::Error,
+                                  msg.str(), where);
+                tallies[0].violations++;
+                run.violations++;
+            }
+
+            const std::array<u64, kNumEvents> deltas =
+                gatherDeltas(*core);
+            for (const LinearConstraint &c : set.linear) {
+                if (c.endOfRunOnly && !run.halted)
+                    continue;
+                run.checked++;
+                const u32 family = familyIndex(c.rule);
+                tallies[family].checked++;
+                if (satisfiesLinear(c, deltas))
+                    continue;
+                run.violations++;
+                tallies[family].violations++;
+                std::ostringstream msg;
+                msg << c.id << " refuted: " << c.text
+                    << " fails with lhs = "
+                    << evaluateLinear(c, deltas) << " ("
+                    << termDeltas(c, deltas)
+                    << ") | derived from: " << c.provenance;
+                result.report.add(c.rule, Severity::Error, msg.str(),
+                                  where);
+            }
+
+            // The TMA-domain facts hold pointwise for any counters
+            // inside the admissible domain, so they are checked even
+            // on a non-halted run (cycles >= 1 always holds by R1).
+            if (run.cycles > 0) {
+                const TmaResult tma = analyzeTma(*core);
+                for (const TmaConstraint &c : set.tma) {
+                    run.checked++;
+                    const u32 family = familyIndex(c.rule);
+                    tallies[family].checked++;
+                    double excess = 0;
+                    if (satisfiesTma(c, tma, &excess))
+                        continue;
+                    run.violations++;
+                    tallies[family].violations++;
+                    std::ostringstream msg;
+                    msg << c.id << " refuted: " << c.text
+                        << " fails by " << excess
+                        << " | derived from: " << c.provenance;
+                    result.report.add(c.rule, Severity::Error,
+                                      msg.str(), where);
+                }
+            }
+
+            result.runs.push_back(std::move(run));
+        }
+
+        result.sets.emplace_back(core_name, std::move(set));
+    }
+
+    // One Info summary per family, so a clean report still carries
+    // every PROVE-R rule id into the SARIF rules table.
+    for (u32 f = 0; f < kNumFamilies; f++) {
+        std::ostringstream msg;
+        msg << tallies[f].checked << " check(s) evaluated over "
+            << result.runs.size() << " litmus run(s), "
+            << tallies[f].violations << " violation(s)";
+        result.report.add(kFamilies[f], Severity::Info, msg.str());
+    }
+    return result;
+}
+
+MutantResult
+refuteMutantCheck(const MutantInfo &info)
+{
+    // Reduced campaign: every refutation mutant in the registry is
+    // guaranteed to violate a derived constraint on at least one of
+    // these (core, litmus) pairs — dense retirement for the width and
+    // partition families, an unpredictable-branch storm for the
+    // gating dominances.
+    RefuteOptions opts;
+    opts.cores = {"rocket", "boom-small"};
+    opts.workloads = {"litmus-width-retire", "litmus-partition-classes",
+                      "litmus-mispredict-storm"};
+    opts.maxCycles = 500'000;
+    const RefuteResult refutation = proveRefutation(opts);
+
+    MutantResult result;
+    result.info = info;
+    for (const Diagnostic &diag : refutation.report.diagnostics()) {
+        if (diag.severity != Severity::Error)
+            continue;
+        result.findings++;
+        result.caught = true;
+        if (result.firstFinding.empty())
+            result.firstFinding = diag.rule + ": " + diag.message;
+        if (diag.rule == info.expectedRule)
+            result.expectedRuleHit = true;
+    }
+    return result;
+}
+
+} // namespace icicle

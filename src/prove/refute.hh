@@ -1,0 +1,94 @@
+/**
+ * @file
+ * PROVE-R: litmus-based refutation of derived counter constraints.
+ *
+ * The static half (analysis/constraints.hh) derives what the model
+ * *claims* about every counter reading; this checker runs the litmus
+ * suite (workloads/litmus.hh) on real cores and refutes any measured
+ * counter delta that violates a derived constraint. A violation
+ * report names the constraint, its full derivation chain, and the
+ * offending deltas — the CounterPoint-style "counters as refutation
+ * evidence" loop, closed inside the simulator.
+ *
+ * Rule families (one per constraint kind, plus harness sanity):
+ *  PROVE-R0 harness sanity            litmus halted, self-check passed
+ *  PROVE-R1 width/saturation bounds   delta(e) <= sources * cycles
+ *  PROVE-R2 structural dominance      gated event <= its gate(s)
+ *  PROVE-R3 conservation partitions   classes partition their parent
+ *  PROVE-R4 TMA domain                roots in bounds, splits exact
+ *
+ * A clean report still carries one Info summary per family, so the
+ * SARIF rules table advertises the PROVE-R rule ids on passing runs.
+ *
+ * Self-validation: the refutation mutants in pmu/mutants.hh (event
+ * double-fire, gated-event leak, stuck retire wire, dead class wire)
+ * are checked through refuteMutantCheck(), which runMutantSuite()
+ * dispatches to for every mutant whose expected rule is PROVE-R*.
+ */
+
+#ifndef ICICLE_PROVE_REFUTE_HH
+#define ICICLE_PROVE_REFUTE_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/constraints.hh"
+#include "analysis/diagnostics.hh"
+#include "pmu/counters.hh"
+#include "prove/prove.hh"
+
+namespace icicle
+{
+
+/** Parameters for one refutation campaign. */
+struct RefuteOptions
+{
+    /** Sweep core configuration names; empty = rocket + boom-small. */
+    std::vector<std::string> cores;
+    /** Litmus program names; empty = the whole suite. */
+    std::vector<std::string> workloads;
+    /** Cycle budget per litmus run. */
+    u64 maxCycles = 2'000'000;
+    /** Counter architecture the cores are constructed with. */
+    CounterArch arch = CounterArch::Distributed;
+};
+
+/** Outcome of one (core, litmus) run. */
+struct RefuteRun
+{
+    std::string core;
+    std::string workload;
+    u64 cycles = 0;
+    bool halted = false;
+    u32 checked = 0;    ///< constraints evaluated
+    u32 violations = 0; ///< constraints refuted
+};
+
+/** A full refutation campaign. */
+struct RefuteResult
+{
+    /** Derived constraint set per core configuration. */
+    std::vector<std::pair<std::string, ConstraintSet>> sets;
+    std::vector<RefuteRun> runs;
+    /** PROVE-R findings (Error per violation, Info per family). */
+    LintReport report;
+};
+
+/**
+ * Derive constraints for every requested core, run every requested
+ * litmus program, and refute violations. fatal()s on an unknown core
+ * or litmus name (CLI exit-code 2 path).
+ */
+RefuteResult proveRefutation(const RefuteOptions &options = {});
+
+/**
+ * Reduced refutation campaign for one active mutant, used by
+ * runMutantSuite() for registry entries expecting a PROVE-R rule.
+ * The caller holds the ScopedMutant.
+ */
+MutantResult refuteMutantCheck(const MutantInfo &info);
+
+} // namespace icicle
+
+#endif // ICICLE_PROVE_REFUTE_HH

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * The Table II formula set as an explicit, traversable expression DAG.
+ *
+ * computeTma() used to be an opaque block of double arithmetic; every
+ * analysis that wanted to reason *about* the model (conservation
+ * lint, constraint derivation, docs) had to re-derive its structure
+ * by hand. This module makes the model first-class data: one shared
+ * DAG of typed nodes (counters, parameters, +, -, *, guarded /,
+ * clamp01, min, max) with one named root per TmaResult field.
+ *
+ * Two evaluators walk the same DAG:
+ *  - evalRoots(): concrete doubles, memoized per shared node, with
+ *    exactly the operation order of the original hand-written code —
+ *    computeTma() now runs through this, so the DAG *is* the model,
+ *    not a parallel description that can drift.
+ *  - evalInterval(): interval arithmetic over an admissible counter
+ *    domain (analysis/interval.hh). Ratio and normalization nodes the
+ *    builder can prove lie in [0, 1] carry a `known01` mark so the
+ *    interval pass does not lose that correlation (x / (x + y) is
+ *    [0, 1] even though naive interval division is not).
+ *
+ * The constraint-derivation engine (analysis/constraints.hh) walks
+ * the DAG to emit the PROVE-R4 domain inequalities with per-node
+ * provenance.
+ */
+
+#ifndef ICICLE_TMA_FORMULA_HH
+#define ICICLE_TMA_FORMULA_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "analysis/interval.hh"
+#include "tma/tma.hh"
+
+namespace icicle
+{
+
+/** Node operator. */
+enum class TmaOp : u8
+{
+    Const,   ///< literal constant
+    Counter, ///< raw counter input (TmaCounters field)
+    Param,   ///< model parameter (TmaParams field)
+    Add,
+    Sub,
+    Mul,
+    /** a / b with the model's `b > 0 ? a / b : 0` guard. */
+    SafeDiv,
+    Clamp01,
+    Min,
+    Max,
+};
+
+/** Counter inputs, one per TmaCounters field. */
+enum class TmaCounterField : u8
+{
+    Cycles,
+    RetiredUops,
+    IssuedUops,
+    FetchBubbles,
+    Recovering,
+    BranchMispredicts,
+    MachineClears,
+    FencesRetired,
+    ICacheBlocked,
+    DCacheBlocked,
+    DCacheBlockedDram,
+    NumFields
+};
+
+constexpr u32 kNumTmaCounterFields =
+    static_cast<u32>(TmaCounterField::NumFields);
+
+/** Model parameters feeding the DAG. */
+enum class TmaParamField : u8
+{
+    CoreWidth,     ///< W_C as a double
+    RecoverLength, ///< M_rl as a double
+};
+
+/** Named roots, one per TmaResult class/metric field. */
+enum class TmaRoot : u8
+{
+    Retiring,
+    BadSpeculation,
+    Frontend,
+    Backend,
+    MachineClears,
+    BranchMispredicts,
+    Resteers,
+    RecoveryBubbles,
+    FetchLatency,
+    PcResteer,
+    CoreBound,
+    MemBound,
+    MemBoundL2,
+    MemBoundDram,
+    Ipc,
+    NumRoots
+};
+
+constexpr u32 kNumTmaRoots = static_cast<u32>(TmaRoot::NumRoots);
+
+const char *tmaRootName(TmaRoot root);
+const char *tmaCounterFieldName(TmaCounterField field);
+
+/** One DAG node. Children are indices into the node vector. */
+struct TmaNode
+{
+    TmaOp op = TmaOp::Const;
+    double value = 0;                     ///< Const payload
+    TmaCounterField counter{};            ///< Counter payload
+    TmaParamField param{};                ///< Param payload
+    u32 a = 0;                            ///< left / only child
+    u32 b = 0;                            ///< right child (binary ops)
+    /** Non-empty for named intermediates ("m_tf") and roots. */
+    const char *label = "";
+    /**
+     * Builder-proved codomain [0, 1]: set on sub-sum/sum ratios and
+     * on the top-level normalization, where the numerator is a
+     * non-negative part of the denominator.
+     */
+    bool known01 = false;
+};
+
+/**
+ * The shared formula DAG. Two instances exist (labelled M_nf_r
+ * semantics and the paper's printed form); both are built once and
+ * cached.
+ */
+class TmaFormulaDag
+{
+  public:
+    /** The DAG for the given M_nf_r semantics (TmaParams docs). */
+    static const TmaFormulaDag &instance(bool paper_literal_nfr = false);
+
+    const std::vector<TmaNode> &nodes() const { return graph; }
+    u32 size() const { return static_cast<u32>(graph.size()); }
+    u32 root(TmaRoot root) const
+    {
+        return roots[static_cast<u32>(root)];
+    }
+
+    /**
+     * Evaluate every root with concrete counters; shared nodes are
+     * computed once, in the exact double-operation order of Table II.
+     */
+    std::array<double, kNumTmaRoots>
+    evalRoots(const TmaCounters &counters, const TmaParams &params) const;
+
+    /**
+     * Evaluate one node over a counter domain. Conservative: the
+     * result contains every pointwise evaluation over the domain.
+     */
+    Interval evalInterval(
+        u32 node,
+        const std::array<Interval, kNumTmaCounterFields> &domain,
+        const TmaParams &params) const;
+
+    /** Short structural rendering of a node ("clamp01(a / b)"). */
+    std::string describe(u32 node) const;
+
+  private:
+    explicit TmaFormulaDag(bool paper_literal_nfr);
+
+    std::vector<TmaNode> graph;
+    std::array<u32, kNumTmaRoots> roots{};
+};
+
+/**
+ * Admissible counter domain for a core of the given width running up
+ * to `max_cycles` cycles: each counter is bounded by its slot/cycle
+ * capacity (e.g. fetch bubbles by W_C * cycles).
+ */
+std::array<Interval, kNumTmaCounterFields>
+tmaAdmissibleDomain(const TmaParams &params, u64 max_cycles);
+
+/** TmaResult field addressed by a root (checker convenience). */
+double tmaRootValue(const TmaResult &result, TmaRoot root);
+
+} // namespace icicle
+
+#endif // ICICLE_TMA_FORMULA_HH

@@ -5,21 +5,15 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "tma/formula.hh"
 
 namespace icicle
 {
 
-namespace
-{
-
-double
-clamp01(double value)
-{
-    return std::min(1.0, std::max(0.0, value));
-}
-
-} // namespace
-
+// The Table II arithmetic lives in the formula DAG (tma/formula.cc),
+// which replicates the historical hand-written expression order
+// exactly; this wrapper only handles the degenerate-input early-out
+// and the integer convenience fields.
 TmaResult
 computeTma(const TmaCounters &c, const TmaParams &p)
 {
@@ -27,83 +21,28 @@ computeTma(const TmaCounters &c, const TmaParams &p)
     if (c.cycles == 0 || p.coreWidth == 0)
         return r;
 
-    const double w = static_cast<double>(p.coreWidth);
-    const double m_total = static_cast<double>(c.cycles) * w;
     r.totalSlots = c.cycles * p.coreWidth;
     r.cycles = c.cycles;
-    r.ipc = static_cast<double>(c.retiredUops) /
-            static_cast<double>(c.cycles);
 
-    // ---- derived metrics (Table II top block) -----------------------
-    const double m_tf = static_cast<double>(
-        c.machineClears + c.branchMispredicts + c.fencesRetired);
-    const double m_br_mr =
-        m_tf > 0 ? static_cast<double>(c.branchMispredicts) / m_tf : 0;
-    // Pathological (non-fence) flush ratio. Labelled semantics by
-    // default; paperLiteralNfr selects the paper's printed
-    // (C_bm + C_fence)/M_tf form instead (TMA-005 note).
-    const double m_nf_r =
-        m_tf > 0 ? static_cast<double>(
-                       c.branchMispredicts +
-                       (p.paperLiteralNfr ? c.fencesRetired
-                                          : c.machineClears)) /
-                       m_tf
-                 : 0;
-    const double m_fl_r =
-        m_tf > 0 ? static_cast<double>(c.machineClears) / m_tf : 0;
-    const double m_rl = static_cast<double>(p.recoverLength);
-
-    const double flushed_uops =
-        c.issuedUops > c.retiredUops
-            ? static_cast<double>(c.issuedUops - c.retiredUops)
-            : 0.0;
-    const double bm = static_cast<double>(c.branchMispredicts);
-    const double rec_slots = static_cast<double>(c.recovering) * w;
-
-    // ---- top level ---------------------------------------------------
-    r.retiring = clamp01(static_cast<double>(c.retiredUops) / m_total);
-    r.badSpeculation = clamp01(
-        (flushed_uops * m_nf_r + rec_slots + m_rl * bm * w) / m_total);
-    r.frontend =
-        clamp01(static_cast<double>(c.fetchBubbles) / m_total);
-    r.backend =
-        clamp01(1.0 - r.frontend - r.badSpeculation - r.retiring);
-
-    // Normalize so the four classes sum to exactly one.
-    const double sum =
-        r.retiring + r.badSpeculation + r.frontend + r.backend;
-    if (sum > 0) {
-        r.retiring /= sum;
-        r.badSpeculation /= sum;
-        r.frontend /= sum;
-        r.backend /= sum;
-    }
-
-    // ---- level 2: Bad Speculation ------------------------------------
-    r.machineClears = clamp01(flushed_uops * m_fl_r / m_total);
+    const TmaFormulaDag &dag = TmaFormulaDag::instance(p.paperLiteralNfr);
+    const std::array<double, kNumTmaRoots> roots = dag.evalRoots(c, p);
+    r.retiring = roots[static_cast<u32>(TmaRoot::Retiring)];
+    r.badSpeculation = roots[static_cast<u32>(TmaRoot::BadSpeculation)];
+    r.frontend = roots[static_cast<u32>(TmaRoot::Frontend)];
+    r.backend = roots[static_cast<u32>(TmaRoot::Backend)];
+    r.machineClears = roots[static_cast<u32>(TmaRoot::MachineClears)];
     r.branchMispredicts =
-        clamp01((flushed_uops * m_br_mr + rec_slots) / m_total);
-    r.resteers = clamp01(flushed_uops * m_br_mr / m_total);
-    r.recoveryBubbles = clamp01(rec_slots / m_total);
-
-    // ---- level 2: Frontend -------------------------------------------
-    r.fetchLatency =
-        clamp01(static_cast<double>(c.icacheBlocked) * w / m_total);
-    r.fetchLatency = std::min(r.fetchLatency, r.frontend);
-    r.pcResteer = clamp01(r.frontend - r.fetchLatency);
-
-    // ---- level 2: Backend --------------------------------------------
-    r.memBound =
-        clamp01(static_cast<double>(c.dcacheBlocked) / m_total);
-    r.memBound = std::min(r.memBound, r.backend);
-    r.coreBound = clamp01(r.backend - r.memBound);
-
-    // ---- level 3: Mem Bound split (hierarchy extension) --------------
-    r.memBoundDram =
-        clamp01(static_cast<double>(c.dcacheBlockedDram) / m_total);
-    r.memBoundDram = std::min(r.memBoundDram, r.memBound);
-    r.memBoundL2 = clamp01(r.memBound - r.memBoundDram);
-
+        roots[static_cast<u32>(TmaRoot::BranchMispredicts)];
+    r.resteers = roots[static_cast<u32>(TmaRoot::Resteers)];
+    r.recoveryBubbles =
+        roots[static_cast<u32>(TmaRoot::RecoveryBubbles)];
+    r.fetchLatency = roots[static_cast<u32>(TmaRoot::FetchLatency)];
+    r.pcResteer = roots[static_cast<u32>(TmaRoot::PcResteer)];
+    r.coreBound = roots[static_cast<u32>(TmaRoot::CoreBound)];
+    r.memBound = roots[static_cast<u32>(TmaRoot::MemBound)];
+    r.memBoundL2 = roots[static_cast<u32>(TmaRoot::MemBoundL2)];
+    r.memBoundDram = roots[static_cast<u32>(TmaRoot::MemBoundDram)];
+    r.ipc = roots[static_cast<u32>(TmaRoot::Ipc)];
     return r;
 }
 

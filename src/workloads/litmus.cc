@@ -1,0 +1,263 @@
+#include "workloads/litmus.hh"
+
+#include "common/logging.hh"
+#include "isa/builder.hh"
+#include "workloads/workloads.hh"
+
+namespace icicle
+{
+namespace litmus
+{
+
+using namespace reg;
+
+Program
+widthRetire()
+{
+    // Four independent increment chains, unrolled: nearly every slot
+    // retires, so delta(retired) presses against sources * cycles and
+    // ipc presses against its derived lid.
+    ProgramBuilder b("litmus-width-retire");
+    const u32 iters = 2000;
+    const u32 unroll = 4;
+    b.li(s0, iters);
+    b.li(s1, 0);
+    b.li(t1, 0);
+    b.li(t2, 0);
+    b.li(t3, 0);
+    b.li(t4, 0);
+    Label loop = b.newLabel();
+    b.bind(loop);
+    for (u32 u = 0; u < unroll; u++) {
+        b.addi(t1, t1, 1);
+        b.addi(t2, t2, 2);
+        b.addi(t3, t3, 3);
+        b.addi(t4, t4, 4);
+    }
+    b.addi(s1, s1, 1);
+    b.blt(s1, s0, loop);
+    // t1..t4 = k * iters * unroll.
+    const i64 n = static_cast<i64>(iters) * unroll;
+    Label fail = b.newLabel();
+    b.li(t0, 1 * n);
+    b.bne(t1, t0, fail);
+    b.li(t0, 2 * n);
+    b.bne(t2, t0, fail);
+    b.li(t0, 3 * n);
+    b.bne(t3, t0, fail);
+    b.li(t0, 4 * n);
+    b.bne(t4, t0, fail);
+    b.li(a0, 0);
+    b.halt();
+    b.bind(fail);
+    b.li(a0, 1);
+    b.halt();
+    return b.build();
+}
+
+Program
+partitionClasses()
+{
+    // Every Rocket retire class fires in a fixed, checkable ratio per
+    // iteration: 2 loads, 1 store, arith, a taken branch, and a fence
+    // every 64th pass.
+    ProgramBuilder b("litmus-partition-classes");
+    const u32 iters = 2048; // multiple of the array size
+    const u64 words = 64;
+    Label arr = b.space(words * 8);
+    b.li(s0, iters);
+    b.li(s1, 0); // iteration
+    b.li(s2, 0); // accumulator
+    b.la(s3, arr);
+    Label loop = b.newLabel();
+    b.bind(loop);
+    b.andi(t0, s1, words - 1);
+    b.slli(t0, t0, 3);
+    b.add(t0, s3, t0);
+    b.ld(t1, t0, 0);    // load
+    b.addi(t1, t1, 1);  // arith
+    b.sd(t1, t0, 0);    // store
+    b.ld(t2, t0, 0);    // load (hits the store)
+    b.add(s2, s2, t2);  // arith
+    Label no_fence = b.newLabel();
+    b.andi(t3, s1, 63);
+    b.bnez(t3, no_fence); // branch
+    b.fence();            // fence class, every 64th iteration
+    b.bind(no_fence);
+    b.addi(s1, s1, 1);
+    b.blt(s1, s0, loop);  // branch
+    // Each slot of the 64-word array is bumped iters/64 times; the
+    // accumulator sums 1 + 2 + ... per slot revisit.
+    const i64 per_slot = iters / words;
+    const i64 expected =
+        static_cast<i64>(words) * per_slot * (per_slot + 1) / 2;
+    Label fail = b.newLabel();
+    b.li(t0, expected);
+    b.bne(s2, t0, fail);
+    b.li(a0, 0);
+    b.halt();
+    b.bind(fail);
+    b.li(a0, 1);
+    b.halt();
+    return b.build();
+}
+
+Program
+mispredictStorm()
+{
+    // Branch on the parity of an LCG stream: no predictor tracks it,
+    // so mispredict resolution, recovery, and the target-mispredict
+    // chain stay hot.
+    ProgramBuilder b("litmus-mispredict-storm");
+    const u32 iters = 4000;
+    b.li(s0, iters);
+    b.li(s1, 0);              // iteration
+    b.li(s2, 0);              // taken-path counter
+    b.li(s3, 0x12345678);     // LCG state
+    b.li(s4, 0);              // not-taken counter
+    b.li(t5, 6364136223846793005ll);
+    b.li(t6, 1442695040888963407ll);
+    Label loop = b.newLabel();
+    b.bind(loop);
+    b.mul(s3, s3, t5);
+    b.add(s3, s3, t6);
+    b.srli(t0, s3, 32);
+    b.andi(t0, t0, 1);
+    Label not_taken = b.newLabel();
+    Label join = b.newLabel();
+    b.beqz(t0, not_taken);
+    b.addi(s2, s2, 1);
+    b.j(join);
+    b.bind(not_taken);
+    b.addi(s4, s4, 1);
+    b.bind(join);
+    b.addi(s1, s1, 1);
+    b.blt(s1, s0, loop);
+    // Both paths together account for every iteration.
+    b.add(t1, s2, s4);
+    b.li(t0, iters);
+    Label fail = b.newLabel();
+    b.bne(t1, t0, fail);
+    b.li(a0, 0);
+    b.halt();
+    b.bind(fail);
+    b.li(a0, 1);
+    b.halt();
+    return b.build();
+}
+
+Program
+memoryDram()
+{
+    // Out-of-L2 pointer chase (the mcf access pattern): sustained
+    // DRAM-level D$ blocking with DTLB pressure.
+    Program p = workloads::pointerChase(16384, 3000);
+    p.name = "litmus-memory-dram";
+    return p;
+}
+
+Program
+frontendIcache()
+{
+    // Code footprint beyond L1I: sustained I$ miss / blocked cycles.
+    Program p = workloads::icacheStress(96, 100, 2);
+    p.name = "litmus-frontend-icache";
+    return p;
+}
+
+Program
+tmaMix()
+{
+    // Every TMA input counter fires: cache-hitting and cache-missing
+    // loads, stores, unpredictable branches, multiplies, and fences.
+    ProgramBuilder b("litmus-tma-mix");
+    const u32 iters = 3000;
+    const u64 big_words = 32768; // 256 KiB: misses to L2/DRAM
+    Label big = b.space(big_words * 8);
+    Label small = b.space(64 * 8);
+    b.li(s0, iters);
+    b.li(s1, 0);          // iteration
+    b.li(s2, 0);          // accumulator
+    b.li(s3, 0x9e3779b9); // LCG state
+    b.la(s4, big);
+    b.la(s5, small);
+    b.li(t5, 6364136223846793005ll);
+    b.li(t6, 1442695040888963407ll);
+    Label loop = b.newLabel();
+    b.bind(loop);
+    // Strided big-array walk: one miss-prone load + store per pass.
+    b.slli(t0, s1, 9);    // stride 512 B
+    b.andi(t1, s1, 63);
+    b.slli(t1, t1, 3);
+    b.li(t2, (big_words * 8) - 1);
+    b.and_(t0, t0, t2);
+    b.add(t0, s4, t0);
+    b.ld(t3, t0, 0);
+    b.addi(t3, t3, 1);
+    b.sd(t3, t0, 0);
+    // Cache-hitting load.
+    b.add(t1, s5, t1);
+    b.ld(t4, t1, 0);
+    b.add(s2, s2, t4);
+    // LCG + unpredictable branch + multiply work.
+    b.mul(s3, s3, t5);
+    b.add(s3, s3, t6);
+    b.srli(t4, s3, 33);
+    b.andi(t4, t4, 1);
+    Label skip = b.newLabel();
+    b.beqz(t4, skip);
+    b.mul(t3, t3, t3);
+    b.bind(skip);
+    // Fence every 128th iteration.
+    Label no_fence = b.newLabel();
+    b.andi(t4, s1, 127);
+    b.bnez(t4, no_fence);
+    b.fence();
+    b.bind(no_fence);
+    b.addi(s1, s1, 1);
+    b.blt(s1, s0, loop);
+    // The small array is all zeros, so the accumulator stays zero.
+    Label fail = b.newLabel();
+    b.bnez(s2, fail);
+    b.li(a0, 0);
+    b.halt();
+    b.bind(fail);
+    b.li(a0, 1);
+    b.halt();
+    return b.build();
+}
+
+} // namespace litmus
+
+const std::vector<LitmusInfo> &
+litmusSuite()
+{
+    static const std::vector<LitmusInfo> suite = {
+        {"litmus-width-retire", "dense ALU chains, ~1 uop/slot",
+         "PROVE-R1,PROVE-R4", litmus::widthRetire},
+        {"litmus-partition-classes",
+         "fixed-ratio retire-class mix with fences",
+         "PROVE-R1,PROVE-R3", litmus::partitionClasses},
+        {"litmus-mispredict-storm", "LCG-parity unpredictable branches",
+         "PROVE-R2,PROVE-R4", litmus::mispredictStorm},
+        {"litmus-memory-dram", "out-of-L2 pointer chase",
+         "PROVE-R2,PROVE-R4", litmus::memoryDram},
+        {"litmus-frontend-icache", "code footprint beyond L1I",
+         "PROVE-R2,PROVE-R4", litmus::frontendIcache},
+        {"litmus-tma-mix", "all TMA input counters at once",
+         "PROVE-R3,PROVE-R4", litmus::tmaMix},
+    };
+    return suite;
+}
+
+Program
+buildLitmus(const std::string &name)
+{
+    for (const LitmusInfo &info : litmusSuite()) {
+        if (info.name == name)
+            return info.build();
+    }
+    fatal("unknown litmus program: ", name);
+}
+
+} // namespace icicle

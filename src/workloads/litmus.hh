@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Litmus workloads for the PROVE-R refutation checker.
+ *
+ * Each litmus program is a small, fast, self-checking kernel
+ * synthesized to drive one family of derived constraints
+ * (analysis/constraints.hh) close to tight — a width bound is only a
+ * meaningful check if some run approaches it, a dominance relation is
+ * only exercised if the gated event actually fires. The suite is a
+ * separate registry from the benchmark workloads: these are checker
+ * inputs sized for seconds-long verification runs, not evaluation
+ * kernels.
+ *
+ * Every program still self-verifies and exits 0, so a litmus run
+ * doubles as a functional test of the core under check.
+ */
+
+#ifndef ICICLE_WORKLOADS_LITMUS_HH
+#define ICICLE_WORKLOADS_LITMUS_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace icicle
+{
+
+/** Registry entry for one litmus program. */
+struct LitmusInfo
+{
+    std::string name;
+    std::string description;
+    /** Constraint families the program drives toward tightness. */
+    std::string targets;
+    Program (*build)();
+};
+
+/** The litmus suite, in deterministic order. */
+const std::vector<LitmusInfo> &litmusSuite();
+
+/** Build one litmus program by name; fatal() if unknown. */
+Program buildLitmus(const std::string &name);
+
+namespace litmus
+{
+
+/**
+ * Dense independent ALU chains: retires near one uop per slot,
+ * driving the retired-uop width bound (PROVE-R1) and the ipc domain
+ * lid (PROVE-R4) toward equality.
+ */
+Program widthRetire();
+
+/**
+ * Fixed-ratio mix of loads, stores, branches, arith, and fences:
+ * every Rocket retire class fires, stressing the class partition
+ * (PROVE-R3) and per-class width bounds.
+ */
+Program partitionClasses();
+
+/**
+ * Data-dependent unpredictable branches (LCG parity): drives
+ * branch-mispredict resolution, recovery, and the
+ * mispredict/resolved/target-mispredict dominance chain (PROVE-R2).
+ */
+Program mispredictStorm();
+
+/**
+ * Out-of-cache pointer chase: D$ misses reaching DRAM, exercising
+ * dcache-blocked-dram <= dcache-blocked and the TLB-miss dominance
+ * (PROVE-R2) plus the mem-bound TMA split (PROVE-R4).
+ */
+Program memoryDram();
+
+/**
+ * Code footprint beyond L1I: I$ miss/blocked dominance (PROVE-R2 on
+ * Rocket) and the frontend fetch-latency/pc-resteer split (PROVE-R4).
+ */
+Program frontendIcache();
+
+/**
+ * Balanced mix firing every TMA input counter at once: top-level
+ * conservation and all hierarchy splits evaluated away from their
+ * trivial zero points (PROVE-R4).
+ */
+Program tmaMix();
+
+} // namespace litmus
+
+} // namespace icicle
+
+#endif // ICICLE_WORKLOADS_LITMUS_HH

@@ -530,6 +530,64 @@ TEST(Interval, ArithmeticIsConservative)
     EXPECT_TRUE(intervalHull(a, b).contains(2.5));
 }
 
+TEST(Interval, SaturatingU64OpsAtHpmBoundaries)
+{
+    // The derivation engine computes per-run capacities like
+    // `sources * horizon` against the 48-bit mhpmcounter width; every
+    // op must clamp, never wrap, exactly at the boundaries.
+    const u64 hpm = 1ull << 48;
+
+    EXPECT_EQ(satAddU64(hpm - 1, 1), hpm);
+    EXPECT_EQ(satAddU64(kU64Max - 1, 1), kU64Max);
+    EXPECT_EQ(satAddU64(kU64Max, 1), kU64Max);
+    EXPECT_EQ(satAddU64(kU64Max, kU64Max), kU64Max);
+
+    EXPECT_EQ(satSubU64(hpm, hpm - 1), 1u);
+    EXPECT_EQ(satSubU64(hpm - 1, hpm), 0u);
+    EXPECT_EQ(satSubU64(0, kU64Max), 0u);
+
+    // 16 sources (kMaxSources) saturating a full 48-bit counter is
+    // still representable; squaring the counter capacity is not.
+    EXPECT_EQ(satMulU64(hpm - 1, 16), (hpm - 1) * 16);
+    EXPECT_EQ(satMulU64(hpm, hpm), kU64Max);
+    EXPECT_EQ(satMulU64(1ull << 32, 1ull << 31), 1ull << 63);
+    EXPECT_EQ(satMulU64(1ull << 32, 1ull << 32), kU64Max);
+    EXPECT_EQ(satMulU64(0, kU64Max), 0u);
+    EXPECT_EQ(satMulU64(kU64Max, 1), kU64Max);
+
+    EXPECT_EQ(satDivU64(hpm, 2), hpm / 2);
+    EXPECT_EQ(satDivU64(hpm, 0), kU64Max);
+    EXPECT_EQ(satDivU64(0, 0), 0u);
+    EXPECT_EQ(satDivU64(kU64Max, 1), kU64Max);
+}
+
+TEST(Interval, WideningTerminatesGrowingChains)
+{
+    const double inf = std::numeric_limits<double>::infinity();
+    const Interval stable(0, 1);
+
+    // A bound that holds is kept; a bound that grew jumps to infinity
+    // (each bound can widen at most once, so fixpoints terminate).
+    Interval w = intervalWiden(stable, Interval(0, 0.5));
+    EXPECT_EQ(w.lo, 0);
+    EXPECT_EQ(w.hi, 1);
+
+    w = intervalWiden(stable, Interval(0, 2));
+    EXPECT_EQ(w.lo, 0);
+    EXPECT_EQ(w.hi, inf);
+
+    w = intervalWiden(stable, Interval(-0.25, 0.5));
+    EXPECT_EQ(w.lo, -inf);
+    EXPECT_EQ(w.hi, 1);
+
+    // Widening is idempotent once both bounds have jumped.
+    const Interval top = intervalWiden(
+        intervalWiden(stable, Interval(-1, 2)), Interval(-9, 9));
+    EXPECT_EQ(top.lo, -inf);
+    EXPECT_EQ(top.hi, inf);
+    EXPECT_TRUE(top.contains(1e300));
+}
+
 // ================= property fuzz: lint errors are real violations
 
 TEST(LintFuzz, DistributedErrorsMatchRuntimeEventLoss)

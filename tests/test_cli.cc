@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -34,6 +35,9 @@
 #endif
 #ifndef ICICLE_SWEEP_BIN
 #error "CMake must define ICICLE_SWEEP_BIN for test_cli"
+#endif
+#ifndef ICICLE_LINT_BIN
+#error "CMake must define ICICLE_LINT_BIN for test_cli"
 #endif
 
 namespace icicle
@@ -236,6 +240,93 @@ TEST(CliProve, TraceVerifiesACapturedStore)
     EXPECT_EQ(run(std::string(ICICLE_PROVE_BIN) + " trace " +
                   quoted(store.path)),
               0);
+}
+
+TEST(CliProve, ConstraintsDeriveForEveryShippedConfig)
+{
+    EXPECT_EQ(run(std::string(ICICLE_PROVE_BIN) + " constraints"), 0);
+    EXPECT_EQ(run(std::string(ICICLE_PROVE_BIN) +
+                  " constraints rocket boom-mega --json"),
+              0);
+    // An unknown configuration is a usage error, not findings.
+    EXPECT_EQ(run(std::string(ICICLE_PROVE_BIN) +
+                  " constraints no-such-core"),
+              2);
+}
+
+TEST(CliProve, RefuteExitCodeContract)
+{
+    // 0 = litmus suite clean on an unmutated build.
+    EXPECT_EQ(run(std::string(ICICLE_PROVE_BIN) +
+                  " refute rocket --workload litmus-width-retire"),
+              0);
+    // 2 = unbuildable / unknown config or litmus name.
+    EXPECT_EQ(run(std::string(ICICLE_PROVE_BIN) +
+                  " refute no-such-core"),
+              2);
+    EXPECT_EQ(run(std::string(ICICLE_PROVE_BIN) +
+                  " refute --workload no-such-litmus"),
+              2);
+}
+
+/** Minimal structural parse of a SARIF file; returns its rule ids. */
+std::vector<std::string>
+sarifRuleIds(const std::string &path)
+{
+    const std::string text = slurp(path);
+    EXPECT_NE(text.find("\"version\":\"2.1.0\""), std::string::npos)
+        << path;
+    EXPECT_NE(text.find("\"results\":"), std::string::npos) << path;
+    std::vector<std::string> ids;
+    const std::string rules_key = "\"rules\":[";
+    const size_t rules = text.find(rules_key);
+    EXPECT_NE(rules, std::string::npos) << path;
+    if (rules == std::string::npos)
+        return ids;
+    const size_t end = text.find(']', rules);
+    const std::string key = "\"id\":\"";
+    for (size_t at = text.find(key, rules);
+         at != std::string::npos && at < end;
+         at = text.find(key, at + 1)) {
+        const size_t start = at + key.size();
+        ids.push_back(text.substr(start,
+                                  text.find('"', start) - start));
+    }
+    return ids;
+}
+
+TEST(CliProve, RefuteSarifCarriesStableProveRuleIds)
+{
+    // The CI code-scanning upload keys on these ids; pin that a clean
+    // refutation run still advertises every PROVE-R family.
+    TempPath sarif("cli_refute.sarif");
+    EXPECT_EQ(run(std::string(ICICLE_PROVE_BIN) +
+                  " refute rocket --workload litmus-width-retire"
+                  " --sarif " +
+                  quoted(sarif.path)),
+              0);
+    const std::vector<std::string> ids = sarifRuleIds(sarif.path);
+    for (const char *rule : {"PROVE-R0", "PROVE-R1", "PROVE-R2",
+                             "PROVE-R3", "PROVE-R4"}) {
+        EXPECT_NE(std::find(ids.begin(), ids.end(), rule), ids.end())
+            << rule << " missing from " << sarif.path;
+    }
+}
+
+TEST(CliLint, SarifParsesWithPopulatedRuleTable)
+{
+    // icicle-lint's SARIF must stay structurally parseable for the
+    // code-scanning upload; a clean run still carries the
+    // model-fidelity notes in its rule table.
+    TempPath sarif("cli_lint.sarif");
+    EXPECT_EQ(run(std::string(ICICLE_LINT_BIN) +
+                  " rocket-distributed --sarif " +
+                  quoted(sarif.path)),
+              0);
+    const std::vector<std::string> ids = sarifRuleIds(sarif.path);
+    EXPECT_FALSE(ids.empty());
+    EXPECT_NE(std::find(ids.begin(), ids.end(), "TMA-005"),
+              ids.end());
 }
 
 TEST(CliProve, UsageErrorsExitTwo)

@@ -7,30 +7,42 @@
  *   $ icicle-prove arch --horizon 24 --json
  *   $ icicle-prove trace run.icst          # PROVE-T store replay
  *   $ icicle-prove trace --live --core boom-small --workload dhrystone
+ *   $ icicle-prove constraints             # derived PROVE-R ruleset
+ *   $ icicle-prove refute                  # PROVE-R litmus refutation
  *   $ icicle-prove mutants                 # self-validation suite
  *
  * `arch` enumerates every reachable counter state of every shipped
  * architecture x geometry under all input burst schedules and checks
  * lossless counting, drain liveness, and CSR coherence. `trace`
  * replays an icestore container (or a live capture run with --live)
- * against the PROVE-T invariant family. `mutants` re-runs the prover
- * against each seeded counter bug and requires all of them caught;
- * it needs a build configured with -DICICLE_MUTANTS=ON.
+ * against the PROVE-T invariant family. `constraints` prints the
+ * statically derived model-implied counter inequalities (with their
+ * derivation provenance) for the named core configurations. `refute`
+ * runs the litmus suite on real cores and refutes measured counter
+ * deltas against the derived constraints (PROVE-R0..R4). `mutants`
+ * re-runs the prover against each seeded counter bug (and the litmus
+ * refuter against each seeded event-bus bug) and requires all of them
+ * caught; it needs a build configured with -DICICLE_MUTANTS=ON.
  *
  * Exit status: 0 all checks clean, 1 findings (or a missed mutant),
- * 2 usage error / malformed input / mutants not compiled in.
+ * 2 usage error / malformed input / unknown core or litmus name /
+ * mutants not compiled in.
  */
 
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "analysis/constraints.hh"
 #include "analysis/sarif.hh"
 #include "common/logging.hh"
 #include "pmu/mutants.hh"
 #include "prove/prove.hh"
+#include "prove/refute.hh"
 #include "prove/trace_check.hh"
 #include "store/store.hh"
+#include "sweep/sweep.hh"
+#include "workloads/litmus.hh"
 
 using namespace icicle;
 
@@ -55,6 +67,17 @@ usage(FILE *out)
         "        [--json] [--sarif FILE]\n"
         "      run a live capture and cross-check CSR counters,\n"
         "      host ground truth, and trace popcounts (PROVE-T4)\n"
+        "  constraints [CORE...] [--json]\n"
+        "      derive and print the model-implied counter\n"
+        "      inequalities (PROVE-R ruleset) for the named core\n"
+        "      configurations (default: all shipped configs)\n"
+        "  refute [CORE...] [--workload NAME]... [--cycles N]\n"
+        "         [--arch scalar|addwires|distributed] [--json]\n"
+        "         [--sarif FILE]\n"
+        "      run the litmus suite on real cores and refute measured\n"
+        "      counter deltas against the derived constraints\n"
+        "      (default cores: rocket boom-small; default: the whole\n"
+        "      litmus suite)\n"
         "  mutants [--horizon N] [--json]\n"
         "      activate each seeded counter bug and require the\n"
         "      checker to catch it (needs -DICICLE_MUTANTS=ON)\n");
@@ -68,8 +91,11 @@ struct Args
     bool live = false;
     u32 horizon = 32;
     u64 cycles = 200000;
+    bool cyclesSet = false;
     std::string core = "boom-small";
     std::string workload = "dhrystone";
+    /** Every --workload occurrence, for multi-workload commands. */
+    std::vector<std::string> workloads;
     std::string arch = "distributed";
     std::string sarif;
 };
@@ -91,12 +117,16 @@ parseArgs(int argc, char **argv, int first)
             args.live = true;
         else if (arg == "--horizon")
             args.horizon = static_cast<u32>(std::stoul(value()));
-        else if (arg == "--cycles")
+        else if (arg == "--cycles") {
             args.cycles = std::stoull(value());
+            args.cyclesSet = true;
+        }
         else if (arg == "--core")
             args.core = value();
-        else if (arg == "--workload")
+        else if (arg == "--workload") {
             args.workload = value();
+            args.workloads.push_back(args.workload);
+        }
         else if (arg == "--arch")
             args.arch = value();
         else if (arg == "--sarif")
@@ -305,6 +335,96 @@ cmdTrace(const Args &args)
 }
 
 int
+cmdConstraints(const Args &args)
+{
+    std::vector<std::string> cores = args.positional;
+    if (cores.empty())
+        cores = sweepCoreNames();
+    // Derivation is configuration-only; any program builds the probe.
+    const Program probe = litmusSuite().front().build();
+
+    if (args.json)
+        std::printf("[");
+    bool first = true;
+    for (const std::string &name : cores) {
+        const std::unique_ptr<Core> core =
+            makeSweepCore(name, parseArch(args.arch), probe);
+        const ConstraintSet set = deriveConstraints(*core);
+        if (args.json)
+            std::printf("%s%s", first ? "" : ",",
+                        set.toJson().c_str());
+        else
+            std::printf("%s", set.format().c_str());
+        first = false;
+    }
+    if (args.json)
+        std::printf("]\n");
+    return 0;
+}
+
+int
+cmdRefute(const Args &args)
+{
+    RefuteOptions options;
+    options.cores = args.positional;
+    options.workloads = args.workloads;
+    options.arch = parseArch(args.arch);
+    if (args.cyclesSet)
+        options.maxCycles = args.cycles;
+
+    const RefuteResult result = proveRefutation(options);
+    const u32 errors = result.report.errorCount();
+
+    if (args.json) {
+        std::printf("{\"constraints\":[");
+        bool first = true;
+        for (const auto &[name, set] : result.sets) {
+            std::printf("%s{\"core\":\"%s\",\"derived\":%u}",
+                        first ? "" : ",", name.c_str(), set.size());
+            first = false;
+        }
+        std::printf("],\"runs\":[");
+        first = true;
+        for (const RefuteRun &run : result.runs) {
+            std::printf(
+                "%s{\"core\":\"%s\",\"workload\":\"%s\","
+                "\"cycles\":%llu,\"halted\":%s,\"checked\":%u,"
+                "\"violations\":%u}",
+                first ? "" : ",", run.core.c_str(),
+                run.workload.c_str(),
+                static_cast<unsigned long long>(run.cycles),
+                run.halted ? "true" : "false", run.checked,
+                run.violations);
+            first = false;
+        }
+        std::printf("],\"report\":%s}\n",
+                    result.report.toJson().c_str());
+    } else {
+        for (const auto &[name, set] : result.sets)
+            std::printf("%-28s %u constraint(s) derived\n",
+                        name.c_str(), set.size());
+        for (const RefuteRun &run : result.runs) {
+            const std::string subject = run.core + "/" + run.workload;
+            std::printf("%-28s %s  %llu cycles, %u check(s), "
+                        "%u violation(s)\n",
+                        subject.c_str(),
+                        run.violations == 0 ? "ok" : "REFUTED",
+                        static_cast<unsigned long long>(run.cycles),
+                        run.checked, run.violations);
+        }
+        printReport(result.report, errors != 0);
+        std::printf("%u run(s), %u violation(s)\n",
+                    static_cast<u32>(result.runs.size()), errors);
+    }
+    if (!args.sarif.empty()) {
+        std::vector<std::pair<std::string, LintReport>> reports;
+        reports.emplace_back("refute", result.report);
+        writeSarif("icicle-prove", reports, args.sarif);
+    }
+    return errors > 0 ? 1 : 0;
+}
+
+int
 cmdMutants(const Args &args)
 {
     if (!mutantsCompiledIn())
@@ -380,6 +500,10 @@ main(int argc, char **argv)
             return cmdArch(args);
         if (command == "trace")
             return cmdTrace(args);
+        if (command == "constraints")
+            return cmdConstraints(args);
+        if (command == "refute")
+            return cmdRefute(args);
         if (command == "mutants")
             return cmdMutants(args);
         std::fprintf(stderr, "unknown command: %s\n",
