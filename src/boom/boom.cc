@@ -102,10 +102,10 @@ BoomCore::BoomCore(const BoomConfig &config, const Program &program)
       // BOOM pairs TAGE with a large BTB (Table IV: 14..28 KiB of
       // predictor storage), unlike Rocket's 28-entry BTB.
       btb(1024), csrs(CoreKind::Boom, config.counterArch, &events),
-      rob(config.robEntries)
+      fetchBuffer(config.fetchBufferEntries), rob(config.robEntries)
 {
     exec.setCsrBackend(&csrs);
-    renameMap.fill(0);
+    renameMap.fill(SeqSlot{});
     events.setNumSources(EventId::UopsIssued, cfg.totalIssueWidth());
     events.setNumSources(EventId::FetchBubbles, cfg.coreWidth);
     events.setNumSources(EventId::UopsRetired, cfg.coreWidth);
@@ -115,22 +115,23 @@ BoomCore::BoomCore(const BoomConfig &config, const Program &program)
 }
 
 BoomCore::RobEntry *
-BoomCore::findBySeq(u64 seq)
+BoomCore::findBySeq(const SeqSlot &handle)
 {
-    const auto it = seqToSlot.find(seq);
-    if (it == seqToSlot.end())
+    if (handle.seq == 0)
         return nullptr;
-    RobEntry &entry = rob[it->second];
-    ICICLE_ASSERT(entry.valid && entry.seq == seq,
-                  "ROB seq index out of sync");
+    RobEntry &entry = rob[handle.slot];
+    // A recycled slot holds a younger seq, so a stale handle can
+    // never alias: it simply fails the check, like a hash miss did.
+    if (!entry.valid || entry.seq != handle.seq)
+        return nullptr;
     return &entry;
 }
 
 bool
 BoomCore::sourcesReady(const RobEntry &entry) const
 {
-    for (u64 src : entry.src) {
-        if (src == 0)
+    for (const SeqSlot &src : entry.src) {
+        if (src.seq == 0)
             continue;
         // Producers are older; if they left the ROB they committed.
         const RobEntry *producer =
@@ -142,9 +143,9 @@ BoomCore::sourcesReady(const RobEntry &entry) const
 }
 
 IqType
-BoomCore::routeToIq(const Uop &uop) const
+BoomCore::routeToIq(Op op) const
 {
-    switch (classOf(uop.ret.inst.op)) {
+    switch (classOf(op)) {
       case InstClass::Load:
       case InstClass::Store:
         return IqType::Mem;
@@ -165,60 +166,61 @@ BoomCore::redirectFrontend()
 void
 BoomCore::flushFrom(u64 first_bad, bool replay)
 {
-    // Walk the ROB from the youngest end, squashing entries.
-    std::vector<Uop> replayed;
+    if (replay) {
+        // The replay queue is rebuilt in place instead of through a
+        // temporary deque per machine clear: prepend the correct-path
+        // uops still sitting in the fetch buffer, then (during the
+        // ROB walk below) the squashed correct-path uops in front of
+        // them. Steady state allocates nothing.
+        for (u64 i = fetchBuffer.size(); i-- > 0;) {
+            if (!(fetchBuffer.flagsAt(i) & uopflag::wrongPath))
+                replayQueue.pushFront(fetchBuffer.at(i));
+        }
+        // Replayed fences will re-block fetch on re-delivery.
+        fenceBlocking = false;
+    }
+    fetchBuffer.clear();
+
+    // Walk the ROB from the youngest end, squashing entries. The walk
+    // is youngest-to-oldest, so pushFront lands the replayed uops in
+    // program order ahead of everything queued above.
     while (robCount > 0) {
         const u32 idx = (robTail + cfg.robEntries - 1) % cfg.robEntries;
         RobEntry &entry = rob[idx];
         if (!entry.valid || entry.seq < first_bad)
             break;
-        if (replay && !entry.uop.wrongPath)
-            replayed.push_back(entry.uop);
+        if (replay && !entry.uop.wrongPath())
+            replayQueue.pushFront(entry.uop);
         if (entry.isMem && !entry.isStore && ldqUsed > 0)
             ldqUsed--;
-        seqToSlot.erase(entry.seq);
         entry.valid = false;
         robTail = idx;
         robCount--;
     }
-    std::reverse(replayed.begin(), replayed.end());
 
     for (auto &iq : iqs) {
         iq.erase(std::remove_if(iq.begin(), iq.end(),
-                                [&](u64 s) { return s >= first_bad; }),
+                                [&](const SeqSlot &s) {
+                                    return s.seq >= first_bad;
+                                }),
                  iq.end());
     }
-    stq.erase(std::remove_if(stq.begin(), stq.end(),
-                             [&](const StqEntry &e) {
-                                 return e.seq >= first_bad;
-                             }),
-              stq.end());
-    issuedLoads.erase(
-        std::remove_if(issuedLoads.begin(), issuedLoads.end(),
-                       [&](const IssuedLoad &l) {
-                           return l.seq >= first_bad;
-                       }),
-        issuedLoads.end());
-    for (u64 &mapping : renameMap) {
-        if (mapping >= first_bad)
-            mapping = 0;
-    }
-
-    if (replay) {
-        // Re-fetch the squashed correct-path uops, then whatever was
-        // already sitting in the fetch buffer, then the normal stream.
-        std::deque<Uop> rebuilt(replayed.begin(), replayed.end());
-        for (Uop &uop : fetchBuffer) {
-            if (!uop.wrongPath)
-                rebuilt.push_back(uop);
+    // The STQ is seq-sorted (dispatch order), so the squashed entries
+    // are exactly the tail block.
+    while (!stq.empty() && stq.back().seq >= first_bad)
+        stq.pop_back();
+    // issuedLoads is scanned with order-independent predicates only
+    // (min-seq search, per-entry overlap checks), so swap-remove.
+    for (u64 i = issuedLoads.size(); i-- > 0;) {
+        if (issuedLoads[i].seq >= first_bad) {
+            issuedLoads[i] = issuedLoads.back();
+            issuedLoads.pop_back();
         }
-        for (Uop &uop : replayQueue)
-            rebuilt.push_back(uop);
-        replayQueue = std::move(rebuilt);
-        // Replayed fences will re-block fetch on re-delivery.
-        fenceBlocking = false;
     }
-    fetchBuffer.clear();
+    for (SeqSlot &mapping : renameMap) {
+        if (mapping.seq >= first_bad)
+            mapping = SeqSlot{};
+    }
 }
 
 // ------------------------------------------------------------ commit
@@ -232,13 +234,13 @@ BoomCore::stageCommit()
         RobEntry &head = rob[robHead];
         if (!head.valid || head.state != RobState::Done)
             break;
-        ICICLE_ASSERT(!head.uop.wrongPath,
+        ICICLE_ASSERT(!head.uop.wrongPath(),
                       "wrong-path uop reached commit");
 
         events.raise(EventId::UopsRetired, lane);
         events.raise(EventId::InstRetired, lane);
 
-        const Uop &uop = head.uop;
+        const PipeUop &uop = head.uop;
         const InstClass cls = classOf(uop.ret.inst.op);
         if (head.isFence) {
             events.raise(EventId::FenceRetired);
@@ -250,27 +252,27 @@ BoomCore::stageCommit()
             halted = true;
         }
         if (head.isStore) {
-            stq.erase(std::remove_if(stq.begin(), stq.end(),
-                                     [&](const StqEntry &e) {
-                                         return e.seq == head.seq;
-                                     }),
-                      stq.end());
+            // Stores commit in seq order and the STQ is seq-sorted,
+            // so the committing store is always the STQ head.
+            ICICLE_ASSERT(!stq.empty() && stq.front().seq == head.seq,
+                          "STQ head out of sync at commit");
+            stq.erase(stq.begin());
         }
         if (head.isMem && !head.isStore) {
             if (ldqUsed > 0)
                 ldqUsed--;
-            issuedLoads.erase(
-                std::remove_if(issuedLoads.begin(), issuedLoads.end(),
-                               [&](const IssuedLoad &l) {
-                                   return l.seq == head.seq;
-                               }),
-                issuedLoads.end());
+            for (u64 i = 0; i < issuedLoads.size(); i++) {
+                if (issuedLoads[i].seq == head.seq) {
+                    issuedLoads[i] = issuedLoads.back();
+                    issuedLoads.pop_back();
+                    break;
+                }
+            }
         }
-        if (renameMap[uop.ret.inst.rd] == head.seq &&
+        if (renameMap[uop.ret.inst.rd].seq == head.seq &&
             writesRd(uop.ret.inst.op))
-            renameMap[uop.ret.inst.rd] = 0;
+            renameMap[uop.ret.inst.rd] = SeqSlot{};
 
-        seqToSlot.erase(head.seq);
         head.valid = false;
         robHead = (robHead + 1) % cfg.robEntries;
         robCount--;
@@ -287,27 +289,27 @@ void
 BoomCore::stageComplete()
 {
     mshrs.drain(now);
-    while (!completions.empty() && completions.top().first <= now) {
-        const u64 seq = completions.top().second;
+    while (!completions.empty() && completions.top().at <= now) {
+        const Completion done = completions.top();
         completions.pop();
-        RobEntry *entry = findBySeq(seq);
+        RobEntry *entry = findBySeq({done.seq, done.slot});
         if (!entry || entry->state != RobState::Issued) {
             continue; // squashed
         }
         entry->state = RobState::Done;
         entry->doneAt = now;
 
-        const Uop &uop = entry->uop;
+        const PipeUop &uop = entry->uop;
         const InstClass cls = classOf(uop.ret.inst.op);
         if (cls == InstClass::Branch || cls == InstClass::JumpReg)
             events.raise(EventId::BranchResolved);
-        if (uop.mispredicted) {
+        if (uop.mispredicted()) {
             events.raise(EventId::BranchMispredict);
-            if (uop.targetMispredict)
+            if (uop.targetMispredict())
                 events.raise(EventId::CtrlFlowTargetMispredict);
             // Squash everything younger (all wrong-path synthetics)
             // and restart the frontend on the correct path.
-            flushFrom(seq + 1, false);
+            flushFrom(done.seq + 1, false);
             redirectFrontend();
         }
     }
@@ -325,16 +327,22 @@ BoomCore::stageIssue()
     for (u32 q = 0; q < kNumIqs; q++) {
         auto &iq = iqs[q];
         u32 issued_here = 0;
-        for (u64 pos = 0;
-             pos < iq.size() && issued_here < cfg.issueWidth[q];
-             pos++) {
-            RobEntry *entry = findBySeq(iq[pos]);
+        // Single in-place pass: issue eligible entries and compact
+        // the survivors forward, rather than a separate remove_if
+        // sweep paying a second ROB lookup per entry per cycle.
+        u64 keep = 0;
+        for (u64 pos = 0; pos < iq.size(); pos++) {
+            const SeqSlot handle = iq[pos];
+            RobEntry *entry = findBySeq(handle);
             if (!entry || entry->state != RobState::InQueue)
+                continue; // squashed: drop
+            if (issued_here >= cfg.issueWidth[q] ||
+                !sourcesReady(*entry)) {
+                iq[keep++] = handle;
                 continue;
-            if (!sourcesReady(*entry))
-                continue;
+            }
 
-            const Uop &uop = entry->uop;
+            const PipeUop &uop = entry->uop;
             const InstClass cls = classOf(uop.ret.inst.op);
             Cycle done_at = now + 1;
             bool can_issue = true;
@@ -452,8 +460,10 @@ BoomCore::stageIssue()
                     }
                 }
                 for (StqEntry &s : stq) {
-                    if (s.seq == entry->seq)
+                    if (s.seq == entry->seq) {
                         s.issued = true;
+                        break;
+                    }
                 }
                 break;
               }
@@ -462,23 +472,19 @@ BoomCore::stageIssue()
                 break;
             }
 
-            if (!can_issue)
+            if (!can_issue) {
+                iq[keep++] = handle;
                 continue;
+            }
 
             entry->state = RobState::Issued;
-            completions.emplace(done_at, entry->seq);
+            completions.push(Completion{done_at, handle.seq,
+                                        handle.slot});
             events.raise(EventId::UopsIssued, lane_base + issued_here);
             issued_here++;
             issuedThisCycle++;
         }
-        // Drop issued/squashed seqs from the queue.
-        iq.erase(std::remove_if(iq.begin(), iq.end(),
-                                [&](u64 s) {
-                                    RobEntry *e = findBySeq(s);
-                                    return !e ||
-                                           e->state != RobState::InQueue;
-                                }),
-                 iq.end());
+        iq.resize(keep);
         lane_base += cfg.issueWidth[q];
     }
 
@@ -522,9 +528,13 @@ BoomCore::stageDispatch()
     while (accepted < cfg.coreWidth) {
         if (fetchBuffer.empty())
             break;
-        Uop &uop = fetchBuffer.front();
-        const InstClass cls = classOf(uop.ret.inst.op);
-        const IqType q = routeToIq(uop);
+        // References into the ring head stay valid until the
+        // popFront() at the bottom of the loop (nothing is pushed in
+        // between); the one PipeUop copy lands directly in the ROB.
+        const Retired &ret = fetchBuffer.retFront();
+        const u8 flags = fetchBuffer.flagsFront();
+        const InstClass cls = classOf(ret.inst.op);
+        const IqType q = routeToIq(ret.inst.op);
 
         if (robCount >= cfg.robEntries ||
             iqs[static_cast<u32>(q)].size() >=
@@ -548,35 +558,39 @@ BoomCore::stageDispatch()
         }
 
         RobEntry &entry = rob[robTail];
-        entry = RobEntry{};
+        // Field-wise reset (not entry = RobEntry{}): the aggregate
+        // assignment re-zeroes the embedded PipeUop only to overwrite
+        // it on the next line, which shows up at 8-wide dispatch.
         entry.valid = true;
         entry.seq = nextSeq++;
-        entry.uop = uop;
+        entry.uop = fetchBuffer.front();
         entry.iq = q;
+        entry.src[0] = SeqSlot{};
+        entry.src[1] = SeqSlot{};
+        entry.doneAt = 0;
         entry.isMem = cls == InstClass::Load || cls == InstClass::Store;
         entry.isStore = cls == InstClass::Store;
         entry.isFence = cls == InstClass::Fence;
-        if (!uop.wrongPath) {
-            if (readsRs1(uop.ret.inst.op) && uop.ret.inst.rs1)
-                entry.src[0] = renameMap[uop.ret.inst.rs1];
-            if (readsRs2(uop.ret.inst.op) && uop.ret.inst.rs2)
-                entry.src[1] = renameMap[uop.ret.inst.rs2];
-            if (writesRd(uop.ret.inst.op) && uop.ret.inst.rd)
-                renameMap[uop.ret.inst.rd] = entry.seq;
+        if (!(flags & uopflag::wrongPath)) {
+            if (readsRs1(ret.inst.op) && ret.inst.rs1)
+                entry.src[0] = renameMap[ret.inst.rs1];
+            if (readsRs2(ret.inst.op) && ret.inst.rs2)
+                entry.src[1] = renameMap[ret.inst.rs2];
+            if (writesRd(ret.inst.op) && ret.inst.rd)
+                renameMap[ret.inst.rd] = SeqSlot{entry.seq, robTail};
         }
         entry.state = RobState::InQueue;
-        seqToSlot[entry.seq] = robTail;
-        iqs[static_cast<u32>(q)].push_back(entry.seq);
+        iqs[static_cast<u32>(q)].push_back(SeqSlot{entry.seq, robTail});
         if (entry.isStore) {
             stq.push_back(
-                {entry.seq, uop.ret.memAddr, uop.ret.memSize, false});
+                {entry.seq, ret.memAddr, ret.memSize, false});
         }
         if (entry.isMem && !entry.isStore)
             ldqUsed++;
 
         robTail = (robTail + 1) % cfg.robEntries;
         robCount++;
-        fetchBuffer.pop_front();
+        fetchBuffer.popFront();
         accepted++;
     }
 
@@ -599,7 +613,7 @@ BoomCore::stageDispatch()
 // ------------------------------------------------------------- fetch
 
 void
-BoomCore::predictControlFlow(Uop &uop)
+BoomCore::predictControlFlow(PipeUop &uop)
 {
     const Retired &ret = uop.ret;
     const Addr pc = ret.pc;
@@ -651,8 +665,9 @@ BoomCore::predictControlFlow(Uop &uop)
 
     uop.predictedNext = predicted_next;
     if (cls != InstClass::Jump && predicted_next != ret.nextPc) {
-        uop.mispredicted = true;
-        uop.targetMispredict = cls == InstClass::JumpReg;
+        uop.flags |= uopflag::mispredicted;
+        if (cls == InstClass::JumpReg)
+            uop.flags |= uopflag::targetMispredict;
         wrongPathMode = true;
         wrongPathPc = predicted_next;
     }
@@ -688,7 +703,7 @@ BoomCore::stageFetch()
         if (fetchBuffer.size() >= cfg.fetchBufferEntries)
             break;
 
-        Uop uop;
+        PipeUop uop;
         Addr fetch_pc;
         bool from_replay = false;
         if (wrongPathMode) {
@@ -731,22 +746,22 @@ BoomCore::stageFetch()
         }
 
         if (wrongPathMode) {
-            uop = Uop{};
+            uop = PipeUop{};
             uop.ret.pc = fetch_pc;
             uop.ret.inst.op = Op::Addi; // synthetic wrong-path uop
             uop.ret.nextPc = fetch_pc + 4;
-            uop.wrongPath = true;
+            uop.flags = uopflag::wrongPath;
             wrongPathPc += 4;
-            fetchBuffer.push_back(uop);
+            fetchBuffer.pushBack(uop);
             recovering = false;
             continue;
         }
 
         if (from_replay) {
-            replayQueue.pop_front();
+            replayQueue.popFront();
             // Clear stale speculation flags; re-predict below.
-            uop.mispredicted = false;
-            uop.targetMispredict = false;
+            uop.flags &= static_cast<u8>(
+                ~(uopflag::mispredicted | uopflag::targetMispredict));
         } else {
             uop.ret = streamHead;
             streamValid = false;
@@ -757,7 +772,7 @@ BoomCore::stageFetch()
         const bool is_cf = uop.ret.isControlFlow();
         if (is_cf)
             predictControlFlow(uop);
-        fetchBuffer.push_back(uop);
+        fetchBuffer.pushBack(uop);
         recovering = false;
 
         if (classOf(uop.ret.inst.op) == InstClass::Fence) {
@@ -765,8 +780,8 @@ BoomCore::stageFetch()
             break;
         }
         if (is_cf) {
-            const Addr next = uop.mispredicted ? uop.predictedNext
-                                               : uop.ret.nextPc;
+            const Addr next = uop.mispredicted() ? uop.predictedNext
+                                                 : uop.ret.nextPc;
             if (next != uop.ret.pc + 4) {
                 // Taken control flow ends the fetch packet and costs
                 // one redirect cycle through the fetch pipeline.
@@ -798,7 +813,11 @@ BoomCore::tick()
     stageFetch();
 
     csrs.tick(events);
-    for (u32 e = 0; e < kNumEvents; e++) {
+    // Only events raised this cycle can change a total.
+    u64 dirty = events.dirty();
+    while (dirty) {
+        const u32 e = static_cast<u32>(std::countr_zero(dirty));
+        dirty &= dirty - 1;
         const u16 mask = events.mask(static_cast<EventId>(e));
         totals[e] += static_cast<u64>(std::popcount(mask));
         u16 bits = mask;
@@ -815,14 +834,11 @@ u64
 BoomCore::run(u64 max_cycles,
               const std::function<void(Cycle, const EventBus &)> &on_cycle)
 {
-    u64 simulated = 0;
-    while (!done() && simulated < max_cycles) {
-        tick();
-        if (on_cycle)
-            on_cycle(now - 1, events);
-        simulated++;
-    }
-    return simulated;
+    if (!on_cycle)
+        return runLoop(max_cycles, [](Cycle, const EventBus &) {});
+    return runLoop(max_cycles, [&on_cycle](Cycle c, const EventBus &b) {
+        on_cycle(c, b);
+    });
 }
 
 } // namespace icicle

@@ -71,18 +71,69 @@ u32
 Tage::tableIndex(const Table &table, Addr pc) const
 {
     const u32 mask = (1u << table.indexBits) - 1;
-    return (static_cast<u32>(pc >> 2) ^
-            foldHistory(table.indexBits, table.historyLength)) &
-           mask;
+    return (static_cast<u32>(pc >> 2) ^ table.foldedIndex) & mask;
 }
 
 u16
 Tage::tableTag(const Table &table, Addr pc) const
 {
     return static_cast<u16>(
-        (static_cast<u32>(pc >> 2) ^
-         (foldHistory(9, table.historyLength) << 1)) &
-        0x1ff);
+        (static_cast<u32>(pc >> 2) ^ (table.foldedTag << 1)) & 0x1ff);
+}
+
+namespace
+{
+
+/**
+ * One step of a circular folded-history register: a left-shift of the
+ * underlying history rotates every chunk's contribution within
+ * `width` bits, the inserted bit lands at fold position 0, and the
+ * evicted bit — now sitting at history position `length` — must be
+ * cancelled at fold position length % width.
+ */
+u32
+foldStep(u32 folded, u32 width, u32 inserted, u32 evicted, u32 length)
+{
+    const u32 mask = (1u << width) - 1;
+    folded = ((folded << 1) | (folded >> (width - 1))) & mask;
+    folded ^= inserted;
+    folded ^= evicted << (length % width);
+    return folded & mask;
+}
+
+} // namespace
+
+void
+Tage::pushHistory(bool taken)
+{
+    const u32 bit = taken ? 1 : 0;
+    for (Table &table : tables) {
+        // foldHistory() sees at most the 64 bits globalHistory holds.
+        const u32 len =
+            table.historyLength >= 64 ? 64 : table.historyLength;
+        const u32 evicted =
+            static_cast<u32>((globalHistory >> (len - 1)) & 1);
+        table.foldedIndex = foldStep(table.foldedIndex,
+                                     table.indexBits, bit, evicted,
+                                     len);
+        table.foldedTag =
+            foldStep(table.foldedTag, 9, bit, evicted, len);
+    }
+    globalHistory = (globalHistory << 1) | bit;
+}
+
+bool
+Tage::foldsConsistent() const
+{
+    for (const Table &table : tables) {
+        if (table.foldedIndex !=
+            foldHistory(table.indexBits, table.historyLength))
+            return false;
+        if (table.foldedTag !=
+            foldHistory(9, table.historyLength))
+            return false;
+    }
+    return true;
 }
 
 int
@@ -108,6 +159,9 @@ Tage::predictTaken(Addr pc)
 {
     u32 index = 0;
     const int provider = findProvider(pc, &index, nullptr);
+    memoPc = pc;
+    memoProvider = provider;
+    memoIndex = index;
     if (provider >= 0)
         return tables[provider].entries[index].counter >= 0;
     return bimodal[(pc >> 2) & (bimodal.size() - 1)] >= 2;
@@ -117,8 +171,20 @@ void
 Tage::update(Addr pc, bool taken)
 {
     u32 index = 0;
-    const int provider = findProvider(pc, &index, nullptr);
-    const bool prediction = predictTaken(pc);
+    int provider;
+    if (memoPc == pc) {
+        provider = memoProvider;
+        index = memoIndex;
+    } else {
+        provider = findProvider(pc, &index, nullptr);
+    }
+    memoPc = ~0ull; // tables and history change below
+    // predictTaken()'s logic on the provider already in hand (avoids
+    // a second geometric-history table search per update).
+    const bool prediction =
+        provider >= 0
+            ? tables[provider].entries[index].counter >= 0
+            : bimodal[(pc >> 2) & (bimodal.size() - 1)] >= 2;
 
     if (provider >= 0) {
         TaggedEntry &entry = tables[provider].entries[index];
@@ -155,15 +221,18 @@ Tage::update(Addr pc, bool taken)
     // before they can ever provide a prediction.
     if (prediction != taken) {
         const int start = provider + 1;
-        std::vector<int> eligible;
+        // Small fixed upper bound (geometry is 5 tables); avoids a
+        // heap allocation on every mispredict.
+        int eligible[16];
+        u64 num_eligible = 0;
         for (int t = start; t < static_cast<int>(tables.size()); t++) {
             Table &table = tables[t];
             if (table.entries[tableIndex(table, pc)].useful == 0)
-                eligible.push_back(t);
+                eligible[num_eligible++] = t;
         }
-        if (!eligible.empty()) {
+        if (num_eligible != 0) {
             Table &table =
-                tables[eligible[allocRng.below(eligible.size())]];
+                tables[eligible[allocRng.below(num_eligible)]];
             TaggedEntry &entry =
                 table.entries[tableIndex(table, pc)];
             entry.tag = tableTag(table, pc);
@@ -179,7 +248,7 @@ Tage::update(Addr pc, bool taken)
         }
     }
 
-    globalHistory = (globalHistory << 1) | (taken ? 1 : 0);
+    pushHistory(taken);
 }
 
 // ---------------------------------------------------------------- Btb

@@ -71,6 +71,13 @@ class Tage : public BranchPredictor
     bool predictTaken(Addr pc) override;
     void update(Addr pc, bool taken) override;
 
+    /**
+     * Do the incrementally folded registers match a from-scratch
+     * foldHistory() of the current global history? Test hook for the
+     * O(1) hash path.
+     */
+    bool foldsConsistent() const;
+
   private:
     struct TaggedEntry
     {
@@ -84,9 +91,20 @@ class Tage : public BranchPredictor
         u32 historyLength;
         u32 indexBits;
         std::vector<TaggedEntry> entries;
+        /**
+         * Incrementally folded history (the hardware CSR scheme):
+         * pushHistory() keeps these equal to
+         * foldHistory(indexBits/9, historyLength), so index and tag
+         * hashes are O(1) instead of refolding up to 64 history bits
+         * per lookup.
+         */
+        u32 foldedIndex = 0;
+        u32 foldedTag = 0;
     };
 
     u32 foldHistory(u32 bits, u32 length) const;
+    /** Shift one outcome into the history and all folded registers. */
+    void pushHistory(bool taken);
     u32 tableIndex(const Table &table, Addr pc) const;
     u16 tableTag(const Table &table, Addr pc) const;
     /** Provider lookup shared by predict and update. */
@@ -94,6 +112,15 @@ class Tage : public BranchPredictor
 
     std::vector<u8> bimodal;
     std::vector<Table> tables;
+    /**
+     * predict-to-update provider memo: the pipelines call
+     * predictTaken(pc) and update(pc, taken) back to back with no
+     * intervening table or history change, so the provider search is
+     * reusable. Invalidated by update() (it mutates both).
+     */
+    Addr memoPc = ~0ull;
+    int memoProvider = -1;
+    u32 memoIndex = 0;
     u64 globalHistory = 0;
     u64 updateCount = 0;
     Rng allocRng;

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Static dispatch into the core tick loops (ISSUE 7).
+ *
+ * The per-cycle hook paths (tracer, streaming store) used to go
+ * through Core::run's std::function parameter: one virtual tick()
+ * plus one type-erased hook call per simulated cycle. Both concrete
+ * cores are final and expose a template runLoop(); resolving the
+ * dynamic type once per *run* instead of once per *cycle* lets the
+ * compiler devirtualize tick() and inline the hook.
+ */
+
+#ifndef ICICLE_CORE_DISPATCH_HH
+#define ICICLE_CORE_DISPATCH_HH
+
+#include <functional>
+#include <utility>
+
+#include "boom/boom.hh"
+#include "core/core.hh"
+#include "rocket/rocket.hh"
+
+namespace icicle
+{
+
+/**
+ * Run `core` for up to max_cycles with an inlined per-cycle hook.
+ * Falls back to the virtual run() for Core subclasses other than the
+ * two shipped models (e.g. test doubles).
+ */
+template <typename F>
+u64
+runCoreLoop(Core &core, u64 max_cycles, F &&hook)
+{
+    if (auto *rocket = dynamic_cast<RocketCore *>(&core))
+        return rocket->runLoop(max_cycles, std::forward<F>(hook));
+    if (auto *boom = dynamic_cast<BoomCore *>(&core))
+        return boom->runLoop(max_cycles, std::forward<F>(hook));
+    return core.run(max_cycles,
+                    std::function<void(Cycle, const EventBus &)>(
+                        std::forward<F>(hook)));
+}
+
+} // namespace icicle
+
+#endif // ICICLE_CORE_DISPATCH_HH

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Structure-of-arrays pipeline buffers shared by the core timing
+ * models (ISSUE 7 tick-loop refactor).
+ *
+ * Rocket's instruction buffer and BOOM's fetch/replay queues were
+ * std::deque<struct>: every push/pop churned the deque's chunk map,
+ * and the machine-clear replay path rebuilt a whole deque per flush.
+ * Both also invited the reference-after-pop_front bug class ASan
+ * caught in PR 1. UopRing replaces them with a power-of-two ring over
+ * parallel arrays: the hot speculation flags live in a dense u8 lane
+ * scanned without touching the (much larger) Retired payloads, all
+ * steady-state operations are allocation-free, and front() returns by
+ * value so there is no reference to invalidate.
+ */
+
+#ifndef ICICLE_CORE_PIPEBUF_HH
+#define ICICLE_CORE_PIPEBUF_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/executor.hh"
+
+namespace icicle
+{
+
+/** Speculation flags carried by an in-flight pipeline entry. */
+namespace uopflag
+{
+constexpr u8 wrongPath = 1u << 0;
+/** Mispredicted at fetch. */
+constexpr u8 mispredicted = 1u << 1;
+/** Mispredict was a pure target miss (JALR / BTB). */
+constexpr u8 targetMispredict = 1u << 2;
+} // namespace uopflag
+
+/**
+ * One in-flight frontend entry, shared by Rocket's instruction
+ * buffer and BOOM's fetch/replay queues (both cores previously kept
+ * structurally identical private structs).
+ */
+struct PipeUop
+{
+    Retired ret;
+    /** Predicted (possibly wrong) next PC, for wrong-path fetch. */
+    Addr predictedNext = 0;
+    u8 flags = 0;
+
+    bool wrongPath() const { return (flags & uopflag::wrongPath) != 0; }
+    bool mispredicted() const
+    {
+        return (flags & uopflag::mispredicted) != 0;
+    }
+    bool targetMispredict() const
+    {
+        return (flags & uopflag::targetMispredict) != 0;
+    }
+};
+
+/**
+ * Ring buffer of PipeUops in structure-of-arrays layout. Capacity is
+ * rounded up to a power of two and grows by doubling only when a push
+ * finds the ring full, so bounded buffers (ibuf, fetch buffer) never
+ * allocate after construction and the unbounded replay queue
+ * allocates O(log n) times total.
+ */
+class UopRing
+{
+  public:
+    explicit UopRing(u64 min_capacity = 8)
+    {
+        u64 cap = 8;
+        while (cap < min_capacity)
+            cap <<= 1;
+        rets.resize(cap);
+        predNexts.resize(cap);
+        flagBits.resize(cap);
+        mask = cap - 1;
+    }
+
+    u64 size() const { return count; }
+    bool empty() const { return count == 0; }
+    void clear() { count = 0; head = 0; }
+
+    void
+    pushBack(const PipeUop &uop)
+    {
+        if (count > mask)
+            grow();
+        const u64 slot = (head + count) & mask;
+        rets[slot] = uop.ret;
+        predNexts[slot] = uop.predictedNext;
+        flagBits[slot] = uop.flags;
+        count++;
+    }
+
+    /** Prepend (used to splice replayed uops ahead of the queue). */
+    void
+    pushFront(const PipeUop &uop)
+    {
+        if (count > mask)
+            grow();
+        head = (head - 1) & mask;
+        rets[head] = uop.ret;
+        predNexts[head] = uop.predictedNext;
+        flagBits[head] = uop.flags;
+        count++;
+    }
+
+    void
+    popFront()
+    {
+        head = (head + 1) & mask;
+        count--;
+    }
+
+    /** Drop the youngest entry (squashing a speculative tail). */
+    void popBack() { count--; }
+
+    /** Copy of the oldest entry (no reference to invalidate). */
+    PipeUop front() const { return at(0); }
+
+    /** Copy of the i-th oldest entry. */
+    PipeUop
+    at(u64 i) const
+    {
+        const u64 slot = (head + i) & mask;
+        PipeUop uop;
+        uop.ret = rets[slot];
+        uop.predictedNext = predNexts[slot];
+        uop.flags = flagBits[slot];
+        return uop;
+    }
+
+    /** Flag-lane peek: scans skip the Retired payload entirely. */
+    u8 flagsAt(u64 i) const { return flagBits[(head + i) & mask]; }
+    const Retired &retFront() const { return rets[head]; }
+    u8 flagsFront() const { return flagBits[head]; }
+
+  private:
+    void
+    grow()
+    {
+        const u64 old_cap = mask + 1;
+        const u64 new_cap = old_cap * 2;
+        std::vector<Retired> new_rets(new_cap);
+        std::vector<Addr> new_preds(new_cap);
+        std::vector<u8> new_flags(new_cap);
+        for (u64 i = 0; i < count; i++) {
+            const u64 slot = (head + i) & mask;
+            new_rets[i] = rets[slot];
+            new_preds[i] = predNexts[slot];
+            new_flags[i] = flagBits[slot];
+        }
+        rets = std::move(new_rets);
+        predNexts = std::move(new_preds);
+        flagBits = std::move(new_flags);
+        head = 0;
+        mask = new_cap - 1;
+    }
+
+    std::vector<Retired> rets;
+    std::vector<Addr> predNexts;
+    std::vector<u8> flagBits;
+    u64 head = 0;
+    u64 count = 0;
+    u64 mask = 0;
+};
+
+} // namespace icicle
+
+#endif // ICICLE_CORE_PIPEBUF_HH

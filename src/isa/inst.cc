@@ -7,52 +7,6 @@
 namespace icicle
 {
 
-InstClass
-classOf(Op op)
-{
-    switch (op) {
-      case Op::Lui:
-      case Op::Auipc:
-      case Op::Addi: case Op::Slti: case Op::Sltiu: case Op::Xori:
-      case Op::Ori: case Op::Andi: case Op::Slli: case Op::Srli:
-      case Op::Srai:
-      case Op::Addiw: case Op::Slliw: case Op::Srliw: case Op::Sraiw:
-      case Op::Add: case Op::Sub: case Op::Sll: case Op::Slt:
-      case Op::Sltu: case Op::Xor: case Op::Srl: case Op::Sra:
-      case Op::Or: case Op::And:
-      case Op::Addw: case Op::Subw: case Op::Sllw: case Op::Srlw:
-      case Op::Sraw:
-        return InstClass::IntAlu;
-      case Op::Mul: case Op::Mulh: case Op::Mulhsu: case Op::Mulhu:
-      case Op::Mulw:
-        return InstClass::Mul;
-      case Op::Div: case Op::Divu: case Op::Rem: case Op::Remu:
-      case Op::Divw: case Op::Divuw: case Op::Remw: case Op::Remuw:
-        return InstClass::Div;
-      case Op::Lb: case Op::Lh: case Op::Lw: case Op::Ld:
-      case Op::Lbu: case Op::Lhu: case Op::Lwu:
-        return InstClass::Load;
-      case Op::Sb: case Op::Sh: case Op::Sw: case Op::Sd:
-        return InstClass::Store;
-      case Op::Beq: case Op::Bne: case Op::Blt: case Op::Bge:
-      case Op::Bltu: case Op::Bgeu:
-        return InstClass::Branch;
-      case Op::Jal:
-        return InstClass::Jump;
-      case Op::Jalr:
-        return InstClass::JumpReg;
-      case Op::Csrrw: case Op::Csrrs: case Op::Csrrc:
-      case Op::Csrrwi: case Op::Csrrsi: case Op::Csrrci:
-        return InstClass::Csr;
-      case Op::Fence: case Op::FenceI:
-        return InstClass::Fence;
-      case Op::Ecall: case Op::Ebreak:
-        return InstClass::System;
-      default:
-        return InstClass::IntAlu;
-    }
-}
-
 const char *
 opName(Op op)
 {
@@ -145,60 +99,6 @@ regName(u8 r)
     };
     ICICLE_ASSERT(r < 32, "register index out of range");
     return names[r];
-}
-
-bool
-readsRs1(Op op)
-{
-    switch (op) {
-      case Op::Lui: case Op::Auipc: case Op::Jal:
-      case Op::Fence: case Op::FenceI: case Op::Ecall: case Op::Ebreak:
-      case Op::Csrrwi: case Op::Csrrsi: case Op::Csrrci:
-      case Op::Illegal:
-        return false;
-      default:
-        return true;
-    }
-}
-
-bool
-readsRs2(Op op)
-{
-    switch (classOf(op)) {
-      case InstClass::Branch:
-      case InstClass::Store:
-        return true;
-      default:
-        break;
-    }
-    switch (op) {
-      case Op::Add: case Op::Sub: case Op::Sll: case Op::Slt:
-      case Op::Sltu: case Op::Xor: case Op::Srl: case Op::Sra:
-      case Op::Or: case Op::And:
-      case Op::Addw: case Op::Subw: case Op::Sllw: case Op::Srlw:
-      case Op::Sraw:
-      case Op::Mul: case Op::Mulh: case Op::Mulhsu: case Op::Mulhu:
-      case Op::Div: case Op::Divu: case Op::Rem: case Op::Remu:
-      case Op::Mulw: case Op::Divw: case Op::Divuw: case Op::Remw:
-      case Op::Remuw:
-        return true;
-      default:
-        return false;
-    }
-}
-
-bool
-writesRd(Op op)
-{
-    switch (classOf(op)) {
-      case InstClass::Branch:
-      case InstClass::Store:
-      case InstClass::Fence:
-      case InstClass::System:
-        return false;
-      default:
-        return true;
-    }
 }
 
 std::string

@@ -76,8 +76,135 @@ struct DecodedInst
     }
 };
 
+namespace detail
+{
+
+/**
+ * Switch-form classifier the constexpr tables below are built from.
+ * The core tick loops classify every fetched/issued/committed uop,
+ * several times each, so classOf and the rs1/rs2/rd predicates are
+ * table lookups in the header rather than out-of-line switches.
+ */
+constexpr InstClass
+classOfSwitch(Op op)
+{
+    switch (op) {
+      case Op::Mul: case Op::Mulh: case Op::Mulhsu: case Op::Mulhu:
+      case Op::Mulw:
+        return InstClass::Mul;
+      case Op::Div: case Op::Divu: case Op::Rem: case Op::Remu:
+      case Op::Divw: case Op::Divuw: case Op::Remw: case Op::Remuw:
+        return InstClass::Div;
+      case Op::Lb: case Op::Lh: case Op::Lw: case Op::Ld:
+      case Op::Lbu: case Op::Lhu: case Op::Lwu:
+        return InstClass::Load;
+      case Op::Sb: case Op::Sh: case Op::Sw: case Op::Sd:
+        return InstClass::Store;
+      case Op::Beq: case Op::Bne: case Op::Blt: case Op::Bge:
+      case Op::Bltu: case Op::Bgeu:
+        return InstClass::Branch;
+      case Op::Jal:
+        return InstClass::Jump;
+      case Op::Jalr:
+        return InstClass::JumpReg;
+      case Op::Csrrw: case Op::Csrrs: case Op::Csrrc:
+      case Op::Csrrwi: case Op::Csrrsi: case Op::Csrrci:
+        return InstClass::Csr;
+      case Op::Fence: case Op::FenceI:
+        return InstClass::Fence;
+      case Op::Ecall: case Op::Ebreak:
+        return InstClass::System;
+      default:
+        return InstClass::IntAlu;
+    }
+}
+
+constexpr bool
+readsRs1Switch(Op op)
+{
+    switch (op) {
+      case Op::Lui: case Op::Auipc: case Op::Jal:
+      case Op::Fence: case Op::FenceI: case Op::Ecall: case Op::Ebreak:
+      case Op::Csrrwi: case Op::Csrrsi: case Op::Csrrci:
+      case Op::Illegal:
+        return false;
+      default:
+        return true;
+    }
+}
+
+constexpr bool
+readsRs2Switch(Op op)
+{
+    switch (classOfSwitch(op)) {
+      case InstClass::Branch:
+      case InstClass::Store:
+        return true;
+      default:
+        break;
+    }
+    switch (op) {
+      case Op::Add: case Op::Sub: case Op::Sll: case Op::Slt:
+      case Op::Sltu: case Op::Xor: case Op::Srl: case Op::Sra:
+      case Op::Or: case Op::And:
+      case Op::Addw: case Op::Subw: case Op::Sllw: case Op::Srlw:
+      case Op::Sraw:
+      case Op::Mul: case Op::Mulh: case Op::Mulhsu: case Op::Mulhu:
+      case Op::Div: case Op::Divu: case Op::Rem: case Op::Remu:
+      case Op::Mulw: case Op::Divw: case Op::Divuw: case Op::Remw:
+      case Op::Remuw:
+        return true;
+      default:
+        return false;
+    }
+}
+
+constexpr bool
+writesRdSwitch(Op op)
+{
+    switch (classOfSwitch(op)) {
+      case InstClass::Branch:
+      case InstClass::Store:
+      case InstClass::Fence:
+      case InstClass::System:
+        return false;
+      default:
+        return true;
+    }
+}
+
+struct OpTables
+{
+    InstClass cls[static_cast<u32>(Op::NumOps)];
+    bool rs1[static_cast<u32>(Op::NumOps)];
+    bool rs2[static_cast<u32>(Op::NumOps)];
+    bool rd[static_cast<u32>(Op::NumOps)];
+};
+
+constexpr OpTables
+buildOpTables()
+{
+    OpTables t{};
+    for (u32 op = 0; op < static_cast<u32>(Op::NumOps); op++) {
+        const Op o = static_cast<Op>(op);
+        t.cls[op] = classOfSwitch(o);
+        t.rs1[op] = readsRs1Switch(o);
+        t.rs2[op] = readsRs2Switch(o);
+        t.rd[op] = writesRdSwitch(o);
+    }
+    return t;
+}
+
+inline constexpr OpTables kOpTables = buildOpTables();
+
+} // namespace detail
+
 /** Map an Op to its functional-unit class. */
-InstClass classOf(Op op);
+inline InstClass
+classOf(Op op)
+{
+    return detail::kOpTables.cls[static_cast<u32>(op)];
+}
 
 /** Mnemonic string ("addi", "bne", ...). */
 const char *opName(Op op);
@@ -89,11 +216,25 @@ const char *regName(u8 reg);
 std::string disassemble(const DecodedInst &inst);
 
 /** True for ops that read rs1. */
-bool readsRs1(Op op);
+inline bool
+readsRs1(Op op)
+{
+    return detail::kOpTables.rs1[static_cast<u32>(op)];
+}
+
 /** True for ops that read rs2. */
-bool readsRs2(Op op);
+inline bool
+readsRs2(Op op)
+{
+    return detail::kOpTables.rs2[static_cast<u32>(op)];
+}
+
 /** True for ops that write rd. */
-bool writesRd(Op op);
+inline bool
+writesRd(Op op)
+{
+    return detail::kOpTables.rd[static_cast<u32>(op)];
+}
 
 /** ABI register numbers, for readable program-builder code. */
 namespace reg

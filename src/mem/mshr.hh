@@ -42,6 +42,7 @@ class MshrFile
         }
         if (!free_slot)
             return false;
+        numValid++;
         free_slot->valid = true;
         free_slot->blockAddr = block_addr;
         free_slot->readyCycle = ready_cycle;
@@ -53,9 +54,13 @@ class MshrFile
     void
     drain(Cycle now)
     {
+        if (numValid == 0)
+            return;
         for (Mshr &mshr : entries) {
-            if (mshr.valid && mshr.readyCycle <= now)
+            if (mshr.valid && mshr.readyCycle <= now) {
                 mshr.valid = false;
+                numValid--;
+            }
         }
     }
 
@@ -63,6 +68,8 @@ class MshrFile
     bool
     pending(u64 block_addr) const
     {
+        if (numValid == 0)
+            return false;
         for (const Mshr &mshr : entries) {
             if (mshr.valid && mshr.blockAddr == block_addr)
                 return true;
@@ -82,31 +89,17 @@ class MshrFile
     }
 
     /** No free entry available (structural stall for new misses). */
-    bool
-    full() const
-    {
-        for (const Mshr &mshr : entries) {
-            if (!mshr.valid)
-                return false;
-        }
-        return true;
-    }
+    bool full() const { return numValid == entries.size(); }
 
     /** Any miss outstanding? (D$-blocked event condition 3.) */
-    bool
-    anyBusy() const
-    {
-        for (const Mshr &mshr : entries) {
-            if (mshr.valid)
-                return true;
-        }
-        return false;
-    }
+    bool anyBusy() const { return numValid != 0; }
 
     /** Any outstanding miss being served by DRAM (third-level TMA)? */
     bool
     anyDramBusy() const
     {
+        if (numValid == 0)
+            return false;
         for (const Mshr &mshr : entries) {
             if (mshr.valid && mshr.fromDram)
                 return true;
@@ -114,14 +107,7 @@ class MshrFile
         return false;
     }
 
-    u32
-    busyCount() const
-    {
-        u32 n = 0;
-        for (const Mshr &mshr : entries)
-            n += mshr.valid ? 1 : 0;
-        return n;
-    }
+    u32 busyCount() const { return numValid; }
 
     u32 capacity() const { return static_cast<u32>(entries.size()); }
 
@@ -130,6 +116,7 @@ class MshrFile
     {
         for (Mshr &mshr : entries)
             mshr.valid = false;
+        numValid = 0;
     }
 
   private:
@@ -142,6 +129,8 @@ class MshrFile
     };
 
     std::vector<Mshr> entries;
+    /** Valid-entry count: keeps the per-cycle queries O(1). */
+    u32 numValid = 0;
 };
 
 } // namespace icicle

@@ -1,5 +1,7 @@
 #include "pmu/csr.hh"
 
+#include <bit>
+
 #include "common/logging.hh"
 #include "pmu/mutants.hh"
 
@@ -23,6 +25,7 @@ CsrFile::decodeSelector(Hpm &hpm, u64 value)
     hpm.principal = 0;
     hpm.saturated = false;
     hpm.armedWrite = false;
+    hpm.watchedEvents = 0;
     if (value == 0)
         return;
 
@@ -55,6 +58,9 @@ CsrFile::decodeSelector(Hpm &hpm, u64 value)
         }
     }
 
+    for (const auto &[event, source] : hpm.sources)
+        hpm.watchedEvents |= 1ull << static_cast<u32>(event);
+
     const u64 n = hpm.sources.size();
     if (n == 0)
         return;
@@ -71,14 +77,29 @@ CsrFile::decodeSelector(Hpm &hpm, u64 value)
 void
 CsrFile::tickHpm(Hpm &hpm, const EventBus &bus)
 {
-    const u64 n = hpm.sources.size();
     u64 high = 0;
-    for (u64 s = 0; s < n && s < 64; s++) {
-        const auto &[event, source] = hpm.sources[s];
-        if (bus.mask(event) & (1u << source))
-            high |= 1ull << s;
+    // The gather only matters when one of the watched events was
+    // raised this cycle; tickHpmMasked must still run on an all-zero
+    // mask (the distributed rotation advances every cycle).
+    if (bus.dirty() & hpm.watchedEvents) {
+        const u64 n = hpm.sources.size();
+        for (u64 s = 0; s < n && s < 64; s++) {
+            const auto &[event, source] = hpm.sources[s];
+            if (bus.mask(event) & (1u << source))
+                high |= 1ull << s;
+        }
     }
     tickHpmMasked(hpm, high);
+}
+
+void
+CsrFile::recomputeConfigured()
+{
+    configuredMask = 0;
+    for (u32 i = 0; i < csr::numHpm; i++) {
+        if (!hpms[i].sources.empty())
+            configuredMask |= 1u << i;
+    }
 }
 
 void
@@ -153,10 +174,15 @@ CsrFile::tick(const EventBus &bus)
         mcycleValue++;
     if (!(inhibitMask & 4ull))
         minstretValue += bus.count(EventId::InstRetired);
-    for (u32 i = 0; i < csr::numHpm; i++) {
-        if (!(inhibitMask & (1ull << (i + 3))) ||
-            ICICLE_MUTANT(InhibitRace))
-            tickHpm(hpms[i], bus);
+    // Unconfigured counters are no-ops in tickHpm, so the per-cycle
+    // loop only visits counters that are both configured and live.
+    u32 live = configuredMask;
+    if (!ICICLE_MUTANT(InhibitRace))
+        live &= ~static_cast<u32>(inhibitMask >> 3);
+    while (live) {
+        const u32 i = static_cast<u32>(std::countr_zero(live));
+        tickHpm(hpms[i], bus);
+        live &= live - 1;
     }
 }
 
@@ -213,6 +239,7 @@ CsrFile::writeCsr(u32 addr, u64 value)
     if (addr >= csr::mhpmevent3 && addr < csr::mhpmevent3 + csr::numHpm) {
         const u32 index = addr - csr::mhpmevent3;
         decodeSelector(hpms[index], value);
+        recomputeConfigured();
         if (!(inhibitMask & (1ull << (index + 3))))
             hpms[index].armedWrite = true;
         return;
@@ -296,6 +323,7 @@ CsrFile::clearCounters()
         const u64 selector = hpm.selector;
         decodeSelector(hpm, selector);
     }
+    recomputeConfigured();
 }
 
 HpmState
@@ -326,6 +354,7 @@ CsrFile::restoreHpm(u32 index, const HpmState &state)
     // Re-derive the source wiring from the selector, then overlay the
     // dynamic state on top.
     decodeSelector(hpm, state.selector);
+    recomputeConfigured();
     ICICLE_ASSERT(hpm.perSource.size() == state.perSource.size() &&
                       hpm.local.size() == state.local.size() &&
                       hpm.overflow.size() == state.overflow.size(),

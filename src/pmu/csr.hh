@@ -185,9 +185,12 @@ class CsrFile : public CsrBackend
         // unreachable there and the snapshot geometry stays stable.
         bool saturated = false;
         bool armedWrite = false;
+        /** Bitmask (bit = EventId) of events in `sources`. */
+        u64 watchedEvents = 0;
     };
 
     void decodeSelector(Hpm &hpm, u64 value);
+    void recomputeConfigured();
     void tickHpm(Hpm &hpm, const EventBus &bus);
     void tickHpmMasked(Hpm &hpm, u64 high);
 
@@ -197,6 +200,8 @@ class CsrFile : public CsrBackend
     u64 mcycleValue = 0;
     u64 minstretValue = 0;
     u64 inhibitMask = ~0ull; ///< counters start inhibited (§IV-D step 4)
+    /** Bit i set iff hpms[i] has a non-empty decoded source list. */
+    u32 configuredMask = 0;
     std::array<Hpm, csr::numHpm> hpms;
 };
 

@@ -153,9 +153,18 @@ class EventBus
     void
     clear()
     {
-        signals.fill(0);
-        if (ICICLE_MUTANT(RetireWireStuckAtOne))
+        // Sparse clear: only events raised last cycle need zeroing.
+        u64 dirty = dirtyMask;
+        while (dirty) {
+            const u32 e = static_cast<u32>(std::countr_zero(dirty));
+            signals[e] = 0;
+            dirty &= dirty - 1;
+        }
+        dirtyMask = 0;
+        if (ICICLE_MUTANT(RetireWireStuckAtOne)) {
             signals[static_cast<u32>(EventId::InstRetired)] |= 1;
+            dirtyMask |= 1ull << static_cast<u32>(EventId::InstRetired);
+        }
     }
 
     /** Assert source bit `source` of event `id` for this cycle. */
@@ -167,6 +176,7 @@ class EventBus
             return;
         }
         signals[static_cast<u32>(id)] |= (1u << source);
+        dirtyMask |= 1ull << static_cast<u32>(id);
         if (ICICLE_MUTANT(EventDoubleFire) &&
             id == EventId::InstRetired) {
             signals[static_cast<u32>(id)] |=
@@ -175,6 +185,8 @@ class EventBus
         if (ICICLE_MUTANT(GatedEventLeak) &&
             id == EventId::Recovering) {
             signals[static_cast<u32>(EventId::DCacheBlockedDram)] |= 1;
+            dirtyMask |=
+                1ull << static_cast<u32>(EventId::DCacheBlockedDram);
         }
     }
 
@@ -182,8 +194,11 @@ class EventBus
     void
     raiseLanes(EventId id, u32 count)
     {
+        if (count == 0)
+            return;
         signals[static_cast<u32>(id)] |=
             static_cast<u16>((1u << count) - 1);
+        dirtyMask |= 1ull << static_cast<u32>(id);
     }
 
     /** Source bitmask of an event this cycle. */
@@ -202,9 +217,19 @@ class EventBus
 
     bool any(EventId id) const { return mask(id) != 0; }
 
+    /**
+     * Bitmask (bit = EventId) of events that may have a nonzero
+     * signal this cycle. Consumers iterating the bus (totals, CSR
+     * sampling, trace packing) can skip events outside this mask.
+     */
+    u64 dirty() const { return dirtyMask; }
+
   private:
+    static_assert(static_cast<u32>(EventId::NumEvents) <= 64,
+                  "dirty mask holds one bit per event");
     std::array<u16, kNumEvents> signals;
     std::array<u32, kNumEvents> numSources;
+    u64 dirtyMask = 0;
 };
 
 } // namespace icicle

@@ -1,5 +1,7 @@
 #include "rocket/rocket.hh"
 
+#include <bit>
+
 #include "common/logging.hh"
 
 namespace icicle
@@ -8,7 +10,8 @@ namespace icicle
 RocketCore::RocketCore(const RocketConfig &config, const Program &program)
     : cfg(config), exec(program), mem(config.mem), bht(config.bhtEntries),
       btb(config.btbEntries),
-      csrs(CoreKind::Rocket, config.counterArch, &events)
+      csrs(CoreKind::Rocket, config.counterArch, &events),
+      ibuf(config.ibufEntries)
 {
     exec.setCsrBackend(&csrs);
     regReady.fill(0);
@@ -51,7 +54,7 @@ RocketCore::raiseRetireClassEvents(const Retired &ret)
 }
 
 void
-RocketCore::predictControlFlow(IBufEntry &entry)
+RocketCore::predictControlFlow(PipeUop &entry)
 {
     const Retired &ret = entry.ret;
     const Addr pc = ret.pc;
@@ -114,8 +117,9 @@ RocketCore::predictControlFlow(IBufEntry &entry)
     }
 
     if (predicted_next != ret.nextPc) {
-        entry.mispredicted = true;
-        entry.targetMispredict = cls == InstClass::JumpReg;
+        entry.flags |= uopflag::mispredicted;
+        if (cls == InstClass::JumpReg)
+            entry.flags |= uopflag::targetMispredict;
         wrongPathMode = true;
         wrongPathPc = predicted_next;
     }
@@ -152,7 +156,7 @@ RocketCore::tickFrontend()
             break;
 
         // Materialize the next instruction to fetch.
-        IBufEntry entry;
+        PipeUop entry;
         Addr fetch_pc;
         if (wrongPathMode) {
             fetch_pc = wrongPathPc;
@@ -193,9 +197,9 @@ RocketCore::tickFrontend()
             entry.ret.pc = fetch_pc;
             entry.ret.inst.op = Op::Addi; // synthetic wrong-path ALU op
             entry.ret.nextPc = fetch_pc + 4;
-            entry.wrongPath = true;
+            entry.flags = uopflag::wrongPath;
             wrongPathPc += 4;
-            ibuf.push_back(entry);
+            ibuf.pushBack(entry);
             recovering = false;
             continue;
         }
@@ -207,7 +211,7 @@ RocketCore::tickFrontend()
         const bool is_cf = entry.ret.isControlFlow();
         if (is_cf)
             predictControlFlow(entry);
-        ibuf.push_back(entry);
+        ibuf.pushBack(entry);
         recovering = false;
 
         if (is_cf) {
@@ -215,8 +219,8 @@ RocketCore::tickFrontend()
             // fetch packet and redirects from the F2 stage: the
             // target fetch loses one cycle even on a BTB hit.
             const Addr next =
-                entry.mispredicted ? entry.predictedNext
-                                   : entry.ret.nextPc;
+                entry.mispredicted() ? entry.predictedNext
+                                     : entry.ret.nextPc;
             if (next != entry.ret.pc + 4) {
                 lastFetchBlock = ~0ull;
                 redirectWait = std::max(redirectWait, 1u);
@@ -243,11 +247,12 @@ RocketCore::tickBackend()
         backend_stalled = true;
         events.raise(EventId::CsrInterlock);
     } else if (!halted && ibuf_valid) {
-        // Copy, not reference: the issue path pops the entry below
-        // and then keeps using it.
-        const IBufEntry head = ibuf.front();
-        const Retired &ret = head.ret;
-        const InstClass cls = classOf(ret.inst.op);
+        // Stall checks peek at the ring head through references
+        // (valid: nothing pushes or pops during the checks); the
+        // PipeUop is copied out only when the instruction issues.
+        const Retired &peek = ibuf.retFront();
+        const u8 peek_flags = ibuf.flagsFront();
+        const InstClass cls = classOf(peek.inst.op);
 
         // --- stall checks ------------------------------------------
         bool stall = false;
@@ -280,11 +285,11 @@ RocketCore::tickBackend()
                 break;
             }
         };
-        if (!head.wrongPath) {
-            if (readsRs1(ret.inst.op))
-                check_operand(ret.inst.rs1);
-            if (readsRs2(ret.inst.op))
-                check_operand(ret.inst.rs2);
+        if (!(peek_flags & uopflag::wrongPath)) {
+            if (readsRs1(peek.inst.op))
+                check_operand(peek.inst.rs1);
+            if (readsRs2(peek.inst.op))
+                check_operand(peek.inst.rs2);
             if (!stall && cls == InstClass::Div && divBusyUntil > now) {
                 stall = true;
                 events.raise(EventId::MulDivInterlock);
@@ -305,9 +310,14 @@ RocketCore::tickBackend()
         if (!stall) {
             issued = true;
             events.raise(EventId::InstIssued);
-            ibuf.pop_front();
+            // Copy by construction (see pipebuf.hh): the entry is
+            // popped here and used below (the PR 1 ASan bug class is
+            // structurally impossible on the ring).
+            const PipeUop head = ibuf.front();
+            const Retired &ret = head.ret;
+            ibuf.popFront();
 
-            if (!head.wrongPath) {
+            if (!head.wrongPath()) {
                 raiseRetireClassEvents(ret);
                 switch (cls) {
                   case InstClass::IntAlu:
@@ -372,10 +382,11 @@ RocketCore::tickBackend()
                   }
                   case InstClass::Branch:
                   case InstClass::JumpReg:
-                    if (head.mispredicted) {
+                    if (head.mispredicted()) {
                         resolvePending = true;
                         resolveAt = now + 1;
-                        resolveEntry = head;
+                        resolveTargetMispredict =
+                            head.targetMispredict();
                     }
                     if (cls == InstClass::JumpReg && ret.inst.rd) {
                         regReady[ret.inst.rd] = now + 1;
@@ -404,7 +415,21 @@ RocketCore::tickBackend()
                                   now + 2});
                     if (ret.inst.op == Op::FenceI) {
                         mem.flushICache();
-                        ibuf.clear();
+                        // Squash only wrong-path synthetics (always a
+                        // contiguous tail). The buffered correct-path
+                        // uops were already consumed from the replay
+                        // stream, which cannot rewind: dropping them
+                        // desynchronizes the core from the executor,
+                        // and if one was a mispredicted branch the
+                        // core wrong-path-fetches forever because its
+                        // resolution dies with it. They are exactly
+                        // what a refetch would deliver; the flush
+                        // cost is modeled by the cold I-cache and the
+                        // redirect penalty.
+                        while (!ibuf.empty() &&
+                               (ibuf.flagsAt(ibuf.size() - 1) &
+                                uopflag::wrongPath))
+                            ibuf.popBack();
                         recovering = true;
                         redirectWait = cfg.redirectLatency;
                         lastFetchBlock = ~0ull;
@@ -431,7 +456,7 @@ RocketCore::tickBackend()
     if (resolvePending && resolveAt <= now) {
         resolvePending = false;
         events.raise(EventId::BranchMispredict);
-        if (resolveEntry.targetMispredict)
+        if (resolveTargetMispredict)
             events.raise(EventId::CtrlFlowTargetMispredict);
         // Squash wrong-path work and redirect the frontend.
         ibuf.clear();
@@ -454,8 +479,13 @@ RocketCore::tick()
     tickFrontend();
 
     csrs.tick(events);
-    for (u32 e = 0; e < kNumEvents; e++)
+    // Only events raised this cycle can change a total.
+    u64 dirty = events.dirty();
+    while (dirty) {
+        const u32 e = static_cast<u32>(std::countr_zero(dirty));
         totals[e] += events.count(static_cast<EventId>(e));
+        dirty &= dirty - 1;
+    }
     now++;
 }
 
@@ -463,14 +493,11 @@ u64
 RocketCore::run(u64 max_cycles,
                 const std::function<void(Cycle, const EventBus &)> &on_cycle)
 {
-    u64 simulated = 0;
-    while (!done() && simulated < max_cycles) {
-        tick();
-        if (on_cycle)
-            on_cycle(now - 1, events);
-        simulated++;
-    }
-    return simulated;
+    if (!on_cycle)
+        return runLoop(max_cycles, [](Cycle, const EventBus &) {});
+    return runLoop(max_cycles, [&on_cycle](Cycle c, const EventBus &b) {
+        on_cycle(c, b);
+    });
 }
 
 } // namespace icicle

@@ -19,11 +19,11 @@
 #define ICICLE_ROCKET_ROCKET_HH
 
 #include <array>
-#include <deque>
 #include <functional>
 
 #include "bpred/bpred.hh"
 #include "core/core.hh"
+#include "core/pipebuf.hh"
 #include "isa/executor.hh"
 #include "mem/hierarchy.hh"
 #include "pmu/csr.hh"
@@ -51,7 +51,7 @@ struct RocketConfig
  * The Rocket core timing model. Construct with a Program, then call
  * run() (or tick() manually, e.g. under a tracer).
  */
-class RocketCore : public Core
+class RocketCore final : public Core
 {
   public:
     RocketCore(const RocketConfig &config, const Program &program);
@@ -70,6 +70,25 @@ class RocketCore : public Core
     u64 run(u64 max_cycles = ~0ull,
             const std::function<void(Cycle, const EventBus &)> &on_cycle =
                 nullptr) override;
+
+    /**
+     * Batch tick loop with a statically-dispatched per-cycle hook:
+     * the class is final, so tick() devirtualizes and the hook
+     * inlines — no per-cycle virtual or std::function dispatch.
+     * run() and the Session/tracer paths route through this.
+     */
+    template <typename F>
+    u64
+    runLoop(u64 max_cycles, F &&on_cycle)
+    {
+        u64 simulated = 0;
+        while (!halted && simulated < max_cycles) {
+            tick();
+            on_cycle(now - 1, events);
+            simulated++;
+        }
+        return simulated;
+    }
 
     Cycle cycle() const override { return now; }
     const EventBus &bus() const override { return events; }
@@ -91,23 +110,10 @@ class RocketCore : public Core
     const RocketConfig &config() const { return cfg; }
 
   private:
-    /** One entry in the instruction buffer. */
-    struct IBufEntry
-    {
-        Retired ret;
-        bool wrongPath = false;
-        /** This instruction was mispredicted at fetch. */
-        bool mispredicted = false;
-        /** Mispredict was a pure target miss (JALR / BTB). */
-        bool targetMispredict = false;
-        /** Predicted (wrong) next PC, for wrong-path fetch. */
-        Addr predictedNext = 0;
-    };
-
     void tickFrontend();
     void tickBackend();
     /** Fetch-time prediction for a control-flow instruction. */
-    void predictControlFlow(IBufEntry &entry);
+    void predictControlFlow(PipeUop &entry);
     void raiseRetireClassEvents(const Retired &ret);
 
     RocketConfig cfg;
@@ -123,7 +129,7 @@ class RocketCore : public Core
     Cycle now = 0;
 
     // ---- frontend state ----
-    std::deque<IBufEntry> ibuf;
+    UopRing ibuf;
     /** Oracle stream lookahead: next correct-path instruction. */
     bool streamValid = false;
     Retired streamHead;
@@ -152,7 +158,7 @@ class RocketCore : public Core
     /** In-flight mispredicted branch resolves at this cycle. */
     bool resolvePending = false;
     Cycle resolveAt = 0;
-    IBufEntry resolveEntry;
+    bool resolveTargetMispredict = false;
     /** CSR/fence serialization: issue stalls until this cycle. */
     Cycle serializeUntil = 0;
     bool halted = false;

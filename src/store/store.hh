@@ -118,6 +118,16 @@ class TraceSink
     virtual ~TraceSink() = default;
     /** Feed one packed cycle word (bit f = field f of the spec). */
     virtual void append(u64 word) = 0;
+    /**
+     * Feed a batch of packed cycle words. Equivalent to append() in
+     * a loop (the default); sinks with cheap bulk paths may override.
+     */
+    virtual void
+    appendBlock(const u64 *words, u64 count)
+    {
+        for (u64 i = 0; i < count; i++)
+            append(words[i]);
+    }
     /** Flush buffered cycles and seal the output. Idempotent. */
     virtual void finish() = 0;
 };

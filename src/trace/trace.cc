@@ -9,6 +9,7 @@
 
 #include "common/crc32.hh"
 #include "common/logging.hh"
+#include "core/dispatch.hh"
 #include "fault/atomic_file.hh"
 
 namespace icicle
@@ -106,6 +107,30 @@ packTraceWord(const TraceSpec &spec, const EventBus &bus)
     return word;
 }
 
+TracePacker::TracePacker(const TraceSpec &spec)
+{
+    for (u32 f = 0; f < spec.fields.size(); f++) {
+        const TraceField &field = spec.fields[f];
+        if (!segments.empty()) {
+            Segment &last = segments.back();
+            const u32 len =
+                static_cast<u32>(std::popcount(last.laneMask));
+            if (field.event == last.event &&
+                field.lane == last.laneStart + len) {
+                last.laneMask =
+                    static_cast<u16>((last.laneMask << 1) | 1);
+                continue;
+            }
+        }
+        Segment seg;
+        seg.event = field.event;
+        seg.laneStart = field.lane;
+        seg.fieldBase = static_cast<u8>(f);
+        seg.laneMask = 1;
+        segments.push_back(seg);
+    }
+}
+
 bool
 Trace::high(u64 cycle, EventId event, u8 lane) const
 {
@@ -144,7 +169,7 @@ Trace
 traceRun(Core &core, const TraceSpec &spec, u64 max_cycles)
 {
     Trace trace(spec);
-    core.run(max_cycles, [&trace](Cycle, const EventBus &bus) {
+    runCoreLoop(core, max_cycles, [&trace](Cycle, const EventBus &bus) {
         trace.capture(bus);
     });
     return trace;

@@ -68,6 +68,23 @@ TEST(Tage, LearnsAlternationThroughHistory)
     EXPECT_LT(late_mispredicts, 30u);
 }
 
+TEST(Tage, IncrementalFoldsMatchFromScratchFold)
+{
+    // The O(1) folded-history registers must stay bit-identical to
+    // refolding the full history, including once the history exceeds
+    // every table's length and eviction kicks in (64+ updates).
+    Tage tage;
+    u64 lcg = 0x1234'5678'9abc'def0ull;
+    for (int i = 0; i < 500; i++) {
+        lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+        const Addr pc = 0x4000 + ((lcg >> 33) & 0xff) * 4;
+        const bool taken = (lcg >> 62) & 1;
+        tage.predictTaken(pc);
+        tage.update(pc, taken);
+        ASSERT_TRUE(tage.foldsConsistent()) << "diverged at " << i;
+    }
+}
+
 TEST(Tage, LearnsShortPeriodicPattern)
 {
     Tage tage;
