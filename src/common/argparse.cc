@@ -1,0 +1,36 @@
+#include "common/argparse.hh"
+
+namespace icicle
+{
+namespace cli
+{
+
+bool
+isHelp(const std::string &arg)
+{
+    return arg == "--help" || arg == "-h";
+}
+
+int
+usageExit(FILE *out, const char *text)
+{
+    std::fputs(text, out);
+    return out == stderr ? 2 : 0;
+}
+
+int
+unknownOption(const std::string &arg, const char *text)
+{
+    std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+    return usageExit(stderr, text);
+}
+
+int
+missingValue(const std::string &flag, const char *text)
+{
+    std::fprintf(stderr, "%s needs a value\n", flag.c_str());
+    return usageExit(stderr, text);
+}
+
+} // namespace cli
+} // namespace icicle

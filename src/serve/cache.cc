@@ -1,0 +1,108 @@
+#include "serve/cache.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/crc32.hh"
+#include "common/logging.hh"
+#include "common/wire.hh"
+#include "fault/atomic_file.hh"
+#include "sweep/journal.hh"
+
+namespace icicle
+{
+
+u64
+serveCacheKey(const SweepPoint &point, u64 seed)
+{
+    // The same per-job blob sweepGridHash folds in (canonical label,
+    // cycle budget, trace flag), prefixed with the cache-format
+    // version and extended with the seed.
+    std::string blob;
+    wire::put32(blob, kServeCacheVersion);
+    wire::putStr(blob, sweepPointLabel(point));
+    wire::put64(blob, point.maxCycles);
+    wire::put8(blob, point.withTrace ? 1 : 0);
+    wire::put64(blob, seed);
+    // Two independent CRC32 passes (the second over a salted copy)
+    // widen the identity to 64 bits.
+    const u32 lo = crc32(blob.data(), blob.size());
+    blob.push_back('\x5a');
+    const u32 hi = crc32(blob.data(), blob.size());
+    return (static_cast<u64>(hi) << 32) | lo;
+}
+
+ResultCache::ResultCache(const std::string &dir) : cacheDir(dir)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(cacheDir, ec);
+    if (ec || !std::filesystem::is_directory(cacheDir))
+        fatal("cannot create cache directory '", cacheDir,
+              "': ", ec ? ec.message() : "not a directory");
+}
+
+std::string
+ResultCache::entryPath(u64 key) const
+{
+    char name[32];
+    std::snprintf(name, sizeof(name), "%016llx.res",
+                  static_cast<unsigned long long>(key));
+    return cacheDir + "/" + name;
+}
+
+bool
+ResultCache::lookup(u64 key, SweepResult &result) const
+{
+    std::ifstream in(entryPath(key), std::ios::binary);
+    if (!in)
+        return false;
+    std::string raw((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+    if (!in.good() && !in.eof())
+        return false;
+
+    wire::Cursor cur{
+        reinterpret_cast<const unsigned char *>(raw.data()),
+        raw.size()};
+    if (cur.get32() != kServeCacheMagic ||
+        cur.get32() != kServeCacheVersion || cur.get64() != key)
+        return false;
+    const std::string payload = cur.getStr();
+    const u32 stored_crc = cur.get32();
+    if (!cur.atEnd() ||
+        crc32(payload.data(), payload.size()) != stored_crc)
+        return false;
+    return decodeSweepResult(
+        reinterpret_cast<const unsigned char *>(payload.data()),
+        payload.size(), 1, result);
+}
+
+void
+ResultCache::publish(u64 key, const SweepResult &result) const
+{
+    std::string bytes;
+    wire::put32(bytes, kServeCacheMagic);
+    wire::put32(bytes, kServeCacheVersion);
+    wire::put64(bytes, key);
+    const std::string payload = encodeSweepResult(result);
+    wire::putStr(bytes, payload);
+    wire::put32(bytes, crc32(payload.data(), payload.size()));
+    writeFileAtomic(entryPath(key), bytes, FaultSite::StoreWrite);
+}
+
+u64
+ResultCache::entriesOnDisk() const
+{
+    u64 count = 0;
+    std::error_code ec;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(cacheDir, ec)) {
+        if (entry.is_regular_file() &&
+            entry.path().extension() == ".res")
+            count++;
+    }
+    return count;
+}
+
+} // namespace icicle

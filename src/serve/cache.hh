@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Content-addressed result cache for icicled.
+ *
+ * Simulations are deterministic: one (core config, workload, counter
+ * architecture, cycle budget, seed) tuple always produces the same
+ * SweepResult bit for bit. That makes results content-addressable —
+ * the cache key is a 64-bit extension of the sweep journal's
+ * sweepGridHash identity (the same per-job fields: canonical label,
+ * cycle budget, trace flag) widened to 64 bits and extended with a
+ * cache-format version and the request seed. Any field that could
+ * change the result changes the key; a format bump invalidates every
+ * old entry at once.
+ *
+ * One entry per key, one file per entry (<key>.res under the cache
+ * directory), holding the journal codec's bit-exact SweepResult
+ * encoding behind a magic/version/key/CRC envelope. Entries are
+ * published with the AtomicFile tmp+fsync+rename discipline through
+ * FaultSite::StoreWrite, so `ICICLE_FAULT kill@store#K` exercises a
+ * SIGKILL mid-publish: the victim leaves only a `.res.tmp`, which
+ * lookup never reads, and a restarted daemon serves exactly the
+ * intact entries (DESIGN.md §14 has the full argument).
+ *
+ * Torn, truncated, or bit-flipped entries — anything failing the
+ * envelope or CRC — degrade to a cache miss and are re-simulated,
+ * never served.
+ */
+
+#ifndef ICICLE_SERVE_CACHE_HH
+#define ICICLE_SERVE_CACHE_HH
+
+#include <string>
+
+#include "sweep/sweep.hh"
+
+namespace icicle
+{
+
+constexpr u32 kServeCacheMagic = 0x43524349; // "ICRC"
+constexpr u32 kServeCacheVersion = 1;
+
+/**
+ * The 64-bit content address of one point's result. withTrace is
+ * always false through the daemon but still participates, keeping
+ * the identity a strict superset of sweepGridHash's per-job fields.
+ */
+u64 serveCacheKey(const SweepPoint &point, u64 seed);
+
+/** Disk-backed result cache; safe for concurrent lookup/publish. */
+class ResultCache
+{
+  public:
+    /** Creates `dir` if needed; fatal() when that fails. */
+    explicit ResultCache(const std::string &dir);
+
+    /**
+     * Load the entry for `key`. Returns false — a miss — when the
+     * entry is absent or fails any validation; label and point are
+     * NOT restored (the caller rederives them from its request).
+     */
+    bool lookup(u64 key, SweepResult &result) const;
+
+    /**
+     * Atomically publish the entry for `key` (tmp+fsync+rename via
+     * FaultSite::StoreWrite). Only Ok results should be published;
+     * failures must re-run, not stick.
+     */
+    void publish(u64 key, const SweepResult &result) const;
+
+    /** "<dir>/<016x key>.res". */
+    std::string entryPath(u64 key) const;
+
+    /** Intact-looking entries on disk (*.res; tmp files excluded). */
+    u64 entriesOnDisk() const;
+
+    const std::string &dir() const { return cacheDir; }
+
+  private:
+    std::string cacheDir;
+};
+
+} // namespace icicle
+
+#endif // ICICLE_SERVE_CACHE_HH

@@ -1,0 +1,114 @@
+#include "serve/client.hh"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace icicle
+{
+
+ServeClient::ServeClient(const std::string &socket_path)
+    : socketPath(socket_path)
+{
+    // A daemon death mid-exchange must surface as an error return,
+    // not SIGPIPE.
+    std::signal(SIGPIPE, SIG_IGN);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socketPath.empty() ||
+        socketPath.size() >= sizeof(addr.sun_path))
+        fatal("socket path '", socketPath,
+              "' is empty or too long for a Unix socket");
+    std::strncpy(addr.sun_path, socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        fatal("cannot create client socket: ",
+              std::strerror(errno));
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        const int err = errno;
+        ::close(fd);
+        fd = -1;
+        fatal("cannot connect to icicled at '", socketPath,
+              "': ", std::strerror(err),
+              " (is the daemon running?)");
+    }
+}
+
+ServeClient::~ServeClient()
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+std::string
+ServeClient::exchange(MsgType type, const std::string &payload,
+                      MsgType expect)
+{
+    if (!writeFrame(fd, type, payload))
+        fatal("lost connection to icicled at '", socketPath,
+              "' while sending a ", msgTypeName(type), " request");
+    MsgType got;
+    std::string reply;
+    if (readFrame(fd, got, reply) != FrameRead::Ok)
+        fatal("lost connection to icicled at '", socketPath,
+              "' while awaiting a ", msgTypeName(expect), " reply");
+    if (got == MsgType::Error)
+        fatal("icicled: ", reply);
+    if (got != expect)
+        fatal("icicled sent an unexpected ", msgTypeName(got),
+              " frame (wanted ", msgTypeName(expect), ")");
+    return reply;
+}
+
+std::string
+ServeClient::ping(const std::string &payload)
+{
+    return exchange(MsgType::Ping, payload, MsgType::Pong);
+}
+
+SweepReply
+ServeClient::sweep(const SweepQuery &query)
+{
+    const std::string raw = exchange(MsgType::SweepRequest,
+                                     encodeSweepQuery(query),
+                                     MsgType::SweepResponse);
+    SweepReply reply;
+    if (!decodeSweepReply(raw, reply))
+        fatal("icicled sent a malformed sweep response");
+    return reply;
+}
+
+WindowReply
+ServeClient::windowTma(const WindowQuery &query)
+{
+    const std::string raw = exchange(MsgType::WindowTmaRequest,
+                                     encodeWindowQuery(query),
+                                     MsgType::WindowTmaResponse);
+    WindowReply reply;
+    if (!decodeWindowReply(raw, reply))
+        fatal("icicled sent a malformed window-tma response");
+    return reply;
+}
+
+std::string
+ServeClient::stats()
+{
+    return exchange(MsgType::StatsRequest, "",
+                    MsgType::StatsResponse);
+}
+
+void
+ServeClient::shutdown()
+{
+    exchange(MsgType::Shutdown, "", MsgType::ShutdownAck);
+}
+
+} // namespace icicle

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * ServeClient: the blocking client side of the icicled protocol,
+ * shared by the icicled CLI subcommands (sweep/window/stats/
+ * shutdown/ping), icicle-bench-serve's load threads, and tests.
+ *
+ * One client owns one persistent connection; requests are strictly
+ * sequential per client (concurrent load uses one client per
+ * thread). Protocol violations — corrupt frames, unexpected types,
+ * connection drops mid-exchange — raise FatalError; an Error frame
+ * from the daemon raises FatalError carrying the daemon's message,
+ * so CLI callers exit 2 through their existing handler.
+ */
+
+#ifndef ICICLE_SERVE_CLIENT_HH
+#define ICICLE_SERVE_CLIENT_HH
+
+#include <string>
+
+#include "serve/protocol.hh"
+
+namespace icicle
+{
+
+class ServeClient
+{
+  public:
+    /** Connects to the daemon's socket; fatal() if nothing listens. */
+    explicit ServeClient(const std::string &socket_path);
+    ~ServeClient();
+
+    ServeClient(const ServeClient &) = delete;
+    ServeClient &operator=(const ServeClient &) = delete;
+
+    /** Round-trips the payload through Ping/Pong; returns the echo. */
+    std::string ping(const std::string &payload = "icicle");
+
+    SweepReply sweep(const SweepQuery &query);
+
+    WindowReply windowTma(const WindowQuery &query);
+
+    /** The daemon's "key: value" stats block. */
+    std::string stats();
+
+    /** Ask the daemon to exit; returns once it acknowledges. */
+    void shutdown();
+
+  private:
+    /** Send request, read reply, demand `expect` (Error raises). */
+    std::string exchange(MsgType type, const std::string &payload,
+                         MsgType expect);
+
+    std::string socketPath;
+    int fd = -1;
+};
+
+} // namespace icicle
+
+#endif // ICICLE_SERVE_CLIENT_HH

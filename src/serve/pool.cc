@@ -1,0 +1,166 @@
+#include "serve/pool.hh"
+
+#include <csignal>
+#include <cstdlib>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace icicle
+{
+
+WorkerPool::WorkerPool(u32 shards)
+{
+    // A worker death must surface as EPIPE on the dispatch write,
+    // not a fatal signal to the daemon.
+    std::signal(SIGPIPE, SIG_IGN);
+    if (shards == 0)
+        shards = 1;
+    for (u32 s = 0; s < shards; s++) {
+        workers.push_back(std::make_unique<Worker>());
+        spawn(*workers.back());
+    }
+}
+
+WorkerPool::~WorkerPool()
+{
+    for (auto &worker : workers) {
+        if (worker->toChild >= 0)
+            ::close(worker->toChild); // EOF: the child exits cleanly
+        if (worker->fromChild >= 0)
+            ::close(worker->fromChild);
+        if (worker->pid > 0)
+            ::waitpid(worker->pid, nullptr, 0);
+    }
+}
+
+void
+WorkerPool::spawn(Worker &worker)
+{
+    int to_child[2], from_child[2];
+    if (::pipe(to_child) != 0 || ::pipe(from_child) != 0)
+        fatal("cannot create worker pipes");
+    const pid_t pid = ::fork();
+    if (pid < 0)
+        fatal("cannot fork worker process");
+    if (pid == 0) {
+        ::close(to_child[1]);
+        ::close(from_child[0]);
+        // Close the pipe ends inherited from every other worker:
+        // a sibling holding a duplicate of our write end would keep
+        // that worker's stdin open after the daemon closes it, so
+        // pool teardown would wait forever for a child that never
+        // sees EOF.
+        for (const auto &other : workers) {
+            if (other->toChild >= 0)
+                ::close(other->toChild);
+            if (other->fromChild >= 0)
+                ::close(other->fromChild);
+        }
+        childLoop(to_child[0], from_child[1]);
+    }
+    ::close(to_child[0]);
+    ::close(from_child[1]);
+    worker.pid = pid;
+    worker.toChild = to_child[1];
+    worker.fromChild = from_child[0];
+}
+
+void
+WorkerPool::reap(Worker &worker)
+{
+    if (worker.toChild >= 0)
+        ::close(worker.toChild);
+    if (worker.fromChild >= 0)
+        ::close(worker.fromChild);
+    worker.toChild = worker.fromChild = -1;
+    if (worker.pid > 0)
+        ::waitpid(worker.pid, nullptr, 0);
+    worker.pid = -1;
+}
+
+void
+WorkerPool::childLoop(int rfd, int wfd)
+{
+    std::signal(SIGPIPE, SIG_IGN);
+    // Simulations are CPU-bound for hundreds of milliseconds; at a
+    // much lower priority the daemon's serving threads (cache hits,
+    // stats, window queries) preempt workers nearly instantly when a
+    // request arrives — on a single-core host this is the
+    // difference between microsecond and millisecond hit latency.
+    // nice 15 is a ~40:1 scheduler weight ratio against the daemon.
+    ::nice(15);
+    for (;;) {
+        MsgType type;
+        std::string payload;
+        if (readFrame(rfd, type, payload) != FrameRead::Ok)
+            std::_Exit(0); // daemon closed the pipe: clean shutdown
+        JobReply reply;
+        JobRequest request;
+        if (type != MsgType::JobRequest ||
+            !decodeJobRequest(payload, request)) {
+            reply.error = "malformed job request";
+        } else {
+            try {
+                // One-point grid through the same engine the CLI
+                // uses (same retry policy), so the result — and
+                // therefore the cached bytes — match a direct
+                // icicle-sweep run exactly. The seed is key-only
+                // today (reserved for seeded workload variants).
+                GridSpec grid;
+                grid.cores = {request.point.core};
+                grid.workloads = {request.point.workload};
+                grid.counterArchs = {request.point.counterArch};
+                grid.maxCycles = request.point.maxCycles;
+                grid.withTrace = false;
+                const std::vector<SweepResult> results =
+                    runSweep(grid, SweepOptions{});
+                reply.ok = true;
+                reply.result = results.at(0);
+            } catch (const FatalError &err) {
+                reply.error = err.what();
+            }
+        }
+        if (!writeFrame(wfd, MsgType::JobResponse,
+                        encodeJobReply(reply)))
+            std::_Exit(0);
+    }
+}
+
+bool
+WorkerPool::runJob(u32 shard, const JobRequest &request,
+                   JobReply &reply, std::string &error)
+{
+    Worker &worker = *workers.at(shard % workers.size());
+    std::lock_guard<std::mutex> lock(worker.mutex);
+    // Two tries: the second lands on a freshly respawned worker if
+    // the first found (or left) a corpse.
+    for (int attempt = 0; attempt < 2; attempt++) {
+        if (worker.pid < 0) {
+            spawn(worker);
+            restartCount.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (!writeFrame(worker.toChild, MsgType::JobRequest,
+                        encodeJobRequest(request))) {
+            reap(worker);
+            continue;
+        }
+        MsgType type;
+        std::string payload;
+        if (readFrame(worker.fromChild, type, payload) !=
+                FrameRead::Ok ||
+            type != MsgType::JobResponse ||
+            !decodeJobReply(payload, reply)) {
+            reap(worker);
+            continue;
+        }
+        return true;
+    }
+    error = "worker for shard " + std::to_string(shard) +
+            " died twice running " + sweepPointLabel(request.point);
+    return false;
+}
+
+} // namespace icicle

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The icicled worker process pool.
+ *
+ * Simulation jobs run in forked child processes, not daemon threads:
+ * a job that corrupts memory, trips an injected fault, or gets
+ * SIGKILLed takes down one worker, not the daemon or its cache. One
+ * worker per shard; a point's shard is its cache key modulo the
+ * shard count, and the per-shard dispatch lock doubles as
+ * single-flight — two concurrent requests for the same key serialize
+ * on the shard, and the second finds the first's published cache
+ * entry when the server re-checks under that lock.
+ *
+ * Lifecycle: all workers fork at pool construction, before the
+ * daemon starts any thread (fork from a multithreaded process only
+ * async-signal-safely reaches exec, which we don't do — so the order
+ * is load-bearing). Parent and child speak protocol.hh frames over a
+ * pipe pair. A worker that dies (EOF/EPIPE on its pipes) is reaped
+ * and respawned by the dispatching thread — respawning forks from
+ * the then-multithreaded daemon, which glibc tolerates for this
+ * fork-only-no-malloc-in-child-before-exec-free path because the
+ * child immediately re-enters the self-contained job loop; the
+ * request that hit the dead worker is retried once on the
+ * replacement before reporting failure.
+ */
+
+#ifndef ICICLE_SERVE_POOL_HH
+#define ICICLE_SERVE_POOL_HH
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hh"
+
+namespace icicle
+{
+
+class WorkerPool
+{
+  public:
+    /** Forks `shards` workers (clamped to >= 1). */
+    explicit WorkerPool(u32 shards);
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    u32 shards() const
+    { return static_cast<u32>(workers.size()); }
+
+    /** Workers respawned after dying (not the initial forks). */
+    u64 restarts() const
+    { return restartCount.load(std::memory_order_relaxed); }
+
+    /**
+     * Run one job on the shard's worker, serialized per shard.
+     * Returns false and fills `error` only when the worker died and
+     * its replacement failed too; a job that merely fails inside the
+     * simulator comes back true with reply.result.status == Failed.
+     */
+    bool runJob(u32 shard, const JobRequest &request,
+                JobReply &reply, std::string &error);
+
+  private:
+    struct Worker
+    {
+        pid_t pid = -1;
+        int toChild = -1;
+        int fromChild = -1;
+        /** Serializes dispatch on this shard (single-flight). */
+        std::mutex mutex;
+    };
+
+    void spawn(Worker &worker);
+    void reap(Worker &worker);
+    [[noreturn]] static void childLoop(int rfd, int wfd);
+
+    std::vector<std::unique_ptr<Worker>> workers;
+    std::atomic<u64> restartCount{0};
+};
+
+} // namespace icicle
+
+#endif // ICICLE_SERVE_POOL_HH

@@ -1,0 +1,168 @@
+#include "serve/report.hh"
+
+namespace icicle
+{
+
+namespace
+{
+
+bool
+failValidate(std::string *error, const std::string &message)
+{
+    if (error)
+        *error = message;
+    return false;
+}
+
+bool
+requireNumber(const JsonValue &object, const char *key,
+              const std::string &where, std::string *error,
+              double min_value = 0)
+{
+    const JsonValue *v = object.get(key);
+    if (!v || !v->isNumber() || v->number < min_value)
+        return failValidate(error, where + ": '" + key +
+                                       "' must be a number >= " +
+                                       std::to_string(min_value));
+    return true;
+}
+
+const JsonValue *
+requireObject(const JsonValue &report, const char *key,
+              std::string *error)
+{
+    const JsonValue *v = report.get(key);
+    if (!v || !v->isObject()) {
+        failValidate(error,
+                     std::string("missing object '") + key + "'");
+        return nullptr;
+    }
+    return v;
+}
+
+bool
+validateLatency(const JsonValue &latency, const char *key,
+                std::string *error)
+{
+    const JsonValue *side = latency.get(key);
+    const std::string where = std::string("latency_us.") + key;
+    if (!side || !side->isObject())
+        return failValidate(error, where + " must be an object");
+    for (const char *field : {"count", "p50", "p99", "max"}) {
+        if (!requireNumber(*side, field, where, error))
+            return false;
+    }
+    const double p50 = side->get("p50")->number;
+    const double p99 = side->get("p99")->number;
+    const double max = side->get("max")->number;
+    if (p50 > p99 || p99 > max)
+        return failValidate(error,
+                            where + ": wants p50 <= p99 <= max");
+    return true;
+}
+
+} // namespace
+
+bool
+validateServeReport(const JsonValue &report, std::string *error)
+{
+    if (!report.isObject())
+        return failValidate(error, "report must be a JSON object");
+
+    const JsonValue *version = report.get("schema_version");
+    if (!version || !version->isNumber() || version->number != 1)
+        return failValidate(error, "schema_version must be 1");
+
+    const JsonValue *bench = report.get("bench");
+    if (!bench || !bench->isString() || bench->str != "serve")
+        return failValidate(error, "bench must be 'serve'");
+
+    const JsonValue *config = requireObject(report, "config", error);
+    if (!config)
+        return false;
+    for (const char *key :
+         {"clients", "requests_per_client", "hot_keys",
+          "max_cycles"}) {
+        if (!requireNumber(*config, key, "config", error, 1))
+            return false;
+    }
+    if (!requireNumber(*config, "hot_fraction", "config", error))
+        return false;
+    if (config->get("hot_fraction")->number > 1)
+        return failValidate(error,
+                            "config: hot_fraction must be <= 1");
+
+    const JsonValue *totals = requireObject(report, "totals", error);
+    if (!totals)
+        return false;
+    for (const char *key :
+         {"requests", "hot_requests", "cold_requests", "cache_hits",
+          "cache_misses", "jobs_simulated", "errors"}) {
+        if (!requireNumber(*totals, key, "totals", error))
+            return false;
+    }
+    if (!requireNumber(*totals, "hot_hit_rate", "totals", error))
+        return false;
+    if (totals->get("hot_hit_rate")->number > 1)
+        return failValidate(error,
+                            "totals: hot_hit_rate must be <= 1");
+    const double hits = totals->get("cache_hits")->number;
+    const double misses = totals->get("cache_misses")->number;
+    const double requests = totals->get("requests")->number;
+    if (hits + misses != requests)
+        return failValidate(
+            error, "totals: cache_hits + cache_misses must equal "
+                   "requests");
+
+    const JsonValue *latency =
+        requireObject(report, "latency_us", error);
+    if (!latency)
+        return false;
+    if (!validateLatency(*latency, "hit", error) ||
+        !validateLatency(*latency, "miss", error))
+        return false;
+
+    const JsonValue *speedup =
+        requireObject(report, "speedup", error);
+    if (!speedup)
+        return false;
+    for (const char *key :
+         {"p50_miss_over_p99_hit", "p99_miss_over_p99_hit"}) {
+        if (!requireNumber(*speedup, key, "speedup", error))
+            return false;
+    }
+    return true;
+}
+
+bool
+checkServeReport(const JsonValue &report, double min_hit_rate,
+                 double min_speedup, std::string *error)
+{
+    std::string validate_error;
+    if (!validateServeReport(report, &validate_error))
+        return failValidate(error,
+                            "invalid report: " + validate_error);
+
+    std::string failures;
+    const double hit_rate =
+        report.get("totals")->get("hot_hit_rate")->number;
+    if (hit_rate < min_hit_rate)
+        failures += "hot_hit_rate " + std::to_string(hit_rate) +
+                    " < required " + std::to_string(min_hit_rate) +
+                    "\n";
+    const double speedup =
+        report.get("speedup")->get("p50_miss_over_p99_hit")->number;
+    if (speedup < min_speedup)
+        failures += "p50_miss_over_p99_hit " +
+                    std::to_string(speedup) + " < required " +
+                    std::to_string(min_speedup) + "\n";
+    const double errors = report.get("totals")->get("errors")->number;
+    if (errors != 0)
+        failures += "totals.errors is " + std::to_string(errors) +
+                    ", wanted 0\n";
+    if (!failures.empty())
+        return failValidate(error, failures);
+    return true;
+}
+
+} // namespace icicle

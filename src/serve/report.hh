@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The BENCH_serve.json report contract.
+ *
+ * icicle-bench-serve emits one JSON document per run; CI validates
+ * it with `icicle-bench-serve --validate` and gates the caching
+ * acceptance criteria with `--check` (hot-key hit rate, hit-vs-miss
+ * latency speedup). validateServeReport() is the executable form of
+ * bench/BENCH_serve.schema.json — keep them in sync, like the
+ * selfprof pair it mirrors.
+ */
+
+#ifndef ICICLE_SERVE_REPORT_HH
+#define ICICLE_SERVE_REPORT_HH
+
+#include <string>
+
+#include "selfprof/selfprof.hh"
+
+namespace icicle
+{
+
+/**
+ * Validate a parsed BENCH_serve.json against the schema. Returns
+ * true when valid; otherwise fills *error.
+ */
+bool validateServeReport(const JsonValue &report, std::string *error);
+
+/**
+ * Gate the acceptance criteria on a valid report:
+ *   - totals.hot_hit_rate >= min_hit_rate
+ *   - speedup.p50_miss_over_p99_hit >= min_speedup
+ *   - totals.errors == 0
+ * Returns true when all pass; otherwise fills *error with every
+ * failed gate.
+ */
+bool checkServeReport(const JsonValue &report, double min_hit_rate,
+                      double min_speedup, std::string *error);
+
+} // namespace icicle
+
+#endif // ICICLE_SERVE_REPORT_HH

@@ -1,0 +1,345 @@
+#include "serve/server.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "workloads/workloads.hh"
+
+namespace icicle
+{
+
+IcicleServer::IcicleServer(const ServerOptions &options)
+    : opts(options), cache(options.cacheDir),
+      // The pool constructor forks: it must run before listenFd
+      // exists and before run() spawns connection threads.
+      pool(options.shards),
+      shardMutexes(std::make_unique<std::mutex[]>(pool.shards()))
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (opts.socketPath.empty() ||
+        opts.socketPath.size() >= sizeof(addr.sun_path))
+        fatal("socket path '", opts.socketPath,
+              "' is empty or too long for a Unix socket");
+    std::strncpy(addr.sun_path, opts.socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+
+    // A stale socket file from a killed daemon would make bind fail;
+    // remove it (connect() to a live daemon's path would still have
+    // succeeded, so this only reclaims corpses in practice).
+    std::error_code ec;
+    std::filesystem::remove(opts.socketPath, ec);
+
+    listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd < 0)
+        fatal("cannot create server socket: ",
+              std::strerror(errno));
+    if (::bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        fatal("cannot bind '", opts.socketPath,
+              "': ", std::strerror(errno));
+    if (::listen(listenFd, 128) != 0)
+        fatal("cannot listen on '", opts.socketPath,
+              "': ", std::strerror(errno));
+}
+
+IcicleServer::~IcicleServer()
+{
+    stop();
+    {
+        std::lock_guard<std::mutex> lock(threadsMutex);
+        for (std::thread &t : threads) {
+            if (t.joinable())
+                t.join();
+        }
+    }
+    if (listenFd >= 0)
+        ::close(listenFd);
+    std::error_code ec;
+    std::filesystem::remove(opts.socketPath, ec);
+}
+
+void
+IcicleServer::stop()
+{
+    if (stopping.exchange(true))
+        return;
+    // shutdown() (not close) wakes the blocked accept() reliably.
+    if (listenFd >= 0)
+        ::shutdown(listenFd, SHUT_RDWR);
+}
+
+void
+IcicleServer::run()
+{
+    for (;;) {
+        const int cfd = ::accept(listenFd, nullptr, nullptr);
+        if (cfd < 0) {
+            if (errno == EINTR && !stopping.load())
+                continue;
+            break;
+        }
+        std::lock_guard<std::mutex> lock(threadsMutex);
+        threads.emplace_back(&IcicleServer::handleClient, this, cfd);
+    }
+    std::lock_guard<std::mutex> lock(threadsMutex);
+    for (std::thread &t : threads) {
+        if (t.joinable())
+            t.join();
+    }
+}
+
+void
+IcicleServer::handleClient(int fd)
+{
+    for (;;) {
+        MsgType type;
+        std::string payload;
+        const FrameRead got = readFrame(fd, type, payload);
+        // Corrupt framing means the rest of the stream cannot be
+        // trusted: drop the connection, never resynchronize.
+        if (got != FrameRead::Ok)
+            break;
+        stats.requests.fetch_add(1, std::memory_order_relaxed);
+        if (!dispatch(fd, type, payload))
+            break;
+        if (stopping.load())
+            break;
+    }
+    ::close(fd);
+}
+
+bool
+IcicleServer::dispatch(int fd, MsgType type,
+                       const std::string &payload)
+{
+    switch (type) {
+      case MsgType::Ping:
+        return writeFrame(fd, MsgType::Pong, payload);
+      case MsgType::SweepRequest:
+        handleSweep(fd, payload);
+        return true;
+      case MsgType::WindowTmaRequest:
+        handleWindow(fd, payload);
+        return true;
+      case MsgType::StatsRequest:
+        handleStats(fd);
+        return true;
+      case MsgType::Shutdown:
+        writeFrame(fd, MsgType::ShutdownAck, "");
+        stop();
+        return false;
+      default:
+        stats.errors.fetch_add(1, std::memory_order_relaxed);
+        sendError(fd, std::string("unexpected ") +
+                          msgTypeName(type) + " frame");
+        return false;
+    }
+}
+
+void
+IcicleServer::sendError(int fd, const std::string &message)
+{
+    writeFrame(fd, MsgType::Error, message);
+}
+
+bool
+IcicleServer::pointResult(const SweepPoint &point, u64 seed,
+                          SweepResult &result, bool &hit,
+                          std::string &error)
+{
+    const u64 key = serveCacheKey(point, seed);
+    const u32 shard = static_cast<u32>(key % pool.shards());
+    hit = cache.lookup(key, result);
+    if (!hit) {
+        // Miss path: serialize on the shard, then re-check — a
+        // second requester blocked here finds the entry the first
+        // one published and never re-simulates (single-flight).
+        std::lock_guard<std::mutex> lock(shardMutexes[shard]);
+        if (cache.lookup(key, result)) {
+            hit = true;
+        } else {
+            JobRequest request;
+            request.point = point;
+            request.seed = seed;
+            JobReply reply;
+            if (!pool.runJob(shard, request, reply, error))
+                return false;
+            if (!reply.ok) {
+                error = reply.error;
+                return false;
+            }
+            result = reply.result;
+            // Only Ok results are memoised: failures and timeouts
+            // must re-run, not stick.
+            if (result.status == SweepStatus::Ok)
+                cache.publish(key, result);
+        }
+    }
+    // The codec carries neither label nor point: rederive them, like
+    // the journal's resume path does from its grid.
+    result.index = 0;
+    result.point = point;
+    result.label = sweepPointLabel(point);
+    return true;
+}
+
+void
+IcicleServer::handleSweep(int fd, const std::string &payload)
+{
+    stats.sweepRequests.fetch_add(1, std::memory_order_relaxed);
+    SweepQuery query;
+    if (!decodeSweepQuery(payload, query)) {
+        stats.errors.fetch_add(1, std::memory_order_relaxed);
+        sendError(fd, "malformed sweep request");
+        return;
+    }
+    if (query.cores.empty() || query.workloads.empty() ||
+        query.archs.empty()) {
+        stats.errors.fetch_add(1, std::memory_order_relaxed);
+        sendError(fd, "sweep request selects an empty grid");
+        return;
+    }
+    if (query.format != "text" && query.format != "csv" &&
+        query.format != "json") {
+        stats.errors.fetch_add(1, std::memory_order_relaxed);
+        sendError(fd, "unknown format: " + query.format);
+        return;
+    }
+    // Validate axis values up front (the CLI does the same): a typo
+    // is one Error reply, not a grid of Failed rows.
+    try {
+        const std::vector<std::string> known = sweepCoreNames();
+        for (const std::string &core : query.cores) {
+            if (std::find(known.begin(), known.end(), core) ==
+                known.end())
+                fatal("unknown core config '", core, "'");
+        }
+        for (const std::string &workload : query.workloads)
+            buildWorkload(workload);
+    } catch (const FatalError &err) {
+        stats.errors.fetch_add(1, std::memory_order_relaxed);
+        sendError(fd, err.what());
+        return;
+    }
+
+    // Expand exactly like icicle-sweep: same GridSpec, same
+    // row-major order, so rows land in the same sequence.
+    GridSpec grid;
+    grid.cores = query.cores;
+    grid.workloads = query.workloads;
+    grid.counterArchs = query.archs;
+    grid.maxCycles = query.maxCycles;
+    grid.withTrace = false;
+    const std::vector<SweepPoint> points = grid.expand();
+
+    SweepReply reply;
+    reply.points = static_cast<u32>(points.size());
+    std::vector<SweepResult> results(points.size());
+    for (u64 i = 0; i < points.size(); i++) {
+        bool hit = false;
+        std::string error;
+        if (!pointResult(points[i], query.seed, results[i], hit,
+                         error)) {
+            stats.errors.fetch_add(1, std::memory_order_relaxed);
+            sendError(fd, error);
+            return;
+        }
+        results[i].index = i;
+        stats.points.fetch_add(1, std::memory_order_relaxed);
+        if (hit) {
+            reply.cacheHits++;
+            stats.cacheHits.fetch_add(1,
+                                      std::memory_order_relaxed);
+        } else {
+            reply.simulated++;
+            stats.cacheMisses.fetch_add(1,
+                                        std::memory_order_relaxed);
+            stats.simulated.fetch_add(1,
+                                      std::memory_order_relaxed);
+        }
+        reply.allOk &= results[i].status == SweepStatus::Ok;
+    }
+
+    // timing=false always: wall-times are nondeterministic and would
+    // break both caching and byte-identity with the CLI.
+    if (query.format == "csv")
+        reply.report = formatSweepCsv(results, false);
+    else if (query.format == "json")
+        reply.report = formatSweepJson(results, false);
+    else
+        reply.report = formatSweepTable(results, false);
+
+    writeFrame(fd, MsgType::SweepResponse, encodeSweepReply(reply));
+}
+
+StoreReader &
+IcicleServer::readerFor(const std::string &path)
+{
+    std::lock_guard<std::mutex> lock(readersMutex);
+    auto it = readers.find(path);
+    if (it == readers.end()) {
+        it = readers
+                 .emplace(path, std::make_unique<StoreReader>(path))
+                 .first;
+    }
+    return *it->second;
+}
+
+void
+IcicleServer::handleWindow(int fd, const std::string &payload)
+{
+    stats.windowRequests.fetch_add(1, std::memory_order_relaxed);
+    WindowQuery query;
+    if (!decodeWindowQuery(payload, query)) {
+        stats.errors.fetch_add(1, std::memory_order_relaxed);
+        sendError(fd, "malformed window-tma request");
+        return;
+    }
+    try {
+        StoreReader &reader = readerFor(query.storePath);
+        WindowReply reply;
+        reply.tma = reader.windowTma(query.begin, query.end,
+                                     query.coreWidth);
+        reply.blocksDecoded = reader.blocksDecoded();
+        writeFrame(fd, MsgType::WindowTmaResponse,
+                   encodeWindowReply(reply));
+    } catch (const FatalError &err) {
+        stats.errors.fetch_add(1, std::memory_order_relaxed);
+        sendError(fd, err.what());
+    }
+}
+
+std::string
+IcicleServer::statsText()
+{
+    std::ostringstream os;
+    os << "requests: " << stats.requests.load() << "\n"
+       << "sweep_requests: " << stats.sweepRequests.load() << "\n"
+       << "window_requests: " << stats.windowRequests.load() << "\n"
+       << "points: " << stats.points.load() << "\n"
+       << "cache_hits: " << stats.cacheHits.load() << "\n"
+       << "cache_misses: " << stats.cacheMisses.load() << "\n"
+       << "jobs_simulated: " << stats.simulated.load() << "\n"
+       << "errors: " << stats.errors.load() << "\n"
+       << "worker_restarts: " << pool.restarts() << "\n"
+       << "shards: " << pool.shards() << "\n"
+       << "cache_entries: " << cache.entriesOnDisk() << "\n";
+    return os.str();
+}
+
+void
+IcicleServer::handleStats(int fd)
+{
+    writeFrame(fd, MsgType::StatsResponse, statsText());
+}
+
+} // namespace icicle

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * IcicleServer: the long-running experiment service behind icicled.
+ *
+ * Listens on a Unix-domain stream socket and serves protocol.hh
+ * frames: sweep grids (sharded across the worker process pool,
+ * memoised in the content-addressed ResultCache), windowed TMA
+ * queries over .icst stores (served from one shared thread-safe
+ * StoreReader per store — footer counts, no block decodes for
+ * covered blocks), live stats, and shutdown.
+ *
+ * Construction order is load-bearing: the worker pool forks its
+ * children before the listening socket exists and before any thread
+ * starts (see pool.hh). run() then accepts connections and handles
+ * each on its own thread; per-point work is serialized per shard, so
+ * N concurrent clients asking for the same cold key simulate it once
+ * and N-1 of them hit the freshly published cache entry.
+ *
+ * Request handling never takes the daemon down: malformed frames
+ * drop the connection, invalid requests get an Error reply, worker
+ * deaths respawn and retry. The only deliberate exits are Shutdown
+ * frames and injected kill@store faults (which SIGKILL the daemon
+ * mid-cache-publish — the crash drill CI runs).
+ */
+
+#ifndef ICICLE_SERVE_SERVER_HH
+#define ICICLE_SERVE_SERVER_HH
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/cache.hh"
+#include "serve/pool.hh"
+#include "serve/protocol.hh"
+#include "store/store.hh"
+
+namespace icicle
+{
+
+struct ServerOptions
+{
+    /** Unix-domain socket path (bound fresh; stale files removed). */
+    std::string socketPath;
+    /** ResultCache directory (created if needed). */
+    std::string cacheDir;
+    /** Worker processes / cache shards. */
+    u32 shards = 2;
+};
+
+class IcicleServer
+{
+  public:
+    /** Forks workers, opens the cache, binds + listens. fatal() on
+     * any setup failure. */
+    explicit IcicleServer(const ServerOptions &options);
+    ~IcicleServer();
+
+    IcicleServer(const IcicleServer &) = delete;
+    IcicleServer &operator=(const IcicleServer &) = delete;
+
+    /**
+     * Accept-and-serve until a Shutdown request (or stop()) — the
+     * daemon's main loop. Joins every connection thread before
+     * returning.
+     */
+    void run();
+
+    /** Request shutdown from another thread (tests). */
+    void stop();
+
+  private:
+    void handleClient(int fd);
+    /** False only when the connection must drop (protocol error). */
+    bool dispatch(int fd, MsgType type, const std::string &payload);
+    void handleSweep(int fd, const std::string &payload);
+    void handleWindow(int fd, const std::string &payload);
+    void handleStats(int fd);
+    std::string statsText();
+    /** Run one point through cache + pool; false on worker failure
+     * (error filled). */
+    bool pointResult(const SweepPoint &point, u64 seed,
+                     SweepResult &result, bool &hit,
+                     std::string &error);
+    StoreReader &readerFor(const std::string &path);
+    void sendError(int fd, const std::string &message);
+
+    ServerOptions opts;
+    ResultCache cache;
+    WorkerPool pool;
+    /**
+     * One mutex per shard, taken around the miss path's re-check +
+     * dispatch + publish: concurrent requests for one key serialize
+     * here, and all but the first find the published entry instead
+     * of re-simulating (single-flight).
+     */
+    std::unique_ptr<std::mutex[]> shardMutexes;
+    int listenFd = -1;
+    std::atomic<bool> stopping{false};
+
+    std::mutex threadsMutex;
+    std::vector<std::thread> threads;
+
+    /** One shared reader per queried store (thread-safe queries). */
+    std::mutex readersMutex;
+    std::map<std::string, std::unique_ptr<StoreReader>> readers;
+
+    struct Stats
+    {
+        std::atomic<u64> requests{0};
+        std::atomic<u64> sweepRequests{0};
+        std::atomic<u64> windowRequests{0};
+        std::atomic<u64> points{0};
+        std::atomic<u64> cacheHits{0};
+        std::atomic<u64> cacheMisses{0};
+        std::atomic<u64> simulated{0};
+        std::atomic<u64> errors{0};
+    } stats;
+};
+
+} // namespace icicle
+
+#endif // ICICLE_SERVE_SERVER_HH

@@ -779,10 +779,15 @@ StoreReader::blockOf(u64 cycle) const
         std::min<u64>(cycle / cyclesPerBlock, blocks.size() - 1));
 }
 
-const StoreReader::DecodedBlock &
+std::shared_ptr<const StoreReader::DecodedBlock>
 StoreReader::decodeBlock(u32 block_index) const
 {
-    if (cache.valid && cache.blockIndex == block_index)
+    // The lock spans cache probe, file read, and cache install: the
+    // shared ifstream's seek+read must not interleave across
+    // threads. Callers receive a shared_ptr, so a block one thread
+    // is still iterating survives another thread's eviction.
+    std::lock_guard<std::mutex> lock(ioMutex);
+    if (cache && cache->valid && cache->blockIndex == block_index)
         return cache;
 
     const BlockMeta &block = blocks[block_index];
@@ -812,7 +817,8 @@ StoreReader::decodeBlock(u32 block_index) const
                    filePath, ": block ", block_index,
                    " cycle count disagrees with index");
 
-    cache.planes.assign(traceSpec.numFields(), {});
+    auto decoded = std::make_shared<DecodedBlock>();
+    decoded->planes.assign(traceSpec.numFields(), {});
     for (u32 f = 0; f < traceSpec.numFields(); f++) {
         const u64 plane_bytes = cur.getVarint("block plane");
         cur.need(plane_bytes, "block plane");
@@ -829,7 +835,7 @@ StoreReader::decodeBlock(u32 block_index) const
                            ": block ", block_index, " field ", f,
                            " runs exceed the block");
             if (ones && run)
-                cache.planes[f].push_back(SetInterval{
+                decoded->planes[f].push_back(SetInterval{
                     static_cast<u32>(at), static_cast<u32>(run)});
             at += run;
             ones = !ones;
@@ -839,10 +845,11 @@ StoreReader::decodeBlock(u32 block_index) const
                        filePath, ": block ", block_index, " field ",
                        f, " has trailing bytes");
     }
-    cache.blockIndex = block_index;
-    cache.valid = true;
-    decodedBlocks++;
-    return cache;
+    decoded->blockIndex = block_index;
+    decoded->valid = true;
+    cache = decoded;
+    decodedBlocks.fetch_add(1, std::memory_order_relaxed);
+    return decoded;
 }
 
 u64
@@ -879,10 +886,10 @@ StoreReader::readWindow(u64 begin, u64 end) const
         const u64 lo = std::max(begin, block.startCycle);
         const u64 hi =
             std::min(end, block.startCycle + block.numCycles);
-        const DecodedBlock &decoded = decodeBlock(b);
+        const auto decoded = decodeBlock(b);
         words.assign(hi - lo, 0);
         for (u32 f = 0; f < traceSpec.numFields(); f++) {
-            for (const SetInterval &iv : decoded.planes[f]) {
+            for (const SetInterval &iv : decoded->planes[f]) {
                 const u64 a = std::max(
                     lo, block.startCycle + iv.start);
                 const u64 z = std::min(
@@ -962,14 +969,14 @@ StoreReader::countInWindow(EventId event, u64 begin, u64 end) const
             }
         }
         if (decode) {
-            const DecodedBlock &decoded = decodeBlock(b);
+            const auto decoded = decodeBlock(b);
             for (u32 f : fields) {
                 const FieldMeta &fm = block.fields[f];
                 if (fm.popcount == 0 ||
                     fm.popcount == block.numCycles)
                     continue;
                 total += countPlaneInRange(
-                    decoded.planes[f],
+                    decoded->planes[f],
                     static_cast<u32>(lo - block.startCycle),
                     static_cast<u32>(hi - block.startCycle));
             }
@@ -1061,10 +1068,10 @@ StoreReader::runsOfAny(EventId event) const
             continue;
         }
         // Union the per-lane set intervals of this block.
-        const DecodedBlock &decoded = decodeBlock(b);
+        const auto decoded = decodeBlock(b);
         std::vector<std::pair<u64, u64>> spans;
         for (u32 f : fields) {
-            for (const SetInterval &iv : decoded.planes[f])
+            for (const SetInterval &iv : decoded->planes[f])
                 spans.emplace_back(
                     block.startCycle + iv.start,
                     block.startCycle + iv.start + iv.length);
@@ -1151,6 +1158,7 @@ StoreReader::overlapUpperBound(u32 core_width, u32 pad) const
 void
 StoreReader::verify() const
 {
+    std::lock_guard<std::mutex> lock(ioMutex);
     std::vector<unsigned char> raw;
     for (u32 b = 0; b < blocks.size(); b++) {
         const BlockMeta &block = blocks[b];

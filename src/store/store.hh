@@ -49,9 +49,11 @@
 #ifndef ICICLE_STORE_STORE_HH
 #define ICICLE_STORE_STORE_HH
 
+#include <atomic>
 #include <fstream>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -236,6 +238,13 @@ struct StoreDamage
  * damaged blocks, window queries over intact ranges work normally,
  * and window queries touching a damaged range throw
  * StoreErrorKind::DamagedWindow — consult damage() for the mask.
+ *
+ * Const queries are safe to call from multiple threads on one
+ * reader: the file handle and the single-block decode cache are the
+ * only mutable state, and both sit behind an internal mutex (the
+ * cache hands out shared_ptrs, so an entry a thread is still reading
+ * survives eviction by another). icicled serves concurrent windowed
+ * TMA queries over one open reader per store on this guarantee.
  */
 class StoreReader
 {
@@ -319,7 +328,8 @@ class StoreReader
         const std::function<void(u64, u64)> &fn) const;
 
     /** Blocks whose planes were decoded since construction. */
-    u64 blocksDecoded() const { return decodedBlocks; }
+    u64 blocksDecoded() const
+    { return decodedBlocks.load(std::memory_order_relaxed); }
 
   private:
     struct FieldMeta
@@ -355,13 +365,18 @@ class StoreReader
     /** Throw DamagedWindow if [begin, end) touches damaged blocks. */
     void requireIntact(u64 begin, u64 end, const char *what) const;
 
-    const DecodedBlock &decodeBlock(u32 block_index) const;
+    std::shared_ptr<const DecodedBlock>
+    decodeBlock(u32 block_index) const;
     u64 countPlaneInRange(const std::vector<SetInterval> &plane,
                           u32 lo, u32 hi) const;
     /** Block index containing the cycle (binary search). */
     u32 blockOf(u64 cycle) const;
 
     std::string filePath;
+    /** Guards `in` and `cache`; everything else is immutable after
+     * open. Held for the whole read+decode of a block, so two
+     * threads never interleave seeks on the shared stream. */
+    mutable std::mutex ioMutex;
     mutable std::ifstream in;
     TraceSpec traceSpec;
     StoreOpen openMode = StoreOpen::Strict;
@@ -371,8 +386,8 @@ class StoreReader
     u64 fileSize = 0;
     std::vector<BlockMeta> blocks;
     StoreDamage damageInfo;
-    mutable DecodedBlock cache;
-    mutable u64 decodedBlocks = 0;
+    mutable std::shared_ptr<const DecodedBlock> cache;
+    mutable std::atomic<u64> decodedBlocks{0};
 };
 
 /**

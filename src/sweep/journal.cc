@@ -1,6 +1,7 @@
 #include "sweep/journal.hh"
 
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
@@ -9,6 +10,7 @@
 
 #include "common/crc32.hh"
 #include "common/logging.hh"
+#include "common/wire.hh"
 #include "fault/fault.hh"
 
 namespace icicle
@@ -21,108 +23,37 @@ constexpr u64 kJournalHeaderBytes = 4 + 4 + 4 + 8;
 /** Upper bound on one record: catches garbage length prefixes. */
 constexpr u64 kMaxRecordBytes = 1u << 20;
 
-void
-put32(std::string &buf, u32 v)
+/** "0x%08x" — grid hashes render in hex everywhere they appear. */
+std::string
+hex32(u32 v)
 {
-    buf.append(reinterpret_cast<const char *>(&v), 4);
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "0x%08x", v);
+    return buf;
 }
 
-void
-put64(std::string &buf, u64 v)
+bool
+writeAll(int fd, const char *data, size_t size)
 {
-    buf.append(reinterpret_cast<const char *>(&v), 8);
-}
-
-/** Doubles travel as raw bit patterns: resume is bit-exact. */
-void
-putF64(std::string &buf, double v)
-{
-    u64 bits;
-    std::memcpy(&bits, &v, 8);
-    put64(buf, bits);
-}
-
-void
-putStr(std::string &buf, const std::string &s)
-{
-    put32(buf, static_cast<u32>(s.size()));
-    buf += s;
-}
-
-/** Bounds-checked record decoder; ok flips false on underrun. */
-struct RecordCursor
-{
-    const unsigned char *data;
-    u64 size;
-    u64 pos = 0;
-    bool ok = true;
-
-    bool
-    need(u64 n)
-    {
-        if (!ok || pos + n > size) {
-            ok = false;
+    while (size > 0) {
+        const ssize_t n = ::write(fd, data, size);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
             return false;
         }
-        return true;
+        data += n;
+        size -= static_cast<size_t>(n);
     }
+    return true;
+}
 
-    u32
-    get32()
-    {
-        u32 v = 0;
-        if (need(4)) {
-            std::memcpy(&v, data + pos, 4);
-            pos += 4;
-        }
-        return v;
-    }
-
-    u64
-    get64()
-    {
-        u64 v = 0;
-        if (need(8)) {
-            std::memcpy(&v, data + pos, 8);
-            pos += 8;
-        }
-        return v;
-    }
-
-    double
-    getF64()
-    {
-        const u64 bits = get64();
-        double v;
-        std::memcpy(&v, &bits, 8);
-        return v;
-    }
-
-    u8
-    get8()
-    {
-        u8 v = 0;
-        if (need(1))
-            v = data[pos++];
-        return v;
-    }
-
-    std::string
-    getStr()
-    {
-        const u32 len = get32();
-        std::string s;
-        if (need(len)) {
-            s.assign(reinterpret_cast<const char *>(data + pos), len);
-            pos += len;
-        }
-        return s;
-    }
-};
+} // namespace
 
 std::string
-encodeResult(const SweepResult &r)
+encodeSweepResult(const SweepResult &r)
 {
+    using namespace wire;
     std::string p;
     put64(p, r.index);
     p.push_back(static_cast<char>(r.status));
@@ -158,10 +89,10 @@ encodeResult(const SweepResult &r)
 }
 
 bool
-decodeResult(const unsigned char *data, u64 size, u64 num_jobs,
-             SweepResult &r)
+decodeSweepResult(const unsigned char *data, u64 size, u64 num_jobs,
+                  SweepResult &r)
 {
-    RecordCursor cur{data, size};
+    wire::Cursor cur{data, size};
     r = SweepResult{};
     r.index = cur.get64();
     const u8 status = cur.get8();
@@ -196,7 +127,7 @@ decodeResult(const unsigned char *data, u64 size, u64 num_jobs,
     r.traceStore = cur.getStr();
     r.traceSkipped = cur.getStr();
 
-    if (!cur.ok || cur.pos != size)
+    if (!cur.atEnd())
         return false;
     if (r.index >= num_jobs || status > 2)
         return false;
@@ -204,33 +135,15 @@ decodeResult(const unsigned char *data, u64 size, u64 num_jobs,
     return true;
 }
 
-bool
-writeAll(int fd, const char *data, size_t size)
-{
-    while (size > 0) {
-        const ssize_t n = ::write(fd, data, size);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            return false;
-        }
-        data += n;
-        size -= static_cast<size_t>(n);
-    }
-    return true;
-}
-
-} // namespace
-
 u32
 sweepGridHash(const std::vector<SweepJob> &jobs)
 {
     std::string blob;
-    put64(blob, jobs.size());
+    wire::put64(blob, jobs.size());
     for (const SweepJob &job : jobs) {
         blob += job.label;
         blob.push_back('\0');
-        put64(blob, job.maxCycles);
+        wire::put64(blob, job.maxCycles);
         blob.push_back(job.withTrace ? 1 : 0);
     }
     return crc32(blob.data(), blob.size());
@@ -261,10 +174,10 @@ SweepJournal::create(const std::string &path, u32 grid_hash,
         fatal("cannot create sweep journal '", path, "': ",
               std::strerror(errno));
     std::string header;
-    put32(header, kJournalMagic);
-    put32(header, kJournalVersion);
-    put32(header, grid_hash);
-    put64(header, num_jobs);
+    wire::put32(header, kJournalMagic);
+    wire::put32(header, kJournalVersion);
+    wire::put32(header, grid_hash);
+    wire::put64(header, num_jobs);
     if (!writeAll(fd, header.data(), header.size()) ||
         ::fsync(fd) != 0)
         fatal("cannot write sweep journal '", path, "': ",
@@ -323,9 +236,11 @@ SweepJournal::resume(const std::string &path, u32 grid_hash,
               version);
     if (stored_hash != grid_hash || stored_jobs != num_jobs)
         fatal("sweep journal '", path, "' was written for a "
-              "different grid (", stored_jobs, " jobs, hash ",
-              stored_hash, "); refusing to resume into ", num_jobs,
-              " jobs, hash ", grid_hash);
+              "different grid: journal has ", stored_jobs,
+              " jobs with grid hash ", hex32(stored_hash),
+              ", this campaign has ", num_jobs,
+              " jobs with grid hash ", hex32(grid_hash),
+              "; refusing to resume");
 
     // Replay intact records; stop at the first torn/corrupt one and
     // truncate it away so appends continue from a clean tail.
@@ -343,7 +258,8 @@ SweepJournal::resume(const std::string &path, u32 grid_hash,
         if (crc32(bytes + pos + 4, len) != stored_crc)
             break;
         SweepResult result;
-        if (!decodeResult(bytes + pos + 4, len, num_jobs, result))
+        if (!decodeSweepResult(bytes + pos + 4, len, num_jobs,
+                               result))
             break;
         results.push_back(std::move(result));
         pos += 4 + static_cast<u64>(len) + 4;
@@ -371,11 +287,11 @@ SweepJournal::append(const SweepResult &result)
 {
     if (fd < 0)
         return;
-    const std::string payload = encodeResult(result);
+    const std::string payload = encodeSweepResult(result);
     std::string record;
-    put32(record, static_cast<u32>(payload.size()));
+    wire::put32(record, static_cast<u32>(payload.size()));
     record += payload;
-    put32(record, crc32(payload.data(), payload.size()));
+    wire::put32(record, crc32(payload.data(), payload.size()));
 
     switch (faultPlan().onWrite(FaultSite::JournalWrite)) {
       case FaultPlan::WriteAction::None:

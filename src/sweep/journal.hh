@@ -43,6 +43,24 @@ constexpr u32 kJournalVersion = 1;
 u32 sweepGridHash(const std::vector<SweepJob> &jobs);
 
 /**
+ * Bit-exact binary codec for one SweepResult (doubles as raw bit
+ * patterns). The journal stores records in this encoding, and the
+ * icicled result cache reuses it so a cache hit reproduces the
+ * original row byte for byte. Neither label nor point travel in the
+ * payload: both sides rederive them from the grid (journal) or the
+ * request key (cache).
+ */
+std::string encodeSweepResult(const SweepResult &result);
+
+/**
+ * Decode one encodeSweepResult() payload. Returns false (leaving
+ * `result` default) on truncation, trailing bytes, an index >=
+ * num_jobs, or an invalid status byte.
+ */
+bool decodeSweepResult(const unsigned char *data, u64 size,
+                       u64 num_jobs, SweepResult &result);
+
+/**
  * Append-side and resume-side handle on one journal file. Appends
  * are not internally locked; the sweep engine serializes them under
  * its completion mutex.

@@ -90,6 +90,13 @@ sweepTracePath(const std::string &dir, const std::string &label)
     return dir + "/" + name + ".icst";
 }
 
+std::string
+sweepPointLabel(const SweepPoint &point)
+{
+    return point.core + "/" + point.workload + "/" +
+           counterArchName(point.counterArch);
+}
+
 // ----------------------------------------------------- grid expansion
 
 std::vector<SweepPoint>
@@ -121,8 +128,7 @@ SweepJob
 jobForPoint(const SweepPoint &point)
 {
     SweepJob job;
-    job.label = point.core + "/" + point.workload + "/" +
-                counterArchName(point.counterArch);
+    job.label = sweepPointLabel(point);
     job.maxCycles = point.maxCycles;
     job.withTrace = point.withTrace;
     job.point = point;

@@ -186,6 +186,13 @@ struct SweepOptions
 std::string sweepTracePath(const std::string &dir,
                            const std::string &label);
 
+/**
+ * Canonical row label of a grid point ("core/workload/arch"). The
+ * grid expander and the icicled serving layer both derive labels
+ * through this, so cached rows format identically to direct runs.
+ */
+std::string sweepPointLabel(const SweepPoint &point);
+
 /** Run explicit jobs. Results come back in job order. */
 std::vector<SweepResult> runSweepJobs(const std::vector<SweepJob> &jobs,
                                       const SweepOptions &options = {});

@@ -329,6 +329,82 @@ TEST(CliLint, SarifParsesWithPopulatedRuleTable)
               ids.end());
 }
 
+TEST(CliContract, HelpExitsZeroUnknownFlagExitsTwo)
+{
+    // Every shipped binary honours the same contract: --help (and -h)
+    // succeeds with the usage text on stdout, an unrecognized flag is
+    // a usage error on stderr with exit 2. All five go through
+    // cli::usageExit, so one drifting apart is a real regression.
+    const std::string binaries[] = {
+        ICICLE_TRACE_BIN,  ICICLE_PROVE_BIN,      ICICLE_SWEEP_BIN,
+        ICICLE_LINT_BIN,   ICICLED_BIN,           ICICLE_BENCH_SERVE_BIN,
+    };
+    for (const std::string &bin : binaries) {
+        EXPECT_EQ(run(bin + " --help"), 0) << bin;
+        EXPECT_EQ(run(bin + " -h"), 0) << bin;
+        EXPECT_EQ(run(bin + " --no-such-flag"), 2) << bin;
+    }
+}
+
+TEST(CliContract, HelpTextGoesToStdoutUsageErrorToStderr)
+{
+    // The streams matter: `tool --help | less` must show the text,
+    // and a usage error must not pollute piped stdout.
+    const std::string binaries[] = {
+        ICICLE_TRACE_BIN,  ICICLE_PROVE_BIN,      ICICLE_SWEEP_BIN,
+        ICICLE_LINT_BIN,   ICICLED_BIN,           ICICLE_BENCH_SERVE_BIN,
+    };
+    for (const std::string &bin : binaries) {
+        TempPath captured("cli_contract_out.txt");
+        ASSERT_EQ(std::system((bin + " --help > " +
+                               quoted(captured.path) + " 2>/dev/null")
+                                  .c_str()),
+                  0)
+            << bin;
+        EXPECT_NE(slurp(captured.path).find("usage:"),
+                  std::string::npos)
+            << bin;
+
+        std::system((bin + " --no-such-flag > " +
+                     quoted(captured.path) + " 2>/dev/null")
+                        .c_str());
+        EXPECT_TRUE(slurp(captured.path).empty()) << bin;
+    }
+}
+
+TEST(CliSweep, ResumeGridMismatchNamesJournalAndBothHashes)
+{
+    // A journal from one grid replayed against another must refuse
+    // with a diagnostic a user can act on: the journal path plus both
+    // grid hashes in hex.
+    TempPath journal("cli_mismatch.icjn");
+    TempPath out("cli_mismatch.csv");
+    TempPath errs("cli_mismatch_err.txt");
+
+    ASSERT_EQ(run(std::string(ICICLE_SWEEP_BIN) +
+                  " --workloads vvadd --cycles 200000 --journal " +
+                  quoted(journal.path) + " --out " + quoted(out.path)),
+              0);
+    std::system((std::string(ICICLE_SWEEP_BIN) +
+                 " --workloads vvadd,towers --cycles 200000"
+                 " --journal " +
+                 quoted(journal.path) + " --resume --out " +
+                 quoted(out.path) + " > /dev/null 2> " +
+                 quoted(errs.path))
+                    .c_str());
+    const std::string diag = slurp(errs.path);
+    EXPECT_NE(diag.find(journal.path), std::string::npos) << diag;
+    EXPECT_NE(diag.find("refusing to resume"), std::string::npos)
+        << diag;
+    // Two distinct hex hashes, 0x-prefixed.
+    const size_t first = diag.find("0x");
+    ASSERT_NE(first, std::string::npos) << diag;
+    const size_t second = diag.find("0x", first + 2);
+    ASSERT_NE(second, std::string::npos) << diag;
+    EXPECT_NE(diag.substr(first, 10), diag.substr(second, 10))
+        << diag;
+}
+
 TEST(CliProve, UsageErrorsExitTwo)
 {
     EXPECT_EQ(run(std::string(ICICLE_PROVE_BIN)), 2);

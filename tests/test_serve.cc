@@ -1,0 +1,383 @@
+/**
+ * @file
+ * icicled serve subsystem tests: wire-protocol round trips and
+ * corruption rejection, cache key identity, crash-safe cache
+ * publish/lookup, and an in-process daemon end-to-end drill pinning
+ * the headline guarantee — a cached reply is byte-identical to the
+ * first (simulated) reply.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "serve/cache.hh"
+#include "serve/client.hh"
+#include "serve/protocol.hh"
+#include "serve/server.hh"
+#include "sweep/journal.hh"
+#include "sweep/sweep.hh"
+
+namespace icicle
+{
+namespace
+{
+
+class TempDir
+{
+  public:
+    explicit TempDir(const char *name)
+        : path(std::string(::testing::TempDir()) + name)
+    {
+        std::filesystem::remove_all(path);
+        std::filesystem::create_directories(path);
+    }
+    ~TempDir()
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(path, ec);
+    }
+    const std::string path;
+};
+
+/** One real simulated result: small enough to run per-test. */
+SweepResult
+simulatedResult()
+{
+    GridSpec grid;
+    grid.cores = {"rocket"};
+    grid.workloads = {"vvadd"};
+    grid.counterArchs = {CounterArch::AddWires};
+    grid.maxCycles = 200'000;
+    const std::vector<SweepResult> results =
+        runSweep(grid, SweepOptions{});
+    EXPECT_EQ(results.size(), 1u);
+    EXPECT_EQ(results.at(0).status, SweepStatus::Ok);
+    return results.at(0);
+}
+
+TEST(ServeProtocol, SweepQueryRoundTrip)
+{
+    SweepQuery query;
+    query.cores = {"rocket", "boom-large"};
+    query.workloads = {"vvadd", "qsort", "towers"};
+    query.archs = {CounterArch::Scalar, CounterArch::Distributed};
+    query.maxCycles = 123'456'789;
+    query.seed = 0xdeadbeefcafe;
+    query.format = "csv";
+
+    SweepQuery decoded;
+    ASSERT_TRUE(decodeSweepQuery(encodeSweepQuery(query), decoded));
+    EXPECT_EQ(decoded.cores, query.cores);
+    EXPECT_EQ(decoded.workloads, query.workloads);
+    EXPECT_EQ(decoded.archs, query.archs);
+    EXPECT_EQ(decoded.maxCycles, query.maxCycles);
+    EXPECT_EQ(decoded.seed, query.seed);
+    EXPECT_EQ(decoded.format, query.format);
+}
+
+TEST(ServeProtocol, ReplyRoundTrips)
+{
+    SweepReply reply;
+    reply.report = "core,workload\nrocket,vvadd\n";
+    reply.points = 7;
+    reply.cacheHits = 3;
+    reply.simulated = 4;
+    reply.allOk = false;
+
+    SweepReply sweep_decoded;
+    ASSERT_TRUE(
+        decodeSweepReply(encodeSweepReply(reply), sweep_decoded));
+    EXPECT_EQ(sweep_decoded.report, reply.report);
+    EXPECT_EQ(sweep_decoded.points, reply.points);
+    EXPECT_EQ(sweep_decoded.cacheHits, reply.cacheHits);
+    EXPECT_EQ(sweep_decoded.simulated, reply.simulated);
+    EXPECT_EQ(sweep_decoded.allOk, reply.allOk);
+
+    WindowQuery window;
+    window.storePath = "/tmp/some/store.icst";
+    window.begin = 1'000;
+    window.end = 2'000'000;
+    window.coreWidth = 4;
+    WindowQuery window_decoded;
+    ASSERT_TRUE(decodeWindowQuery(encodeWindowQuery(window),
+                                  window_decoded));
+    EXPECT_EQ(window_decoded.storePath, window.storePath);
+    EXPECT_EQ(window_decoded.begin, window.begin);
+    EXPECT_EQ(window_decoded.end, window.end);
+    EXPECT_EQ(window_decoded.coreWidth, window.coreWidth);
+}
+
+TEST(ServeProtocol, JobMessagesCarryBitExactResults)
+{
+    JobRequest request;
+    request.point.core = "rocket";
+    request.point.workload = "vvadd";
+    request.point.counterArch = CounterArch::AddWires;
+    request.point.maxCycles = 200'000;
+    request.seed = 42;
+    JobRequest request_decoded;
+    ASSERT_TRUE(decodeJobRequest(encodeJobRequest(request),
+                                 request_decoded));
+    EXPECT_EQ(request_decoded.point.core, request.point.core);
+    EXPECT_EQ(request_decoded.point.workload,
+              request.point.workload);
+    EXPECT_EQ(request_decoded.point.counterArch,
+              request.point.counterArch);
+    EXPECT_EQ(request_decoded.point.maxCycles,
+              request.point.maxCycles);
+    EXPECT_EQ(request_decoded.seed, request.seed);
+
+    // The reply embeds the journal result codec; the decoded result
+    // must re-encode to the same bytes (bit-exact doubles included).
+    JobReply reply;
+    reply.ok = true;
+    reply.result = simulatedResult();
+    JobReply reply_decoded;
+    ASSERT_TRUE(decodeJobReply(encodeJobReply(reply),
+                               reply_decoded));
+    EXPECT_TRUE(reply_decoded.ok);
+    EXPECT_EQ(encodeSweepResult(reply_decoded.result),
+              encodeSweepResult(reply.result));
+}
+
+TEST(ServeProtocol, TruncatedPayloadsNeverDecode)
+{
+    // Every strict prefix of a valid payload must be rejected: the
+    // decoders bounds-check every read and demand full consumption,
+    // so a torn buffer can never alias a shorter valid message.
+    SweepQuery query;
+    query.cores = {"rocket"};
+    query.workloads = {"vvadd", "qsort"};
+    query.format = "json";
+    const std::string encoded = encodeSweepQuery(query);
+    for (size_t len = 0; len < encoded.size(); len++) {
+        SweepQuery decoded;
+        EXPECT_FALSE(
+            decodeSweepQuery(encoded.substr(0, len), decoded))
+            << "prefix of length " << len << " decoded";
+    }
+
+    JobReply reply;
+    reply.ok = true;
+    reply.result = simulatedResult();
+    const std::string reply_bytes = encodeJobReply(reply);
+    for (size_t len = 0; len < reply_bytes.size(); len++) {
+        JobReply decoded;
+        EXPECT_FALSE(
+            decodeJobReply(reply_bytes.substr(0, len), decoded))
+            << "prefix of length " << len << " decoded";
+    }
+}
+
+TEST(ServeProtocol, FramesRoundTripAndCorruptionIsDetected)
+{
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+
+    ASSERT_TRUE(writeFrame(fds[1], MsgType::Ping, "hello"));
+    MsgType type;
+    std::string payload;
+    EXPECT_EQ(readFrame(fds[0], type, payload), FrameRead::Ok);
+    EXPECT_EQ(type, MsgType::Ping);
+    EXPECT_EQ(payload, "hello");
+
+    // A peer that closes cleanly between frames reads as Eof...
+    ::close(fds[1]);
+    EXPECT_EQ(readFrame(fds[0], type, payload), FrameRead::Eof);
+    ::close(fds[0]);
+
+    // ...while garbage where the magic belongs is a hard Error.
+    ASSERT_EQ(::pipe(fds), 0);
+    const char garbage[] = "this is not a frame at all........";
+    ASSERT_EQ(::write(fds[1], garbage, sizeof garbage),
+              static_cast<ssize_t>(sizeof garbage));
+    ::close(fds[1]);
+    EXPECT_EQ(readFrame(fds[0], type, payload), FrameRead::Error);
+    ::close(fds[0]);
+
+    // A flipped payload bit fails the CRC even with intact framing.
+    ASSERT_EQ(::pipe(fds), 0);
+    {
+        int capture[2];
+        ASSERT_EQ(::pipe(capture), 0);
+        ASSERT_TRUE(writeFrame(capture[1], MsgType::Ping, "hello"));
+        ::close(capture[1]);
+        std::string raw(64, '\0');
+        const ssize_t got = ::read(capture[0], raw.data(),
+                                   raw.size());
+        ASSERT_GT(got, 0);
+        raw.resize(static_cast<size_t>(got));
+        ::close(capture[0]);
+        raw[raw.size() - 5] ^= 0x01; // last payload byte
+        ASSERT_EQ(::write(fds[1], raw.data(), raw.size()),
+                  static_cast<ssize_t>(raw.size()));
+        ::close(fds[1]);
+    }
+    EXPECT_EQ(readFrame(fds[0], type, payload), FrameRead::Error);
+    ::close(fds[0]);
+}
+
+TEST(ServeCache, KeyIsDeterministicAndCoversEveryAxis)
+{
+    SweepPoint point;
+    point.core = "rocket";
+    point.workload = "vvadd";
+    point.counterArch = CounterArch::AddWires;
+    point.maxCycles = 1'000'000;
+
+    const u64 key = serveCacheKey(point, 7);
+    EXPECT_EQ(serveCacheKey(point, 7), key);
+
+    // Every field that can change the result must change the key.
+    SweepPoint other = point;
+    other.core = "boom-large";
+    EXPECT_NE(serveCacheKey(other, 7), key);
+    other = point;
+    other.workload = "qsort";
+    EXPECT_NE(serveCacheKey(other, 7), key);
+    other = point;
+    other.counterArch = CounterArch::Distributed;
+    EXPECT_NE(serveCacheKey(other, 7), key);
+    other = point;
+    other.maxCycles = 2'000'000;
+    EXPECT_NE(serveCacheKey(other, 7), key);
+    other = point;
+    other.withTrace = true;
+    EXPECT_NE(serveCacheKey(other, 7), key);
+    EXPECT_NE(serveCacheKey(point, 8), key);
+}
+
+TEST(ServeCache, PublishThenLookupIsBitExact)
+{
+    TempDir dir("serve_cache_roundtrip");
+    ResultCache cache(dir.path);
+    const SweepResult result = simulatedResult();
+    const u64 key = serveCacheKey(result.point, 0);
+
+    SweepResult loaded;
+    EXPECT_FALSE(cache.lookup(key, loaded)); // cold
+    cache.publish(key, result);
+    EXPECT_EQ(cache.entriesOnDisk(), 1u);
+    ASSERT_TRUE(cache.lookup(key, loaded));
+    EXPECT_EQ(encodeSweepResult(loaded), encodeSweepResult(result));
+}
+
+TEST(ServeCache, DamagedEntriesDegradeToMisses)
+{
+    TempDir dir("serve_cache_damage");
+    ResultCache cache(dir.path);
+    const SweepResult result = simulatedResult();
+    const u64 key = serveCacheKey(result.point, 0);
+    cache.publish(key, result);
+    const std::string path = cache.entryPath(key);
+
+    // A single flipped payload bit fails the envelope CRC.
+    {
+        std::fstream file(path, std::ios::in | std::ios::out |
+                                    std::ios::binary);
+        file.seekp(-3, std::ios::end);
+        char byte;
+        file.seekg(-3, std::ios::end);
+        file.get(byte);
+        byte = static_cast<char>(byte ^ 0x10);
+        file.seekp(-3, std::ios::end);
+        file.put(byte);
+    }
+    SweepResult loaded;
+    EXPECT_FALSE(cache.lookup(key, loaded));
+
+    // Truncation (a torn write that escaped rename) is also a miss.
+    cache.publish(key, result);
+    ASSERT_TRUE(cache.lookup(key, loaded));
+    std::filesystem::resize_file(
+        path, std::filesystem::file_size(path) / 2);
+    EXPECT_FALSE(cache.lookup(key, loaded));
+
+    // An entry for a different key served under this name (a renamed
+    // or copied file) fails the embedded-key check.
+    cache.publish(key + 1, result);
+    std::filesystem::copy_file(
+        cache.entryPath(key + 1), path,
+        std::filesystem::copy_options::overwrite_existing);
+    EXPECT_FALSE(cache.lookup(key, loaded));
+
+    // In-flight tmp files are invisible to the entry count.
+    {
+        std::ofstream tmp(dir.path + "/feedfacefeedface.res.tmp",
+                          std::ios::binary);
+        tmp << "torn";
+    }
+    EXPECT_EQ(cache.entriesOnDisk(), 2u); // key and key+1, no .tmp
+}
+
+TEST(ServeEndToEnd, CachedRepliesAreByteIdentical)
+{
+    TempDir dir("serve_e2e");
+    ServerOptions options;
+    options.socketPath = dir.path + "/icicled.sock";
+    options.cacheDir = dir.path + "/cache";
+    options.shards = 2;
+    IcicleServer server(options);
+    std::thread daemon([&] { server.run(); });
+
+    {
+        ServeClient client(options.socketPath);
+        EXPECT_EQ(client.ping("roundtrip"), "roundtrip");
+
+        SweepQuery query;
+        query.cores = {"rocket"};
+        query.workloads = {"vvadd", "towers"};
+        query.archs = {CounterArch::AddWires};
+        query.maxCycles = 200'000;
+        query.format = "csv";
+
+        const SweepReply cold = client.sweep(query);
+        EXPECT_EQ(cold.points, 2u);
+        EXPECT_EQ(cold.cacheHits, 0u);
+        EXPECT_EQ(cold.simulated, 2u);
+        EXPECT_TRUE(cold.allOk);
+
+        const SweepReply warm = client.sweep(query);
+        EXPECT_EQ(warm.points, 2u);
+        EXPECT_EQ(warm.cacheHits, 2u);
+        EXPECT_EQ(warm.simulated, 0u);
+        // The headline guarantee: the cached report is the simulated
+        // report, byte for byte.
+        EXPECT_EQ(warm.report, cold.report);
+
+        // A different seed partitions the cache: same grid, miss.
+        query.seed = 99;
+        const SweepReply reseeded = client.sweep(query);
+        EXPECT_EQ(reseeded.cacheHits, 0u);
+        EXPECT_EQ(reseeded.report, cold.report);
+
+        const std::string stats = client.stats();
+        EXPECT_NE(stats.find("cache_hits: 2"), std::string::npos)
+            << stats;
+        EXPECT_NE(stats.find("cache_entries: 4"), std::string::npos)
+            << stats;
+
+        // Invalid requests get an Error reply, not a dead daemon.
+        SweepQuery bad = query;
+        bad.workloads = {"no-such-workload"};
+        EXPECT_THROW(client.sweep(bad), FatalError);
+    }
+    {
+        // The daemon survived the error; a fresh client still works.
+        ServeClient client(options.socketPath);
+        client.ping();
+        client.shutdown();
+    }
+    daemon.join();
+}
+
+} // namespace
+} // namespace icicle

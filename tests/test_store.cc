@@ -9,10 +9,12 @@
  * path.
  */
 
+#include <atomic>
 #include <bit>
 #include <cstdio>
 #include <fstream>
 #include <gtest/gtest.h>
+#include <thread>
 
 #include "boom/boom.hh"
 #include "common/logging.hh"
@@ -258,6 +260,75 @@ TEST(StoreReader, WindowedCountDecodesOnlyBoundaryBlocks)
     EXPECT_EQ(reader.countInWindow(EventId::FetchBubbles, begin, end),
               expected);
     EXPECT_LE(reader.blocksDecoded(), 2u);
+}
+
+TEST(StoreReader, ConcurrentQueriesAreThreadSafe)
+{
+    // One shared reader, many query threads — the shape icicled uses
+    // to serve windowed-TMA requests. The ifstream and the decoded-
+    // block cache are guarded by an internal mutex and decoded
+    // blocks are handed out as shared_ptr snapshots; this test is
+    // the TSan probe for that contract (the tsan CI job runs it),
+    // and single-threaded builds still check every answer.
+    ScratchFile file("concurrent");
+    const u64 cycles = 64 * 1024;
+    const Trace trace = randomBurstyTrace(29, cycles);
+    trace.toStore(file.path(), 1024);
+    StoreReader reader(file.path());
+    TraceAnalyzer analyzer(trace);
+
+    // Precompute expected answers single-threaded (the analyzer is
+    // not part of the contract under test).
+    struct Window
+    {
+        u64 begin, end;
+        u64 bubbles;
+        TmaResult tma;
+    };
+    std::vector<Window> windows;
+    Rng rng(12345);
+    for (int i = 0; i < 24; i++) {
+        Window w;
+        w.begin = rng.below(cycles - 2);
+        w.end = w.begin + 1 + rng.below(cycles - w.begin - 1);
+        w.bubbles = 0;
+        const u64 mask =
+            trace.spec().fieldMask(EventId::FetchBubbles);
+        for (u64 c = w.begin; c < w.end; c++)
+            w.bubbles += static_cast<u64>(
+                std::popcount(trace.raw()[c] & mask));
+        w.tma = analyzer.windowTma(w.begin, w.end, 1);
+        windows.push_back(w);
+    }
+
+    std::atomic<u64> failures{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; t++) {
+        threads.emplace_back([&, t] {
+            // Each thread walks the windows from a different start,
+            // so distinct threads hit the same block ranges at
+            // different times and contend on the decode cache.
+            for (size_t i = 0; i < windows.size() * 3; i++) {
+                const Window &w =
+                    windows[(i + static_cast<size_t>(t) * 7) %
+                            windows.size()];
+                if (reader.countInWindow(EventId::FetchBubbles,
+                                         w.begin, w.end) !=
+                    w.bubbles)
+                    failures.fetch_add(1);
+                const TmaResult tma =
+                    reader.windowTma(w.begin, w.end, 1);
+                if (tma.retiring != w.tma.retiring ||
+                    tma.totalSlots != w.tma.totalSlots ||
+                    tma.frontend != w.tma.frontend)
+                    failures.fetch_add(1);
+            }
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    EXPECT_EQ(failures.load(), 0u);
+    EXPECT_GT(reader.blocksDecoded(), 0u);
 }
 
 // ---- analyzer equivalence (property test) ---------------------------

@@ -496,6 +496,44 @@ TEST(SweepJournalFile, RefusesAForeignGrid)
     std::remove(path.c_str());
 }
 
+TEST(SweepJournalFile, ForeignGridDiagnosticNamesPathAndBothHashes)
+{
+    // Regression: the mismatch diagnostic used to say only "grid
+    // hash mismatch", leaving the user to guess which journal and
+    // which grids. It must name the journal path and print both
+    // hashes in hex so the two campaigns can actually be compared.
+    const std::string path = "/tmp/icicle_journal_diag.bin";
+    std::remove(path.c_str());
+    const std::vector<SweepJob> jobs = twoCountJobs();
+    const u32 journal_hash = sweepGridHash(jobs);
+    const u32 campaign_hash = journal_hash ^ 0x5a5a;
+    SweepOptions options;
+    options.journalPath = path;
+    runSweepJobs(jobs, options);
+
+    auto hex = [](u32 hash) {
+        char text[16];
+        std::snprintf(text, sizeof text, "0x%08x", hash);
+        return std::string(text);
+    };
+    SweepJournal journal;
+    try {
+        journal.resume(path, campaign_hash, jobs.size());
+        FAIL() << "foreign grid resumed";
+    } catch (const FatalError &err) {
+        const std::string diag = err.what();
+        EXPECT_NE(diag.find(path), std::string::npos) << diag;
+        EXPECT_NE(diag.find(hex(journal_hash)), std::string::npos)
+            << diag;
+        EXPECT_NE(diag.find(hex(campaign_hash)), std::string::npos)
+            << diag;
+        EXPECT_NE(diag.find("refusing to resume"),
+                  std::string::npos)
+            << diag;
+    }
+    std::remove(path.c_str());
+}
+
 TEST(SweepEngine, ResumeAfterInjectedFailureIsByteIdentical)
 {
     // A point that fails on every attempt of the first campaign is

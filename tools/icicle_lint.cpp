@@ -28,6 +28,7 @@
 
 #include "analysis/lint.hh"
 #include "analysis/sarif.hh"
+#include "common/argparse.hh"
 #include "common/logging.hh"
 #include "core/session.hh"
 #include "isa/builder.hh"
@@ -121,13 +122,9 @@ lintConfig(const NamedConfig &config, const Program &program)
     return report;
 }
 
-void
-usage()
-{
-    std::fprintf(stderr,
-                 "usage: icicle-lint [--json] [--quiet] [--list] "
-                 "[--sarif FILE] [config ...]\n");
-}
+constexpr char kUsage[] =
+    "usage: icicle-lint [--json] [--quiet] [--list] "
+    "[--sarif FILE] [config ...]\n";
 
 } // namespace
 
@@ -146,21 +143,17 @@ main(int argc, char **argv)
         } else if (arg == "--quiet") {
             quiet = true;
         } else if (arg == "--sarif") {
-            if (i + 1 >= argc) {
-                usage();
-                return 2;
-            }
+            if (i + 1 >= argc)
+                return cli::missingValue(arg, kUsage);
             sarif_path = argv[++i];
         } else if (arg == "--list") {
             for (const NamedConfig &config : allConfigs())
                 std::printf("%s\n", config.name.c_str());
             return 0;
-        } else if (arg == "--help" || arg == "-h") {
-            usage();
-            return 0;
+        } else if (cli::isHelp(arg)) {
+            return cli::usageExit(stdout, kUsage);
         } else if (!arg.empty() && arg[0] == '-') {
-            usage();
-            return 2;
+            return cli::unknownOption(arg, kUsage);
         } else {
             selected.push_back(arg);
         }

@@ -35,6 +35,7 @@
 
 #include "analysis/constraints.hh"
 #include "analysis/sarif.hh"
+#include "common/argparse.hh"
 #include "common/logging.hh"
 #include "pmu/mutants.hh"
 #include "prove/prove.hh"
@@ -49,11 +50,7 @@ using namespace icicle;
 namespace
 {
 
-int
-usage(FILE *out)
-{
-    std::fprintf(
-        out,
+constexpr char kUsage[] =
         "usage: icicle-prove <command> [options]\n"
         "\n"
         "  arch [--horizon N] [--json] [--sarif FILE]\n"
@@ -80,8 +77,12 @@ usage(FILE *out)
         "      litmus suite)\n"
         "  mutants [--horizon N] [--json]\n"
         "      activate each seeded counter bug and require the\n"
-        "      checker to catch it (needs -DICICLE_MUTANTS=ON)\n");
-    return out == stderr ? 2 : 0;
+        "      checker to catch it (needs -DICICLE_MUTANTS=ON)\n";
+
+int
+usage(FILE *out)
+{
+    return cli::usageExit(out, kUsage);
 }
 
 struct Args
@@ -492,7 +493,7 @@ main(int argc, char **argv)
     if (argc < 2)
         return usage(stderr);
     const std::string command = argv[1];
-    if (command == "--help" || command == "-h" || command == "help")
+    if (cli::isHelp(command) || command == "help")
         return usage(stdout);
     try {
         const Args args = parseArgs(argc, argv, 2);

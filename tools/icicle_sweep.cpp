@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "common/argparse.hh"
 #include "common/logging.hh"
 #include "fault/atomic_file.hh"
 #include "sweep/sweep.hh"
@@ -44,11 +45,7 @@ using namespace icicle;
 namespace
 {
 
-int
-usage(FILE *out)
-{
-    std::fprintf(
-        out,
+constexpr char kUsage[] =
         "usage: icicle-sweep [options]\n"
         "\n"
         "grid axes (comma-separated; repeatable):\n"
@@ -85,8 +82,12 @@ usage(FILE *out)
         "  --timing          include wall-times (nondeterministic)\n"
         "  --progress        print one line per completed job\n"
         "  --out FILE        write the report to FILE\n"
-        "  --list            print known axis values and exit\n");
-    return out == stderr ? 2 : 0;
+        "  --list            print known axis values and exit\n";
+
+int
+usage(FILE *out)
+{
+    return cli::usageExit(out, kUsage);
 }
 
 std::vector<std::string>
@@ -229,11 +230,8 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; i++) {
         const std::string arg = argv[i];
         auto value = [&]() -> std::string {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "%s needs a value\n",
-                             arg.c_str());
-                std::exit(usage(stderr));
-            }
+            if (i + 1 >= argc)
+                std::exit(cli::missingValue(arg, kUsage));
             return argv[++i];
         };
         if (arg == "--cores") {
@@ -277,11 +275,10 @@ main(int argc, char **argv)
         } else if (arg == "--list") {
             listAxes();
             return 0;
-        } else if (arg == "--help" || arg == "-h") {
+        } else if (cli::isHelp(arg)) {
             return usage(stdout);
         } else {
-            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
-            return usage(stderr);
+            return cli::unknownOption(arg, kUsage);
         }
     }
     if (format != "text" && format != "csv" && format != "json") {

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "common/argparse.hh"
 #include "common/logging.hh"
 #include "core/session.hh"
 #include "fault/atomic_file.hh"
@@ -38,11 +39,7 @@ using namespace icicle;
 namespace
 {
 
-int
-usage(FILE *out)
-{
-    std::fprintf(
-        out,
+constexpr char kUsage[] =
         "usage: icicle-trace <command> [options]\n"
         "\n"
         "  info FILE.icst [--verify]\n"
@@ -67,8 +64,12 @@ usage(FILE *out)
         "      --repaired re-streams them into a sealed store,\n"
         "      --report writes a JSON damage report\n"
         "      (exit 0 clean, 1 salvaged with damage,\n"
-        "      2 unrecoverable)\n");
-    return out == stderr ? 2 : 0;
+        "      2 unrecoverable)\n";
+
+int
+usage(FILE *out)
+{
+    return cli::usageExit(out, kUsage);
 }
 
 EventId
@@ -367,7 +368,7 @@ main(int argc, char **argv)
     if (argc < 2)
         return usage(stderr);
     const std::string command = argv[1];
-    if (command == "--help" || command == "-h" || command == "help")
+    if (cli::isHelp(command) || command == "help")
         return usage(stdout);
     try {
         const Args args = parseArgs(argc, argv, 2);
