@@ -13,24 +13,39 @@
 namespace icicle
 {
 
+namespace
+{
+
+/** FNV-1a 64: the entry's file name, never its identity. */
 u64
+fnv1a64(const char *data, size_t size)
+{
+    u64 hash = 14695981039346656037ull;
+    for (size_t i = 0; i < size; i++) {
+        hash ^= static_cast<unsigned char>(data[i]);
+        hash *= 1099511628211ull;
+    }
+    return hash;
+}
+
+} // namespace
+
+ServeKey
 serveCacheKey(const SweepPoint &point, u64 seed)
 {
     // The same per-job blob sweepGridHash folds in (canonical label,
     // cycle budget, trace flag), prefixed with the cache-format
-    // version and extended with the seed.
-    std::string blob;
-    wire::put32(blob, kServeCacheVersion);
-    wire::putStr(blob, sweepPointLabel(point));
-    wire::put64(blob, point.maxCycles);
-    wire::put8(blob, point.withTrace ? 1 : 0);
-    wire::put64(blob, seed);
-    // Two independent CRC32 passes (the second over a salted copy)
-    // widen the identity to 64 bits.
-    const u32 lo = crc32(blob.data(), blob.size());
-    blob.push_back('\x5a');
-    const u32 hi = crc32(blob.data(), blob.size());
-    return (static_cast<u64>(hi) << 32) | lo;
+    // version and extended with the seed. The blob IS the key —
+    // lookup compares it byte-for-byte — so the hash quality only
+    // affects file-name contention, not correctness.
+    ServeKey key;
+    wire::put32(key.blob, kServeCacheVersion);
+    wire::putStr(key.blob, sweepPointLabel(point));
+    wire::put64(key.blob, point.maxCycles);
+    wire::put8(key.blob, point.withTrace ? 1 : 0);
+    wire::put64(key.blob, seed);
+    key.hash = fnv1a64(key.blob.data(), key.blob.size());
+    return key;
 }
 
 ResultCache::ResultCache(const std::string &dir) : cacheDir(dir)
@@ -43,18 +58,18 @@ ResultCache::ResultCache(const std::string &dir) : cacheDir(dir)
 }
 
 std::string
-ResultCache::entryPath(u64 key) const
+ResultCache::entryPath(u64 hash) const
 {
     char name[32];
     std::snprintf(name, sizeof(name), "%016llx.res",
-                  static_cast<unsigned long long>(key));
+                  static_cast<unsigned long long>(hash));
     return cacheDir + "/" + name;
 }
 
 bool
-ResultCache::lookup(u64 key, SweepResult &result) const
+ResultCache::lookup(const ServeKey &key, SweepResult &result) const
 {
-    std::ifstream in(entryPath(key), std::ios::binary);
+    std::ifstream in(entryPath(key.hash), std::ios::binary);
     if (!in)
         return false;
     std::string raw((std::istreambuf_iterator<char>(in)),
@@ -66,7 +81,12 @@ ResultCache::lookup(u64 key, SweepResult &result) const
         reinterpret_cast<const unsigned char *>(raw.data()),
         raw.size()};
     if (cur.get32() != kServeCacheMagic ||
-        cur.get32() != kServeCacheVersion || cur.get64() != key)
+        cur.get32() != kServeCacheVersion)
+        return false;
+    // The embedded blob is the authoritative identity: a file that
+    // landed under this name for any other point — hash collision,
+    // rename, copy — is a miss, never a served lie.
+    if (cur.getStr() != key.blob)
         return false;
     const std::string payload = cur.getStr();
     const u32 stored_crc = cur.get32();
@@ -79,16 +99,18 @@ ResultCache::lookup(u64 key, SweepResult &result) const
 }
 
 void
-ResultCache::publish(u64 key, const SweepResult &result) const
+ResultCache::publish(const ServeKey &key,
+                     const SweepResult &result) const
 {
     std::string bytes;
     wire::put32(bytes, kServeCacheMagic);
     wire::put32(bytes, kServeCacheVersion);
-    wire::put64(bytes, key);
+    wire::putStr(bytes, key.blob);
     const std::string payload = encodeSweepResult(result);
     wire::putStr(bytes, payload);
     wire::put32(bytes, crc32(payload.data(), payload.size()));
-    writeFileAtomic(entryPath(key), bytes, FaultSite::StoreWrite);
+    writeFileAtomic(entryPath(key.hash), bytes,
+                    FaultSite::StoreWrite);
 }
 
 u64

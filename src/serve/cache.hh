@@ -5,16 +5,19 @@
  * Simulations are deterministic: one (core config, workload, counter
  * architecture, cycle budget, seed) tuple always produces the same
  * SweepResult bit for bit. That makes results content-addressable —
- * the cache key is a 64-bit extension of the sweep journal's
- * sweepGridHash identity (the same per-job fields: canonical label,
- * cycle budget, trace flag) widened to 64 bits and extended with a
- * cache-format version and the request seed. Any field that could
- * change the result changes the key; a format bump invalidates every
- * old entry at once.
+ * the key is the serialized identity blob itself (cache-format
+ * version, the sweep journal's per-job fields: canonical label,
+ * cycle budget, trace flag, plus the request seed), and its FNV-1a
+ * 64-bit hash names the entry file and routes the shard. The hash is
+ * only an address: lookup compares the blob stored in the entry
+ * byte-for-byte against the requested blob, so a hash collision
+ * degrades to a miss and a re-simulation, never to another point's
+ * result. Any field that could change the result changes the blob; a
+ * format bump invalidates every old entry at once.
  *
- * One entry per key, one file per entry (<key>.res under the cache
+ * One entry per key, one file per entry (<hash>.res under the cache
  * directory), holding the journal codec's bit-exact SweepResult
- * encoding behind a magic/version/key/CRC envelope. Entries are
+ * encoding behind a magic/version/blob/CRC envelope. Entries are
  * published with the AtomicFile tmp+fsync+rename discipline through
  * FaultSite::StoreWrite, so `ICICLE_FAULT kill@store#K` exercises a
  * SIGKILL mid-publish: the victim leaves only a `.res.tmp`, which
@@ -37,14 +40,27 @@ namespace icicle
 {
 
 constexpr u32 kServeCacheMagic = 0x43524349; // "ICRC"
-constexpr u32 kServeCacheVersion = 1;
+constexpr u32 kServeCacheVersion = 2;
 
 /**
- * The 64-bit content address of one point's result. withTrace is
- * always false through the daemon but still participates, keeping
- * the identity a strict superset of sweepGridHash's per-job fields.
+ * The content address of one point's result: the full identity blob
+ * plus its FNV-1a 64 hash. The blob is authoritative (compared
+ * byte-for-byte on lookup); the hash only names the entry file and
+ * picks the shard, so two points whose blobs collide in the hash
+ * contend for one file name but can never serve each other's result.
  */
-u64 serveCacheKey(const SweepPoint &point, u64 seed);
+struct ServeKey
+{
+    u64 hash = 0;
+    std::string blob;
+};
+
+/**
+ * Derive the key for one point. withTrace is always false through
+ * the daemon but still participates, keeping the identity a strict
+ * superset of sweepGridHash's per-job fields.
+ */
+ServeKey serveCacheKey(const SweepPoint &point, u64 seed);
 
 /** Disk-backed result cache; safe for concurrent lookup/publish. */
 class ResultCache
@@ -55,20 +71,22 @@ class ResultCache
 
     /**
      * Load the entry for `key`. Returns false — a miss — when the
-     * entry is absent or fails any validation; label and point are
-     * NOT restored (the caller rederives them from its request).
+     * entry is absent or fails any validation, including an embedded
+     * blob that is not byte-identical to `key.blob` (a hash
+     * collision or renamed file); label and point are NOT restored
+     * (the caller rederives them from its request).
      */
-    bool lookup(u64 key, SweepResult &result) const;
+    bool lookup(const ServeKey &key, SweepResult &result) const;
 
     /**
      * Atomically publish the entry for `key` (tmp+fsync+rename via
      * FaultSite::StoreWrite). Only Ok results should be published;
      * failures must re-run, not stick.
      */
-    void publish(u64 key, const SweepResult &result) const;
+    void publish(const ServeKey &key, const SweepResult &result) const;
 
-    /** "<dir>/<016x key>.res". */
-    std::string entryPath(u64 key) const;
+    /** "<dir>/<016x hash>.res". */
+    std::string entryPath(u64 hash) const;
 
     /** Intact-looking entries on disk (*.res; tmp files excluded). */
     u64 entriesOnDisk() const;

@@ -3,6 +3,8 @@
 #include <csignal>
 #include <cstdlib>
 
+#include <fcntl.h>
+#include <sys/syscall.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -11,7 +13,8 @@
 namespace icicle
 {
 
-WorkerPool::WorkerPool(u32 shards)
+WorkerPool::WorkerPool(u32 shards, u32 jobTimeoutMs)
+    : jobTimeoutMs(jobTimeoutMs)
 {
     // A worker death must surface as EPIPE on the dispatch write,
     // not a fatal signal to the daemon.
@@ -26,14 +29,12 @@ WorkerPool::WorkerPool(u32 shards)
 
 WorkerPool::~WorkerPool()
 {
-    for (auto &worker : workers) {
-        if (worker->toChild >= 0)
-            ::close(worker->toChild); // EOF: the child exits cleanly
-        if (worker->fromChild >= 0)
-            ::close(worker->fromChild);
-        if (worker->pid > 0)
-            ::waitpid(worker->pid, nullptr, 0);
-    }
+    // SIGKILL rather than EOF-and-wait: a worker mid-simulation (or
+    // wedged after a respawn fork) would stall shutdown for as long
+    // as its job runs; nothing a worker holds needs a clean exit —
+    // the daemon owns all cache publishes.
+    for (auto &worker : workers)
+        reap(*worker);
 }
 
 void
@@ -46,20 +47,27 @@ WorkerPool::spawn(Worker &worker)
     if (pid < 0)
         fatal("cannot fork worker process");
     if (pid == 0) {
-        ::close(to_child[1]);
-        ::close(from_child[0]);
-        // Close the pipe ends inherited from every other worker:
-        // a sibling holding a duplicate of our write end would keep
-        // that worker's stdin open after the daemon closes it, so
-        // pool teardown would wait forever for a child that never
-        // sees EOF.
-        for (const auto &other : workers) {
-            if (other->toChild >= 0)
-                ::close(other->toChild);
-            if (other->fromChild >= 0)
-                ::close(other->fromChild);
-        }
-        childLoop(to_child[0], from_child[1]);
+        // Keep only stdio and this worker's own pipe ends: park the
+        // pipes at fds 3/4 and close everything above. This drops
+        // the ends inherited from every sibling (a duplicate of a
+        // sibling's stdin write end would keep that worker alive
+        // after the daemon closes it) and — on the respawn path —
+        // the daemon's listen socket and every live client
+        // connection (an inherited client fd would suppress the
+        // EOF that client is owed for as long as this worker
+        // lives). Everything here is async-signal-safe.
+        const int rfd = ::fcntl(to_child[0], F_DUPFD, 64);
+        const int wfd = ::fcntl(from_child[1], F_DUPFD, 64);
+        if (rfd < 0 || wfd < 0 || ::dup2(rfd, 3) < 0 ||
+            ::dup2(wfd, 4) < 0)
+            ::_exit(127);
+#if defined(SYS_close_range)
+        ::syscall(SYS_close_range, 5u, ~0u, 0u);
+#else
+        for (int fd = 5; fd < 1024; fd++)
+            ::close(fd);
+#endif
+        childLoop(3, 4);
     }
     ::close(to_child[0]);
     ::close(from_child[1]);
@@ -76,8 +84,12 @@ WorkerPool::reap(Worker &worker)
     if (worker.fromChild >= 0)
         ::close(worker.fromChild);
     worker.toChild = worker.fromChild = -1;
-    if (worker.pid > 0)
+    if (worker.pid > 0) {
+        // The worker may be wedged (timeout path) or mid-simulation:
+        // an EOF-only reap could block in waitpid indefinitely.
+        ::kill(worker.pid, SIGKILL);
         ::waitpid(worker.pid, nullptr, 0);
+    }
     worker.pid = -1;
 }
 
@@ -137,6 +149,7 @@ WorkerPool::runJob(u32 shard, const JobRequest &request,
     std::lock_guard<std::mutex> lock(worker.mutex);
     // Two tries: the second lands on a freshly respawned worker if
     // the first found (or left) a corpse.
+    bool timed_out = false;
     for (int attempt = 0; attempt < 2; attempt++) {
         if (worker.pid < 0) {
             spawn(worker);
@@ -149,17 +162,23 @@ WorkerPool::runJob(u32 shard, const JobRequest &request,
         }
         MsgType type;
         std::string payload;
-        if (readFrame(worker.fromChild, type, payload) !=
-                FrameRead::Ok ||
+        const FrameRead got = readFrameDeadline(
+            worker.fromChild, type, payload, jobTimeoutMs);
+        if (got != FrameRead::Ok ||
             type != MsgType::JobResponse ||
             !decodeJobReply(payload, reply)) {
+            // A Timeout means the worker is alive but wedged (e.g. a
+            // respawn fork that landed on a held heap lock); reap()
+            // SIGKILLs it so the shard recovers instead of hanging.
+            timed_out |= got == FrameRead::Timeout;
             reap(worker);
             continue;
         }
         return true;
     }
     error = "worker for shard " + std::to_string(shard) +
-            " died twice running " + sweepPointLabel(request.point);
+            (timed_out ? " timed out" : " died") +
+            " twice running " + sweepPointLabel(request.point);
     return false;
 }
 

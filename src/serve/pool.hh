@@ -12,16 +12,24 @@
  * entry when the server re-checks under that lock.
  *
  * Lifecycle: all workers fork at pool construction, before the
- * daemon starts any thread (fork from a multithreaded process only
- * async-signal-safely reaches exec, which we don't do — so the order
- * is load-bearing). Parent and child speak protocol.hh frames over a
- * pipe pair. A worker that dies (EOF/EPIPE on its pipes) is reaped
- * and respawned by the dispatching thread — respawning forks from
- * the then-multithreaded daemon, which glibc tolerates for this
- * fork-only-no-malloc-in-child-before-exec-free path because the
- * child immediately re-enters the self-contained job loop; the
+ * daemon starts any thread (fork from a multithreaded process is
+ * where deadlocks live — so the order is load-bearing). Between fork
+ * and the job loop the child runs only async-signal-safe calls and
+ * closes every inherited fd except its own pipe pair (close_range),
+ * so a respawned worker never pins the daemon's listen socket or a
+ * client connection open. Parent and child speak protocol.hh frames
+ * over a pipe pair. A worker that dies (EOF/EPIPE on its pipes) is
+ * killed, reaped, and respawned by the dispatching thread; the
  * request that hit the dead worker is retried once on the
  * replacement before reporting failure.
+ *
+ * Respawning does fork from the then-multithreaded daemon, and the
+ * child's job loop is NOT async-signal-safe (runSweep allocates): if
+ * another daemon thread held the heap lock at fork time the child
+ * can deadlock before replying. That is why every dispatch read
+ * carries a deadline (jobTimeoutMs): a worker that produces no frame
+ * by the deadline is SIGKILLed and reaped instead of wedging its
+ * shard, and the job is retried once on a fresh worker.
  */
 
 #ifndef ICICLE_SERVE_POOL_HH
@@ -41,8 +49,13 @@ namespace icicle
 class WorkerPool
 {
   public:
-    /** Forks `shards` workers (clamped to >= 1). */
-    explicit WorkerPool(u32 shards);
+    /**
+     * Forks `shards` workers (clamped to >= 1). `jobTimeoutMs`
+     * bounds each dispatch's wait for the worker's reply frame
+     * (0 = wait forever); a worker that misses the deadline is
+     * SIGKILLed and respawned.
+     */
+    explicit WorkerPool(u32 shards, u32 jobTimeoutMs = 0);
     ~WorkerPool();
 
     WorkerPool(const WorkerPool &) = delete;
@@ -57,9 +70,10 @@ class WorkerPool
 
     /**
      * Run one job on the shard's worker, serialized per shard.
-     * Returns false and fills `error` only when the worker died and
-     * its replacement failed too; a job that merely fails inside the
-     * simulator comes back true with reply.result.status == Failed.
+     * Returns false and fills `error` only when the worker died (or
+     * timed out) and its replacement failed too; a job that merely
+     * fails inside the simulator comes back true with
+     * reply.result.status == Failed.
      */
     bool runJob(u32 shard, const JobRequest &request,
                 JobReply &reply, std::string &error);
@@ -75,11 +89,13 @@ class WorkerPool
     };
 
     void spawn(Worker &worker);
+    /** SIGKILL (a wedged child never exits on its own), close, wait. */
     void reap(Worker &worker);
     [[noreturn]] static void childLoop(int rfd, int wfd);
 
     std::vector<std::unique_ptr<Worker>> workers;
     std::atomic<u64> restartCount{0};
+    u32 jobTimeoutMs = 0;
 };
 
 } // namespace icicle

@@ -1,8 +1,10 @@
 #include "serve/protocol.hh"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
+#include <poll.h>
 #include <unistd.h>
 
 #include "common/crc32.hh"
@@ -31,12 +33,36 @@ writeAll(int fd, const char *data, size_t size)
     return true;
 }
 
-/** 1 = ok, 0 = EOF before any byte, -1 = short read / error. */
+using ProtoClock = std::chrono::steady_clock;
+
+/**
+ * 1 = ok, 0 = EOF before any byte, -1 = short read / error,
+ * -2 = `deadline` (when non-null) expired before `size` bytes.
+ */
 int
-readAll(int fd, unsigned char *data, size_t size)
+readAll(int fd, unsigned char *data, size_t size,
+        const ProtoClock::time_point *deadline = nullptr)
 {
     size_t got = 0;
     while (got < size) {
+        if (deadline) {
+            const auto remaining =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    *deadline - ProtoClock::now())
+                    .count();
+            if (remaining <= 0)
+                return -2;
+            struct pollfd pfd = {fd, POLLIN, 0};
+            const int ready =
+                ::poll(&pfd, 1, static_cast<int>(remaining));
+            if (ready < 0) {
+                if (errno == EINTR)
+                    continue;
+                return -1;
+            }
+            if (ready == 0)
+                return -2;
+        }
         const ssize_t n = ::read(fd, data + got, size - got);
         if (n < 0) {
             if (errno == EINTR)
@@ -116,10 +142,27 @@ writeFrame(int fd, MsgType type, const std::string &payload)
 FrameRead
 readFrame(int fd, MsgType &type, std::string &payload)
 {
+    return readFrameDeadline(fd, type, payload, 0);
+}
+
+FrameRead
+readFrameDeadline(int fd, MsgType &type, std::string &payload,
+                  u32 timeoutMs)
+{
+    ProtoClock::time_point deadline_storage;
+    const ProtoClock::time_point *deadline = nullptr;
+    if (timeoutMs > 0) {
+        deadline_storage = ProtoClock::now() +
+                           std::chrono::milliseconds(timeoutMs);
+        deadline = &deadline_storage;
+    }
+
     unsigned char header[9];
-    const int head = readAll(fd, header, sizeof(header));
+    const int head = readAll(fd, header, sizeof(header), deadline);
     if (head == 0)
         return FrameRead::Eof;
+    if (head == -2)
+        return FrameRead::Timeout;
     if (head < 0)
         return FrameRead::Error;
 
@@ -134,7 +177,10 @@ readFrame(int fd, MsgType &type, std::string &payload)
         return FrameRead::Error;
 
     std::vector<unsigned char> body(static_cast<size_t>(length) + 4);
-    if (readAll(fd, body.data(), body.size()) != 1)
+    const int rest = readAll(fd, body.data(), body.size(), deadline);
+    if (rest == -2)
+        return FrameRead::Timeout;
+    if (rest != 1)
         return FrameRead::Error;
     u32 stored_crc;
     std::memcpy(&stored_crc, body.data() + length, 4);

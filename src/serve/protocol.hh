@@ -68,8 +68,9 @@ const char *msgTypeName(MsgType type);
 enum class FrameRead : u8
 {
     Ok,
-    Eof,   ///< the peer closed before any frame byte
-    Error, ///< short read mid-frame, bad magic/bounds, CRC mismatch
+    Eof,     ///< the peer closed before any frame byte
+    Error,   ///< short read mid-frame, bad magic/bounds, CRC mismatch
+    Timeout, ///< deadline expired (readFrameDeadline only)
 };
 
 /** Write one frame; false on any write error (e.g. EPIPE). */
@@ -77,6 +78,15 @@ bool writeFrame(int fd, MsgType type, const std::string &payload);
 
 /** Read one full frame, validating magic, bounds, and CRC. */
 FrameRead readFrame(int fd, MsgType &type, std::string &payload);
+
+/**
+ * readFrame with a deadline: Timeout when the whole frame has not
+ * arrived within `timeoutMs` (0 = wait forever). The deadline covers
+ * the full frame, so a peer trickling bytes cannot stall the caller
+ * past it.
+ */
+FrameRead readFrameDeadline(int fd, MsgType &type,
+                            std::string &payload, u32 timeoutMs);
 
 // ---- message payloads ----------------------------------------------
 

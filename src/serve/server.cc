@@ -5,6 +5,7 @@
 #include <cstring>
 #include <filesystem>
 #include <sstream>
+#include <thread>
 
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -20,7 +21,7 @@ IcicleServer::IcicleServer(const ServerOptions &options)
     : opts(options), cache(options.cacheDir),
       // The pool constructor forks: it must run before listenFd
       // exists and before run() spawns connection threads.
-      pool(options.shards),
+      pool(options.shards, options.jobTimeoutMs),
       shardMutexes(std::make_unique<std::mutex[]>(pool.shards()))
 {
     sockaddr_un addr{};
@@ -32,11 +33,29 @@ IcicleServer::IcicleServer(const ServerOptions &options)
     std::strncpy(addr.sun_path, opts.socketPath.c_str(),
                  sizeof(addr.sun_path) - 1);
 
-    // A stale socket file from a killed daemon would make bind fail;
-    // remove it (connect() to a live daemon's path would still have
-    // succeeded, so this only reclaims corpses in practice).
-    std::error_code ec;
-    std::filesystem::remove(opts.socketPath, ec);
+    // A stale socket file from a killed daemon would make bind fail,
+    // but blindly unlinking would steal a live daemon's path (it
+    // keeps running, unreachable, and its destructor would later
+    // remove OUR socket). Probe first: only a path nobody answers on
+    // is a corpse we may reclaim.
+    const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (probe < 0)
+        fatal("cannot create probe socket: ", std::strerror(errno));
+    if (::connect(probe, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) == 0) {
+        ::close(probe);
+        fatal("a daemon is already serving '", opts.socketPath,
+              "'; shut it down or pass a different --socket");
+    }
+    const int probe_errno = errno;
+    ::close(probe);
+    if (probe_errno == ECONNREFUSED) {
+        std::error_code ec;
+        std::filesystem::remove(opts.socketPath, ec);
+    } else if (probe_errno != ENOENT) {
+        fatal("cannot probe existing socket '", opts.socketPath,
+              "': ", std::strerror(probe_errno));
+    }
 
     listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (listenFd < 0)
@@ -54,17 +73,18 @@ IcicleServer::IcicleServer(const ServerOptions &options)
 IcicleServer::~IcicleServer()
 {
     stop();
-    {
-        std::lock_guard<std::mutex> lock(threadsMutex);
-        for (std::thread &t : threads) {
-            if (t.joinable())
-                t.join();
-        }
-    }
+    waitForClients();
     if (listenFd >= 0)
         ::close(listenFd);
     std::error_code ec;
     std::filesystem::remove(opts.socketPath, ec);
+}
+
+void
+IcicleServer::waitForClients()
+{
+    std::unique_lock<std::mutex> lock(connMutex);
+    connCv.wait(lock, [this] { return liveClients == 0; });
 }
 
 void
@@ -87,14 +107,23 @@ IcicleServer::run()
                 continue;
             break;
         }
-        std::lock_guard<std::mutex> lock(threadsMutex);
-        threads.emplace_back(&IcicleServer::handleClient, this, cfd);
+        {
+            std::lock_guard<std::mutex> lock(connMutex);
+            liveClients++;
+        }
+        // Detached: a joinable-but-finished thread keeps its stack
+        // mapped until joined, which under connection churn is an
+        // unbounded leak. The count/condvar pair replaces join; the
+        // decrement+notify (under the mutex) is the thread's last
+        // touch of the server.
+        std::thread([this, cfd] {
+            handleClient(cfd);
+            std::lock_guard<std::mutex> lock(connMutex);
+            liveClients--;
+            connCv.notify_all();
+        }).detach();
     }
-    std::lock_guard<std::mutex> lock(threadsMutex);
-    for (std::thread &t : threads) {
-        if (t.joinable())
-            t.join();
-    }
+    waitForClients();
 }
 
 void
@@ -156,8 +185,8 @@ IcicleServer::pointResult(const SweepPoint &point, u64 seed,
                           SweepResult &result, bool &hit,
                           std::string &error)
 {
-    const u64 key = serveCacheKey(point, seed);
-    const u32 shard = static_cast<u32>(key % pool.shards());
+    const ServeKey key = serveCacheKey(point, seed);
+    const u32 shard = static_cast<u32>(key.hash % pool.shards());
     hit = cache.lookup(key, result);
     if (!hit) {
         // Miss path: serialize on the shard, then re-check — a

@@ -27,12 +27,11 @@
 #define ICICLE_SERVE_SERVER_HH
 
 #include <atomic>
+#include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
-#include <vector>
 
 #include "serve/cache.hh"
 #include "serve/pool.hh"
@@ -44,12 +43,22 @@ namespace icicle
 
 struct ServerOptions
 {
-    /** Unix-domain socket path (bound fresh; stale files removed). */
+    /**
+     * Unix-domain socket path. A stale file (nothing answers a
+     * connect probe) is reclaimed; a path a live daemon answers on
+     * is refused at construction.
+     */
     std::string socketPath;
     /** ResultCache directory (created if needed). */
     std::string cacheDir;
     /** Worker processes / cache shards. */
     u32 shards = 2;
+    /**
+     * Deadline on each worker's reply frame (0 = wait forever). A
+     * worker that misses it is SIGKILLed and respawned, so a wedged
+     * child degrades to one retried job instead of a dead shard.
+     */
+    u32 jobTimeoutMs = 300'000;
 };
 
 class IcicleServer
@@ -88,6 +97,8 @@ class IcicleServer
                      std::string &error);
     StoreReader &readerFor(const std::string &path);
     void sendError(int fd, const std::string &message);
+    /** Block until every connection thread has finished. */
+    void waitForClients();
 
     ServerOptions opts;
     ResultCache cache;
@@ -102,8 +113,16 @@ class IcicleServer
     int listenFd = -1;
     std::atomic<bool> stopping{false};
 
-    std::mutex threadsMutex;
-    std::vector<std::thread> threads;
+    /**
+     * Connection threads run detached — joinable-but-finished
+     * threads would pin their stacks for the daemon's lifetime under
+     * connection churn — so liveness is tracked by count: each
+     * thread decrements and notifies as its last touch of `this`,
+     * and shutdown waits for zero before tearing anything down.
+     */
+    std::mutex connMutex;
+    std::condition_variable connCv;
+    u64 liveClients = 0;
 
     /** One shared reader per queried store (thread-safe queries). */
     std::mutex readersMutex;

@@ -10,16 +10,21 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <thread>
 
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include "common/logging.hh"
+#include "fault/fault.hh"
 #include "serve/cache.hh"
 #include "serve/client.hh"
+#include "serve/pool.hh"
 #include "serve/protocol.hh"
 #include "serve/server.hh"
 #include "sweep/journal.hh"
@@ -233,26 +238,56 @@ TEST(ServeCache, KeyIsDeterministicAndCoversEveryAxis)
     point.counterArch = CounterArch::AddWires;
     point.maxCycles = 1'000'000;
 
-    const u64 key = serveCacheKey(point, 7);
-    EXPECT_EQ(serveCacheKey(point, 7), key);
+    const ServeKey key = serveCacheKey(point, 7);
+    EXPECT_EQ(serveCacheKey(point, 7).hash, key.hash);
+    EXPECT_EQ(serveCacheKey(point, 7).blob, key.blob);
 
-    // Every field that can change the result must change the key.
+    // Every field that can change the result must change the blob
+    // (the authoritative identity) and, in practice, the hash.
+    const auto differs = [&](const SweepPoint &p, u64 seed) {
+        const ServeKey other = serveCacheKey(p, seed);
+        EXPECT_NE(other.blob, key.blob);
+        EXPECT_NE(other.hash, key.hash);
+    };
     SweepPoint other = point;
     other.core = "boom-large";
-    EXPECT_NE(serveCacheKey(other, 7), key);
+    differs(other, 7);
     other = point;
     other.workload = "qsort";
-    EXPECT_NE(serveCacheKey(other, 7), key);
+    differs(other, 7);
     other = point;
     other.counterArch = CounterArch::Distributed;
-    EXPECT_NE(serveCacheKey(other, 7), key);
+    differs(other, 7);
     other = point;
     other.maxCycles = 2'000'000;
-    EXPECT_NE(serveCacheKey(other, 7), key);
+    differs(other, 7);
     other = point;
     other.withTrace = true;
-    EXPECT_NE(serveCacheKey(other, 7), key);
-    EXPECT_NE(serveCacheKey(point, 8), key);
+    differs(other, 7);
+    differs(point, 8);
+}
+
+TEST(ServeCache, HashCollisionsDegradeToMisses)
+{
+    TempDir dir("serve_cache_collision");
+    ResultCache cache(dir.path);
+    const SweepResult result = simulatedResult();
+    const ServeKey key = serveCacheKey(result.point, 0);
+    cache.publish(key, result);
+
+    // Forge a different point whose blob lands on the same file
+    // name. The double-CRC32 scheme this replaced had only 32 bits
+    // of entropy (hi was a function of lo) and trivially
+    // constructible collisions; with the blob embedded in the entry
+    // and byte-compared on lookup, even a perfect hash collision is
+    // a miss, never the other point's result.
+    ServeKey collider = serveCacheKey(result.point, 1);
+    ASSERT_NE(collider.blob, key.blob);
+    collider.hash = key.hash;
+    SweepResult loaded;
+    EXPECT_FALSE(cache.lookup(collider, loaded));
+    // The entry itself is intact: the true key still hits.
+    EXPECT_TRUE(cache.lookup(key, loaded));
 }
 
 TEST(ServeCache, PublishThenLookupIsBitExact)
@@ -260,7 +295,7 @@ TEST(ServeCache, PublishThenLookupIsBitExact)
     TempDir dir("serve_cache_roundtrip");
     ResultCache cache(dir.path);
     const SweepResult result = simulatedResult();
-    const u64 key = serveCacheKey(result.point, 0);
+    const ServeKey key = serveCacheKey(result.point, 0);
 
     SweepResult loaded;
     EXPECT_FALSE(cache.lookup(key, loaded)); // cold
@@ -275,9 +310,9 @@ TEST(ServeCache, DamagedEntriesDegradeToMisses)
     TempDir dir("serve_cache_damage");
     ResultCache cache(dir.path);
     const SweepResult result = simulatedResult();
-    const u64 key = serveCacheKey(result.point, 0);
+    const ServeKey key = serveCacheKey(result.point, 0);
     cache.publish(key, result);
-    const std::string path = cache.entryPath(key);
+    const std::string path = cache.entryPath(key.hash);
 
     // A single flipped payload bit fails the envelope CRC.
     {
@@ -301,11 +336,12 @@ TEST(ServeCache, DamagedEntriesDegradeToMisses)
         path, std::filesystem::file_size(path) / 2);
     EXPECT_FALSE(cache.lookup(key, loaded));
 
-    // An entry for a different key served under this name (a renamed
-    // or copied file) fails the embedded-key check.
-    cache.publish(key + 1, result);
+    // A different point's entry served under this name (a renamed
+    // or copied file) fails the embedded-blob comparison.
+    const ServeKey other = serveCacheKey(result.point, 1);
+    cache.publish(other, result);
     std::filesystem::copy_file(
-        cache.entryPath(key + 1), path,
+        cache.entryPath(other.hash), path,
         std::filesystem::copy_options::overwrite_existing);
     EXPECT_FALSE(cache.lookup(key, loaded));
 
@@ -315,7 +351,71 @@ TEST(ServeCache, DamagedEntriesDegradeToMisses)
                           std::ios::binary);
         tmp << "torn";
     }
-    EXPECT_EQ(cache.entriesOnDisk(), 2u); // key and key+1, no .tmp
+    EXPECT_EQ(cache.entriesOnDisk(), 2u); // both seeds' files, no .tmp
+}
+
+TEST(ServePool, WedgedWorkerIsKilledNotWaitedOn)
+{
+    // hang@job#0 makes the worker's first job stall (200ms in the
+    // unbounded child) — long past the 100ms dispatch deadline. The
+    // pool must SIGKILL and respawn the wedged worker instead of
+    // blocking in readFrame forever with the shard mutex held; the
+    // fresh worker hangs again (its own fault plan copy), so the job
+    // fails after exactly one restart.
+    setFaultSpec("hang@job#0");
+    WorkerPool pool(1, 100);
+    JobRequest request;
+    request.point.core = "rocket";
+    request.point.workload = "vvadd";
+    request.point.counterArch = CounterArch::AddWires;
+    request.point.maxCycles = 200'000;
+    JobReply reply;
+    std::string error;
+    const bool ok = pool.runJob(0, request, reply, error);
+    setFaultSpec("");
+    EXPECT_FALSE(ok);
+    EXPECT_NE(error.find("timed out"), std::string::npos) << error;
+    EXPECT_EQ(pool.restarts(), 1u);
+}
+
+TEST(ServeEndToEnd, LiveSocketIsRefusedStaleSocketReclaimed)
+{
+    TempDir dir("serve_socket_guard");
+    ServerOptions options;
+    options.socketPath = dir.path + "/icicled.sock";
+    options.cacheDir = dir.path + "/cache";
+    options.shards = 1;
+    {
+        IcicleServer server(options);
+        std::thread daemon([&] { server.run(); });
+        // A second daemon on the same path must refuse to start, not
+        // silently unlink the live daemon's socket out from under it.
+        EXPECT_THROW(IcicleServer second(options), FatalError);
+        ServeClient client(options.socketPath);
+        client.shutdown();
+        daemon.join();
+    }
+    // A stale socket file — bound, then abandoned without unlink,
+    // as a SIGKILLed daemon leaves — answers the probe with
+    // ECONNREFUSED and is reclaimed.
+    {
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, options.socketPath.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        ASSERT_GE(fd, 0);
+        ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+                         sizeof(addr)),
+                  0);
+        ::close(fd);
+    }
+    IcicleServer server(options);
+    std::thread daemon([&] { server.run(); });
+    ServeClient client(options.socketPath);
+    EXPECT_EQ(client.ping("alive"), "alive");
+    client.shutdown();
+    daemon.join();
 }
 
 TEST(ServeEndToEnd, CachedRepliesAreByteIdentical)

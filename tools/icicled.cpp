@@ -47,11 +47,13 @@ constexpr char kUsage[] =
     "common:\n"
     "  --socket PATH     daemon socket (default: $ICICLED_SOCKET)\n"
     "\n"
-    "  serve [--cache-dir DIR] [--shards N]\n"
+    "  serve [--cache-dir DIR] [--shards N] [--job-timeout MS]\n"
     "      run the daemon in the foreground: jobs shard across N\n"
     "      worker processes (default 2), results memoise in the\n"
     "      content-addressed cache under DIR (default\n"
-    "      icicled-cache next to the socket)\n"
+    "      icicled-cache next to the socket); a worker that sends\n"
+    "      no reply within MS (default 300000, 0 = forever) is\n"
+    "      killed and respawned\n"
     "  sweep [--cores A,B] [--workloads A,B] [--archs A,B]\n"
     "        [--cycles N] [--seed N] [--format text|csv|json]\n"
     "      submit a sweep grid; the printed report is\n"
@@ -87,6 +89,7 @@ struct Args
     std::string socket;
     std::string cacheDir;
     u32 shards = 2;
+    u32 jobTimeoutMs = 300'000;
     SweepQuery query;
     std::string store;
     bool hasWindow = false;
@@ -120,6 +123,8 @@ parseArgs(int argc, char **argv, int first, Args &args, int *status)
             args.cacheDir = value();
         } else if (arg == "--shards") {
             args.shards = static_cast<u32>(std::stoul(value()));
+        } else if (arg == "--job-timeout") {
+            args.jobTimeoutMs = static_cast<u32>(std::stoul(value()));
         } else if (arg == "--cores") {
             for (const std::string &core : splitList(value()))
                 args.query.cores.push_back(core);
@@ -181,6 +186,7 @@ cmdServe(const Args &args)
                            ? args.socket + ".cache"
                            : args.cacheDir;
     options.shards = args.shards;
+    options.jobTimeoutMs = args.jobTimeoutMs;
     IcicleServer server(options);
     std::fprintf(stderr,
                  "icicled: serving on %s (%u shards, cache %s)\n",
