@@ -1,0 +1,58 @@
+#!/bin/sh
+# The icicle-sync concurrency-discipline gate, as CI's sync job runs
+# it. Usage: scripts/run_sync_check.sh [WORK_DIR]
+#
+# Three legs, each failing the script on its own:
+#
+#   1. Static: if clang++ is available, build the library and tools
+#      with -Wthread-safety -Werror=thread-safety (the annotations in
+#      src/common/sync.hh are only *checked* under clang; other
+#      compilers compile them away).
+#   2. Dynamic: build icicle-sync with the host compiler, drive the
+#      full concurrent surface (store capture, journaled sweep, live
+#      daemon end-to-end), and require a cycle-free, inversion-free,
+#      fork-safe lock-order graph. The JSON + SARIF dumps land in
+#      WORK_DIR for upload.
+#   3. Non-vacuity: rebuild with -DICICLE_MUTANTS=ON and require the
+#      seeded rank-inversion mutant to be reported with the exact
+#      sync.mutant.a <-> sync.mutant.b cycle (icicle-sync --mutant
+#      exits 0 only on an exact catch).
+set -eu
+
+work_dir="${1:-sync-check}"
+repo_dir="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+mkdir -p "$work_dir"
+
+# ---- leg 1: clang thread-safety analysis ----------------------------
+if command -v clang++ >/dev/null 2>&1; then
+    echo "== thread-safety analysis (clang++) =="
+    cmake -B "$work_dir/build-tsa" -S "$repo_dir" \
+        -DCMAKE_CXX_COMPILER=clang++ >/dev/null
+    cmake --build "$work_dir/build-tsa" -j "$jobs" \
+        --target icicle icicle-sync icicled
+else
+    echo "== thread-safety analysis skipped: no clang++ on PATH =="
+fi
+
+# ---- leg 2: the lock-order graph gate -------------------------------
+echo "== lock-order graph (end-to-end drive) =="
+cmake -B "$work_dir/build" -S "$repo_dir" >/dev/null
+cmake --build "$work_dir/build" -j "$jobs" --target icicle-sync
+# ICICLE_LOCKORDER=1 is belt-and-braces: icicle-sync arms the runtime
+# itself, but the env var documents how any binary opts in.
+ICICLE_LOCKORDER=1 "$work_dir/build/tools/icicle-sync" \
+    --dir "$work_dir/drive" \
+    --json "$work_dir/lockorder.json" \
+    --sarif "$work_dir/lockorder.sarif"
+
+# ---- leg 3: the checker catches the seeded inversion ----------------
+echo "== rank-inversion mutant (non-vacuity) =="
+cmake -B "$work_dir/build-mut" -S "$repo_dir" \
+    -DICICLE_MUTANTS=ON >/dev/null
+cmake --build "$work_dir/build-mut" -j "$jobs" --target icicle-sync
+"$work_dir/build-mut/tools/icicle-sync" --mutant \
+    --json "$work_dir/lockorder-mutant.json"
+
+echo "sync check: all legs passed"

@@ -64,6 +64,8 @@ ruleUri(const std::string &rule)
         return "src/prove/refute.cc";
     if (rule.rfind("REF-", 0) == 0)
         return "src/analysis/constraints.cc";
+    if (rule.rfind("SYNC-", 0) == 0)
+        return "src/common/lockorder.cc";
     if (rule.rfind("EVT-", 0) == 0)
         return "src/pmu/event.cc";
     if (rule.rfind("CSR-", 0) == 0)

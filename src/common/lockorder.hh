@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Dynamic lock-acquisition-order checking for icicle::Mutex.
+ *
+ * Every icicle::Mutex registers a lock *class* — a (name, declared
+ * rank) pair shared by all instances playing the same role — and,
+ * when the runtime is armed, each acquisition is recorded against the
+ * acquiring thread's held-lock stack:
+ *
+ *  - Each (held class → acquired class) pair becomes an edge in a
+ *    global lock-order graph, annotated with the first witness
+ *    acquisition stack that produced it (the names held, outermost
+ *    first, ending in the acquired class).
+ *
+ *  - Acquiring a class whose declared rank is not strictly greater
+ *    than every held class's rank is recorded as a rank inversion,
+ *    with the witness stack of the inverted acquisition and (when the
+ *    forward order was also observed) the witness stack that
+ *    established the opposite edge.
+ *
+ *  - checkForkSafety() records a violation when the calling thread
+ *    holds any lock class outside an allowed set across fork() — the
+ *    PR-8 wedged-worker class (fork from a lock-holding thread) made
+ *    checkable.
+ *
+ * lockOrderReport() then finds cycles in the observed graph (a cycle
+ * means two threads can deadlock even if every individual run got
+ * lucky) and renders everything deterministically: classes sorted by
+ * name, edges by (from, to), each cycle rotated to its
+ * lexicographically smallest start. The same report serializes to
+ * JSON and to a LintReport (SYNC-0xx rules) for the shared SARIF
+ * emitter — `icicle-sync` is the CLI over exactly this.
+ *
+ * The runtime is disarmed by default and costs one relaxed atomic
+ * load per lock/unlock in that state (the FaultPlan pattern). Arm it
+ * programmatically (setLockOrderEnabled) or with ICICLE_LOCKORDER=1
+ * in the environment; debug builds (NDEBUG unset) arm automatically.
+ */
+
+#ifndef ICICLE_COMMON_LOCKORDER_HH
+#define ICICLE_COMMON_LOCKORDER_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace icicle
+{
+
+class LintReport;
+
+namespace lockorder
+{
+
+/**
+ * Register (or look up) the lock class `name`. Classes are deduped
+ * by name; re-registering an existing name with a different rank is
+ * a programming error (panic).
+ */
+u32 registerLockClass(const char *name, u32 rank);
+
+/** Arm/disarm acquisition tracking (idempotent, thread-safe). */
+void setLockOrderEnabled(bool enabled);
+
+/** Is acquisition tracking armed? */
+bool lockOrderEnabled();
+
+/**
+ * Drop every recorded edge and violation (registered classes
+ * persist — they are compiled-in facts, not observations). Tests and
+ * icicle-sync call this before a drive.
+ */
+void resetLockOrder();
+
+/** Hot-path hooks, called by icicle::Mutex with the lock held. */
+void onAcquire(u32 class_id);
+void onRelease(u32 class_id);
+
+/** Lock classes held by the calling thread, outermost first. */
+std::vector<std::string> heldLockNames();
+
+/** Number of lock classes held by the calling thread. */
+u32 heldLockCount();
+
+/**
+ * Record a SYNC-003 violation if the calling thread holds any lock
+ * class whose name is not in `allowed`. Call immediately before
+ * fork(): a child forked from a lock-holding thread inherits locked
+ * mutexes no thread will ever release. Returns the number of
+ * disallowed classes held (0 = fork-safe). Inactive (returns 0)
+ * while the runtime is disarmed.
+ */
+u32 checkForkSafety(const char *site,
+                    const std::vector<std::string> &allowed);
+
+/** Total SYNC-003 fork violations recorded so far. */
+u64 forkViolations();
+
+// ---- reporting -----------------------------------------------------
+
+struct LockNode
+{
+    std::string name;
+    u32 rank = 0;
+};
+
+struct LockEdge
+{
+    std::string from;
+    std::string to;
+    /** Acquisitions that took `to` while holding `from`. */
+    u64 count = 0;
+    /**
+     * First witness: the acquiring thread's held stack, outermost
+     * first, ending with `to`.
+     */
+    std::vector<std::string> witness;
+};
+
+struct LockViolation
+{
+    /** "rank-inversion", "cycle", or "fork-held-lock". */
+    std::string kind;
+    std::string message;
+    /** Classes on the cycle / inversion, in acquisition order. */
+    std::vector<std::string> classes;
+    /** One witness acquisition stack per participating edge. */
+    std::vector<std::vector<std::string>> witnesses;
+};
+
+struct LockOrderReport
+{
+    std::vector<LockNode> nodes;
+    std::vector<LockEdge> edges;
+    std::vector<LockViolation> violations;
+    bool cycleFree = true;
+
+    bool clean() const { return cycleFree && violations.empty(); }
+
+    /** Deterministic JSON rendering (the icicle-sync --json dump). */
+    std::string toJson() const;
+
+    /**
+     * SYNC-0xx LintReport for the shared SARIF emitter: SYNC-000
+     * Info graph summary (always present), SYNC-001 rank inversion,
+     * SYNC-002 cycle, SYNC-003 fork-while-holding.
+     */
+    LintReport toLintReport() const;
+
+    /** Human-readable multi-line summary. */
+    std::string format() const;
+};
+
+/**
+ * Snapshot the observed graph, run cycle detection, and render the
+ * violations deterministically.
+ */
+LockOrderReport lockOrderReport();
+
+/**
+ * Self-test mutant (ICICLE_MUTANTS builds only; fatal() otherwise):
+ * acquires two dedicated mutexes in both orders — the second order
+ * is a rank inversion and closes an A→B→A cycle — so a checker that
+ * reports this drive clean is proven vacuous. Deterministic and
+ * single-threaded: the cycle is in the *order graph*, no actual
+ * deadlock is risked.
+ */
+void runRankInversionMutant();
+
+/** Names of the two mutant lock classes (for exact-cycle asserts). */
+extern const char *const kMutantLockA;
+extern const char *const kMutantLockB;
+
+} // namespace lockorder
+} // namespace icicle
+
+#endif // ICICLE_COMMON_LOCKORDER_HH

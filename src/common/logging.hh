@@ -13,6 +13,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -53,7 +54,38 @@ format(const Args &...args)
     return os.str();
 }
 
+/** GNU strerror_r: the message is whatever it returned. */
+inline std::string
+errnoTextImpl(const char *result, const char *, int)
+{
+    return result;
+}
+
+/** XSI strerror_r: 0 fills the buffer, anything else is a failure. */
+inline std::string
+errnoTextImpl(int result, const char *buf, int err)
+{
+    return result == 0 ? std::string(buf)
+                       : "errno " + std::to_string(err);
+}
+
 } // namespace detail
+
+/**
+ * Thread-safe strerror(): error messages are built on concurrent
+ * connection/worker threads, where std::strerror's shared static
+ * buffer is a data race (clang-tidy concurrency-mt-unsafe). The
+ * overload pair absorbs both strerror_r signatures (GNU returns
+ * char*, XSI returns int) without feature-test-macro guessing.
+ */
+inline std::string
+errnoText(int err)
+{
+    char buf[256];
+    buf[0] = '\0';
+    return detail::errnoTextImpl(::strerror_r(err, buf, sizeof(buf)),
+                                 buf, err);
+}
 
 /**
  * Report a simulator bug and abort. Use for conditions that should

@@ -54,7 +54,7 @@ AtomicFile::AtomicFile(const std::string &path, FaultSite site)
 {
     fd = ::open(tmpPath.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
     if (fd < 0)
-        fatal("cannot create '", tmpPath, "': ", std::strerror(errno));
+        fatal("cannot create '", tmpPath, "': ", errnoText(errno));
 }
 
 AtomicFile::~AtomicFile()
@@ -76,7 +76,7 @@ AtomicFile::fail(const char *what, int err)
     }
     ::unlink(tmpPath.c_str());
     done = true;
-    fatal("writing '", path, "': ", what, ": ", std::strerror(err));
+    fatal("writing '", path, "': ", what, ": ", errnoText(err));
 }
 
 void

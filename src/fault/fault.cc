@@ -156,7 +156,7 @@ FaultPlan::reset(const std::string &spec)
         parsed.push_back(parsed_clause);
     }
 
-    std::lock_guard<std::mutex> lock(mutex);
+    LockGuard lock(mutex);
     clauses = std::move(parsed);
     seed = new_seed;
     writeOps.fill(0);
@@ -166,7 +166,7 @@ FaultPlan::reset(const std::string &spec)
 std::string
 FaultPlan::describe() const
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    LockGuard lock(mutex);
     std::ostringstream os;
     os << "seed=" << seed;
     for (const FaultClause &clause : clauses) {
@@ -197,7 +197,7 @@ FaultPlan::onWrite(FaultSite site)
 {
     if (!active())
         return WriteAction::None;
-    std::lock_guard<std::mutex> lock(mutex);
+    LockGuard lock(mutex);
     const u64 op = writeOps[static_cast<u32>(site)]++;
     for (FaultClause &clause : clauses) {
         const bool write_kind =
@@ -225,7 +225,7 @@ FaultPlan::tornFinalStore()
 {
     if (!active())
         return false;
-    std::lock_guard<std::mutex> lock(mutex);
+    LockGuard lock(mutex);
     for (FaultClause &clause : clauses) {
         if (clause.kind != FaultClause::Kind::TornFinal ||
             clause.fired >= clause.times)
@@ -241,7 +241,7 @@ FaultPlan::corruptStoreBlock(u64 block_ordinal, std::string &record)
 {
     if (!active() || record.empty())
         return;
-    std::lock_guard<std::mutex> lock(mutex);
+    LockGuard lock(mutex);
     for (FaultClause &clause : clauses) {
         if (clause.kind != FaultClause::Kind::BitFlip ||
             clause.at != block_ordinal || clause.fired >= clause.times)
@@ -262,7 +262,7 @@ FaultPlan::onJob(u64 index)
     JobDecision decision;
     if (!active())
         return decision;
-    std::lock_guard<std::mutex> lock(mutex);
+    LockGuard lock(mutex);
     for (FaultClause &clause : clauses) {
         if (clause.at != index || clause.fired >= clause.times)
             continue;
@@ -283,6 +283,8 @@ faultPlan()
     static FaultPlan plan;
     static std::once_flag armed;
     std::call_once(armed, [] {
+        // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only, inside
+        // call_once
         if (const char *spec = std::getenv("ICICLE_FAULT")) {
             plan.reset(spec);
             if (plan.active())

@@ -43,10 +43,10 @@
 
 #include <atomic>
 #include <array>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/sync.hh"
 #include "common/types.hh"
 
 namespace icicle
@@ -153,11 +153,17 @@ class FaultPlan
     JobDecision onJob(u64 index);
 
   private:
-    mutable std::mutex mutex;
+    /**
+     * Innermost lock in the global order (lockrank::kFaultPlan): the
+     * hooks fire under the journal callback lock, the serve shard
+     * locks, and the store writer paths, never the other way around.
+     */
+    mutable Mutex mutex{"fault.plan", lockrank::kFaultPlan};
     std::atomic<bool> enabled{false};
-    std::vector<FaultClause> clauses;
-    u64 seed = 0x1c1c1e;
-    std::array<u64, kNumFaultSites> writeOps{};
+    std::vector<FaultClause> clauses ICICLE_GUARDED_BY(mutex);
+    u64 seed ICICLE_GUARDED_BY(mutex) = 0x1c1c1e;
+    std::array<u64, kNumFaultSites> writeOps
+        ICICLE_GUARDED_BY(mutex){};
 };
 
 /**

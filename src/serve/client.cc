@@ -30,14 +30,14 @@ ServeClient::ServeClient(const std::string &socket_path)
     fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (fd < 0)
         fatal("cannot create client socket: ",
-              std::strerror(errno));
+              errnoText(errno));
     if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
                   sizeof(addr)) != 0) {
         const int err = errno;
         ::close(fd);
         fd = -1;
         fatal("cannot connect to icicled at '", socketPath,
-              "': ", std::strerror(err),
+              "': ", errnoText(err),
               " (is the daemon running?)");
     }
 }

@@ -40,6 +40,12 @@ WorkerPool::~WorkerPool()
 void
 WorkerPool::spawn(Worker &worker)
 {
+    // The PR-8 wedged-worker class, made checkable: record a
+    // SYNC-003 violation if this thread holds any icicle lock other
+    // than the dispatch pair across the fork (see pool.hh).
+    lockorder::checkForkSafety(
+        "WorkerPool::spawn",
+        {"serve.shard", "serve.pool.worker"});
     int to_child[2], from_child[2];
     if (::pipe(to_child) != 0 || ::pipe(from_child) != 0)
         fatal("cannot create worker pipes");
@@ -103,6 +109,7 @@ WorkerPool::childLoop(int rfd, int wfd)
     // request arrives — on a single-core host this is the
     // difference between microsecond and millisecond hit latency.
     // nice 15 is a ~40:1 scheduler weight ratio against the daemon.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): single-threaded child
     ::nice(15);
     for (;;) {
         MsgType type;
@@ -146,7 +153,7 @@ WorkerPool::runJob(u32 shard, const JobRequest &request,
                    JobReply &reply, std::string &error)
 {
     Worker &worker = *workers.at(shard % workers.size());
-    std::lock_guard<std::mutex> lock(worker.mutex);
+    LockGuard lock(worker.mutex);
     // Two tries: the second lands on a freshly respawned worker if
     // the first found (or left) a corpse.
     bool timed_out = false;

@@ -37,10 +37,10 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/sync.hh"
 #include "serve/protocol.hh"
 
 namespace icicle
@@ -85,9 +85,18 @@ class WorkerPool
         int toChild = -1;
         int fromChild = -1;
         /** Serializes dispatch on this shard (single-flight). */
-        std::mutex mutex;
+        Mutex mutex{"serve.pool.worker", lockrank::kServeWorker};
     };
 
+    /**
+     * Fork-safety rule, enforced against the lock-order runtime's
+     * held-lock stack: the only icicle locks a thread may hold
+     * across this fork are the dispatch pair (its shard's
+     * single-flight lock and the worker's own mutex, on the respawn
+     * path). Anything else held here — the fault plan, a store's
+     * ioMutex, the journal callback lock — would be inherited locked
+     * by the child and is recorded as a SYNC-003 violation.
+     */
     void spawn(Worker &worker);
     /** SIGKILL (a wedged child never exits on its own), close, wait. */
     void reap(Worker &worker);

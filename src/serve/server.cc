@@ -21,9 +21,12 @@ IcicleServer::IcicleServer(const ServerOptions &options)
     : opts(options), cache(options.cacheDir),
       // The pool constructor forks: it must run before listenFd
       // exists and before run() spawns connection threads.
-      pool(options.shards, options.jobTimeoutMs),
-      shardMutexes(std::make_unique<std::mutex[]>(pool.shards()))
+      pool(options.shards, options.jobTimeoutMs)
 {
+    for (u32 s = 0; s < pool.shards(); s++) {
+        shardMutexes.push_back(std::make_unique<Mutex>(
+            "serve.shard", lockrank::kServeShard));
+    }
     sockaddr_un addr{};
     addr.sun_family = AF_UNIX;
     if (opts.socketPath.empty() ||
@@ -40,7 +43,7 @@ IcicleServer::IcicleServer(const ServerOptions &options)
     // is a corpse we may reclaim.
     const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (probe < 0)
-        fatal("cannot create probe socket: ", std::strerror(errno));
+        fatal("cannot create probe socket: ", errnoText(errno));
     if (::connect(probe, reinterpret_cast<sockaddr *>(&addr),
                   sizeof(addr)) == 0) {
         ::close(probe);
@@ -54,20 +57,20 @@ IcicleServer::IcicleServer(const ServerOptions &options)
         std::filesystem::remove(opts.socketPath, ec);
     } else if (probe_errno != ENOENT) {
         fatal("cannot probe existing socket '", opts.socketPath,
-              "': ", std::strerror(probe_errno));
+              "': ", errnoText(probe_errno));
     }
 
     listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (listenFd < 0)
         fatal("cannot create server socket: ",
-              std::strerror(errno));
+              errnoText(errno));
     if (::bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
                sizeof(addr)) != 0)
         fatal("cannot bind '", opts.socketPath,
-              "': ", std::strerror(errno));
+              "': ", errnoText(errno));
     if (::listen(listenFd, 128) != 0)
         fatal("cannot listen on '", opts.socketPath,
-              "': ", std::strerror(errno));
+              "': ", errnoText(errno));
 }
 
 IcicleServer::~IcicleServer()
@@ -83,8 +86,11 @@ IcicleServer::~IcicleServer()
 void
 IcicleServer::waitForClients()
 {
-    std::unique_lock<std::mutex> lock(connMutex);
-    connCv.wait(lock, [this] { return liveClients == 0; });
+    // An explicit wait loop, not a predicate lambda: the analysis
+    // can see `liveClients` is read with connMutex held here.
+    UniqueLock lock(connMutex);
+    while (liveClients != 0)
+        connCv.wait(lock);
 }
 
 void
@@ -108,7 +114,7 @@ IcicleServer::run()
             break;
         }
         {
-            std::lock_guard<std::mutex> lock(connMutex);
+            LockGuard lock(connMutex);
             liveClients++;
         }
         // Detached: a joinable-but-finished thread keeps its stack
@@ -118,9 +124,9 @@ IcicleServer::run()
         // touch of the server.
         std::thread([this, cfd] {
             handleClient(cfd);
-            std::lock_guard<std::mutex> lock(connMutex);
+            LockGuard lock(connMutex);
             liveClients--;
-            connCv.notify_all();
+            connCv.notifyAll();
         }).detach();
     }
     waitForClients();
@@ -192,7 +198,7 @@ IcicleServer::pointResult(const SweepPoint &point, u64 seed,
         // Miss path: serialize on the shard, then re-check — a
         // second requester blocked here finds the entry the first
         // one published and never re-simulates (single-flight).
-        std::lock_guard<std::mutex> lock(shardMutexes[shard]);
+        LockGuard lock(*shardMutexes[shard]);
         if (cache.lookup(key, result)) {
             hit = true;
         } else {
@@ -283,18 +289,11 @@ IcicleServer::handleSweep(int fd, const std::string &payload)
             return;
         }
         results[i].index = i;
-        stats.points.fetch_add(1, std::memory_order_relaxed);
-        if (hit) {
+        if (hit)
             reply.cacheHits++;
-            stats.cacheHits.fetch_add(1,
-                                      std::memory_order_relaxed);
-        } else {
+        else
             reply.simulated++;
-            stats.cacheMisses.fetch_add(1,
-                                        std::memory_order_relaxed);
-            stats.simulated.fetch_add(1,
-                                      std::memory_order_relaxed);
-        }
+        stats.countPoint(hit);
         reply.allOk &= results[i].status == SweepStatus::Ok;
     }
 
@@ -313,7 +312,7 @@ IcicleServer::handleSweep(int fd, const std::string &payload)
 StoreReader &
 IcicleServer::readerFor(const std::string &path)
 {
-    std::lock_guard<std::mutex> lock(readersMutex);
+    LockGuard lock(readersMutex);
     auto it = readers.find(path);
     if (it == readers.end()) {
         it = readers
@@ -350,15 +349,16 @@ IcicleServer::handleWindow(int fd, const std::string &payload)
 std::string
 IcicleServer::statsText()
 {
+    const ServeStats::Snapshot snap = stats.snapshot();
     std::ostringstream os;
-    os << "requests: " << stats.requests.load() << "\n"
-       << "sweep_requests: " << stats.sweepRequests.load() << "\n"
-       << "window_requests: " << stats.windowRequests.load() << "\n"
-       << "points: " << stats.points.load() << "\n"
-       << "cache_hits: " << stats.cacheHits.load() << "\n"
-       << "cache_misses: " << stats.cacheMisses.load() << "\n"
-       << "jobs_simulated: " << stats.simulated.load() << "\n"
-       << "errors: " << stats.errors.load() << "\n"
+    os << "requests: " << snap.requests << "\n"
+       << "sweep_requests: " << snap.sweepRequests << "\n"
+       << "window_requests: " << snap.windowRequests << "\n"
+       << "points: " << snap.points << "\n"
+       << "cache_hits: " << snap.cacheHits << "\n"
+       << "cache_misses: " << snap.cacheMisses << "\n"
+       << "jobs_simulated: " << snap.simulated << "\n"
+       << "errors: " << snap.errors << "\n"
        << "worker_restarts: " << pool.restarts() << "\n"
        << "shards: " << pool.shards() << "\n"
        << "cache_entries: " << cache.entriesOnDisk() << "\n";

@@ -27,12 +27,12 @@
 #define ICICLE_SERVE_SERVER_HH
 
 #include <atomic>
-#include <condition_variable>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
+#include <vector>
 
+#include "common/sync.hh"
 #include "serve/cache.hh"
 #include "serve/pool.hh"
 #include "serve/protocol.hh"
@@ -59,6 +59,89 @@ struct ServerOptions
      * child degrades to one retried job instead of a dead shard.
      */
     u32 jobTimeoutMs = 300'000;
+};
+
+/**
+ * Monotonic service counters, updated lock-free from every
+ * connection thread.
+ *
+ * Snapshot semantics are a documented torn-snapshot contract, not a
+ * consistent read — taking a lock around eight counters on every
+ * request would serialize the whole serving surface to count it:
+ *
+ *  - Each counter individually is exact and monotonic: a snapshot
+ *    never observes a counter going backwards, and once the service
+ *    is quiescent a snapshot is exact.
+ *  - Counters are NOT mutually consistent mid-flight, with one
+ *    pinned exception: `points` is incremented with release order
+ *    *after* its hit/miss accounting (countPoint), and snapshot()
+ *    reads `points` first with acquire order — so every snapshot
+ *    satisfies cacheHits + cacheMisses >= points. Any other
+ *    cross-counter relation (e.g. cacheMisses == simulated) holds
+ *    only at quiescence.
+ *
+ * test_serve's ServeStats suite pins both guarantees under a
+ * multi-threaded hammer.
+ */
+struct ServeStats
+{
+    std::atomic<u64> requests{0};
+    std::atomic<u64> sweepRequests{0};
+    std::atomic<u64> windowRequests{0};
+    std::atomic<u64> points{0};
+    std::atomic<u64> cacheHits{0};
+    std::atomic<u64> cacheMisses{0};
+    std::atomic<u64> simulated{0};
+    std::atomic<u64> errors{0};
+
+    /** Plain-integer copy taken by snapshot(). */
+    struct Snapshot
+    {
+        u64 requests = 0;
+        u64 sweepRequests = 0;
+        u64 windowRequests = 0;
+        u64 points = 0;
+        u64 cacheHits = 0;
+        u64 cacheMisses = 0;
+        u64 simulated = 0;
+        u64 errors = 0;
+    };
+
+    /**
+     * Account one served point. The hit/miss counters land before
+     * `points` (release): see the snapshot contract above.
+     */
+    void
+    countPoint(bool hit)
+    {
+        if (hit) {
+            cacheHits.fetch_add(1, std::memory_order_relaxed);
+        } else {
+            cacheMisses.fetch_add(1, std::memory_order_relaxed);
+            simulated.fetch_add(1, std::memory_order_relaxed);
+        }
+        points.fetch_add(1, std::memory_order_release);
+    }
+
+    /** Torn-snapshot read honouring the contract above. */
+    Snapshot
+    snapshot() const
+    {
+        Snapshot s;
+        // `points` first, acquire: the accounting of every counted
+        // point happened-before the loads below.
+        s.points = points.load(std::memory_order_acquire);
+        s.requests = requests.load(std::memory_order_relaxed);
+        s.sweepRequests =
+            sweepRequests.load(std::memory_order_relaxed);
+        s.windowRequests =
+            windowRequests.load(std::memory_order_relaxed);
+        s.cacheHits = cacheHits.load(std::memory_order_relaxed);
+        s.cacheMisses = cacheMisses.load(std::memory_order_relaxed);
+        s.simulated = simulated.load(std::memory_order_relaxed);
+        s.errors = errors.load(std::memory_order_relaxed);
+        return s;
+    }
 };
 
 class IcicleServer
@@ -107,9 +190,13 @@ class IcicleServer
      * One mutex per shard, taken around the miss path's re-check +
      * dispatch + publish: concurrent requests for one key serialize
      * here, and all but the first find the published entry instead
-     * of re-simulating (single-flight).
+     * of re-simulating (single-flight). One lock class
+     * ("serve.shard"): instances of the same role share a node in
+     * the lock-order graph, and the per-shard state they guard (the
+     * cache entry and worker pipe of a dynamic shard index) is
+     * outside what static capability analysis can express.
      */
-    std::unique_ptr<std::mutex[]> shardMutexes;
+    std::vector<std::unique_ptr<Mutex>> shardMutexes;
     int listenFd = -1;
     std::atomic<bool> stopping{false};
 
@@ -120,25 +207,18 @@ class IcicleServer
      * thread decrements and notifies as its last touch of `this`,
      * and shutdown waits for zero before tearing anything down.
      */
-    std::mutex connMutex;
-    std::condition_variable connCv;
-    u64 liveClients = 0;
+    Mutex connMutex{"serve.conn", lockrank::kServeConn};
+    CondVar connCv;
+    u64 liveClients ICICLE_GUARDED_BY(connMutex) = 0;
 
-    /** One shared reader per queried store (thread-safe queries). */
-    std::mutex readersMutex;
-    std::map<std::string, std::unique_ptr<StoreReader>> readers;
+    /** One shared reader per queried store (thread-safe queries).
+     * The map is guarded; the readers themselves are internally
+     * thread-safe and are used after readersMutex is released. */
+    Mutex readersMutex{"serve.readers", lockrank::kServeReaders};
+    std::map<std::string, std::unique_ptr<StoreReader>> readers
+        ICICLE_GUARDED_BY(readersMutex);
 
-    struct Stats
-    {
-        std::atomic<u64> requests{0};
-        std::atomic<u64> sweepRequests{0};
-        std::atomic<u64> windowRequests{0};
-        std::atomic<u64> points{0};
-        std::atomic<u64> cacheHits{0};
-        std::atomic<u64> cacheMisses{0};
-        std::atomic<u64> simulated{0};
-        std::atomic<u64> errors{0};
-    } stats;
+    ServeStats stats;
 };
 
 } // namespace icicle

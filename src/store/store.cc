@@ -786,7 +786,7 @@ StoreReader::decodeBlock(u32 block_index) const
     // shared ifstream's seek+read must not interleave across
     // threads. Callers receive a shared_ptr, so a block one thread
     // is still iterating survives another thread's eviction.
-    std::lock_guard<std::mutex> lock(ioMutex);
+    LockGuard lock(ioMutex);
     if (cache && cache->valid && cache->blockIndex == block_index)
         return cache;
 
@@ -1158,7 +1158,7 @@ StoreReader::overlapUpperBound(u32 core_width, u32 pad) const
 void
 StoreReader::verify() const
 {
-    std::lock_guard<std::mutex> lock(ioMutex);
+    LockGuard lock(ioMutex);
     std::vector<unsigned char> raw;
     for (u32 b = 0; b < blocks.size(); b++) {
         const BlockMeta &block = blocks[b];

@@ -172,7 +172,7 @@ SweepJournal::create(const std::string &path, u32 grid_hash,
     fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
     if (fd < 0)
         fatal("cannot create sweep journal '", path, "': ",
-              std::strerror(errno));
+              errnoText(errno));
     std::string header;
     wire::put32(header, kJournalMagic);
     wire::put32(header, kJournalVersion);
@@ -181,7 +181,7 @@ SweepJournal::create(const std::string &path, u32 grid_hash,
     if (!writeAll(fd, header.data(), header.size()) ||
         ::fsync(fd) != 0)
         fatal("cannot write sweep journal '", path, "': ",
-              std::strerror(errno));
+              errnoText(errno));
 }
 
 std::vector<SweepResult>
@@ -199,7 +199,7 @@ SweepJournal::resume(const std::string &path, u32 grid_hash,
             return {};
         }
         fatal("cannot open sweep journal '", path, "': ",
-              std::strerror(errno));
+              errnoText(errno));
     }
     std::string raw;
     char chunk[65536];
@@ -210,7 +210,7 @@ SweepJournal::resume(const std::string &path, u32 grid_hash,
                 continue;
             ::close(rfd);
             fatal("cannot read sweep journal '", path, "': ",
-                  std::strerror(errno));
+                  errnoText(errno));
         }
         if (n == 0)
             break;
@@ -272,13 +272,13 @@ SweepJournal::resume(const std::string &path, u32 grid_hash,
     fd = ::open(path.c_str(), O_WRONLY, 0644);
     if (fd < 0)
         fatal("cannot reopen sweep journal '", path, "': ",
-              std::strerror(errno));
+              errnoText(errno));
     if (::ftruncate(fd, static_cast<off_t>(last_good)) != 0)
         fatal("cannot truncate sweep journal '", path, "': ",
-              std::strerror(errno));
+              errnoText(errno));
     if (::lseek(fd, 0, SEEK_END) < 0)
         fatal("cannot seek sweep journal '", path, "': ",
-              std::strerror(errno));
+              errnoText(errno));
     return results;
 }
 
@@ -304,7 +304,7 @@ SweepJournal::append(const SweepResult &result)
       case FaultPlan::WriteAction::Enospc:
         fatal("sweep journal '", filePath,
               "': injected write failure: ",
-              std::strerror(ENOSPC));
+              errnoText(ENOSPC));
       case FaultPlan::WriteAction::Kill:
         // A crash mid-append: half a record lands, resume drops it.
         writeAll(fd, record.data(), record.size() / 2);
@@ -315,7 +315,7 @@ SweepJournal::append(const SweepResult &result)
     if (!writeAll(fd, record.data(), record.size()) ||
         ::fsync(fd) != 0)
         fatal("cannot append to sweep journal '", filePath, "': ",
-              std::strerror(errno));
+              errnoText(errno));
 }
 
 } // namespace icicle

@@ -3,12 +3,12 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <mutex>
 #include <sstream>
 #include <thread>
 
 #include "boom/boom.hh"
 #include "common/logging.hh"
+#include "common/sync.hh"
 #include "core/session.hh"
 #include "fault/fault.hh"
 #include "rocket/rocket.hh"
@@ -323,7 +323,7 @@ runSweepJobs(const std::vector<SweepJob> &jobs,
     }
 
     std::atomic<u64> cursor{0};
-    std::mutex callback_mutex;
+    Mutex callback_mutex("sweep.callback", lockrank::kSweepCallback);
 
     auto work = [&] {
         for (;;) {
@@ -340,7 +340,7 @@ runSweepJobs(const std::vector<SweepJob> &jobs,
             // Distinct slots: no lock needed for the store itself.
             results[index] = std::move(result);
             if (journal.isOpen() || options.onResult) {
-                std::lock_guard<std::mutex> lock(callback_mutex);
+                LockGuard lock(callback_mutex);
                 // Journal first: a record implies the row (and its
                 // trace store, already renamed into place) is
                 // durable before the user sees it reported.

@@ -20,7 +20,9 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "common/lockorder.hh"
 #include "common/logging.hh"
+#include "common/sync.hh"
 #include "fault/fault.hh"
 #include "serve/cache.hh"
 #include "serve/client.hh"
@@ -477,6 +479,105 @@ TEST(ServeEndToEnd, CachedRepliesAreByteIdentical)
         client.shutdown();
     }
     daemon.join();
+}
+
+// ---- ServeStats torn-snapshot contract ------------------------------
+
+/**
+ * The hammer behind server.hh's documented contract: counters are
+ * individually monotonic, every mid-flight snapshot satisfies
+ * cacheHits + cacheMisses >= points, and a quiescent snapshot is
+ * exact. A failed pin here means someone weakened the release/acquire
+ * pairing in countPoint()/snapshot().
+ */
+TEST(ServeStats, SnapshotsAreMonotonicAndPinned)
+{
+    ServeStats stats;
+    constexpr u64 kThreads = 4;
+    constexpr u64 kPerThread = 20'000;
+    std::vector<std::thread> writers;
+    for (u64 t = 0; t < kThreads; t++) {
+        writers.emplace_back([&stats, t] {
+            for (u64 i = 0; i < kPerThread; i++) {
+                stats.requests.fetch_add(
+                    1, std::memory_order_relaxed);
+                stats.countPoint(/*hit=*/(i + t) % 2 == 0);
+            }
+        });
+    }
+
+    ServeStats::Snapshot last;
+    for (int probe = 0; probe < 2'000; probe++) {
+        const ServeStats::Snapshot snap = stats.snapshot();
+        // Individually monotonic: no counter ever goes backwards.
+        EXPECT_GE(snap.points, last.points);
+        EXPECT_GE(snap.cacheHits, last.cacheHits);
+        EXPECT_GE(snap.cacheMisses, last.cacheMisses);
+        EXPECT_GE(snap.requests, last.requests);
+        // The pinned cross-counter relation, valid mid-flight.
+        EXPECT_GE(snap.cacheHits + snap.cacheMisses, snap.points);
+        last = snap;
+    }
+    for (std::thread &writer : writers)
+        writer.join();
+
+    // Quiescent: exact.
+    const ServeStats::Snapshot done = stats.snapshot();
+    EXPECT_EQ(done.points, kThreads * kPerThread);
+    EXPECT_EQ(done.requests, kThreads * kPerThread);
+    EXPECT_EQ(done.cacheHits + done.cacheMisses, done.points);
+    EXPECT_EQ(done.cacheHits, kThreads * kPerThread / 2);
+    EXPECT_EQ(done.simulated, done.cacheMisses);
+}
+
+// ---- fork safety -----------------------------------------------------
+
+/**
+ * The PR-8 wedged-worker class, pinned as a checkable rule: forking a
+ * worker while the forking thread holds any icicle lock outside the
+ * dispatch pair hands the child a mutex nobody will ever unlock.
+ * WorkerPool::spawn() consults the lock-order runtime's held-lock
+ * stack; holding an unrelated lock across pool construction must
+ * record a SYNC-003 violation, and ordinary pool use must not.
+ */
+TEST(ServePool, ForkWhileHoldingForeignLockIsViolation)
+{
+    lockorder::setLockOrderEnabled(true);
+    lockorder::resetLockOrder();
+    const u64 before = lockorder::forkViolations();
+    {
+        // Normal construction + a round of jobs: fork-safe.
+        WorkerPool pool(1);
+        JobRequest request;
+        request.point.core = "rocket";
+        request.point.workload = "vvadd";
+        request.point.counterArch = CounterArch::AddWires;
+        request.point.maxCycles = 50'000;
+        JobReply reply;
+        std::string error;
+        ASSERT_TRUE(pool.runJob(0, request, reply, error)) << error;
+        EXPECT_TRUE(reply.ok);
+    }
+    EXPECT_EQ(lockorder::forkViolations(), before);
+
+    {
+        Mutex unrelated("test.serve.fork.unrelated",
+                        lockrank::kTestBase);
+        LockGuard held(unrelated);
+        WorkerPool pool(1);
+    }
+    EXPECT_EQ(lockorder::forkViolations(), before + 1);
+    const lockorder::LockOrderReport report =
+        lockorder::lockOrderReport();
+    bool recorded = false;
+    for (const auto &violation : report.violations) {
+        recorded |= violation.kind == "fork-held-lock" &&
+                    violation.message.find(
+                        "test.serve.fork.unrelated") !=
+                        std::string::npos;
+    }
+    EXPECT_TRUE(recorded);
+    lockorder::resetLockOrder();
 }
 
 } // namespace
