@@ -34,6 +34,7 @@
 #ifndef ICICLE_COMMON_SYNC_HH
 #define ICICLE_COMMON_SYNC_HH
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -90,6 +91,8 @@ namespace icicle
  * Outermost (acquired first) to innermost:
  *
  *   kServeConn     icicled connection-liveness count/condvar
+ *   kServeAdmission icicled admission gate (per-shard queue depth,
+ *                  taken by connection threads before shard locks)
  *   kServeShard    per-shard single-flight dispatch (cache miss path)
  *   kServeWorker   per-worker pipe dispatch (under its shard's lock)
  *   kSweepCallback sweep engine journal+callback serialization
@@ -101,6 +104,7 @@ namespace icicle
 namespace lockrank
 {
 constexpr u32 kServeConn = 10;
+constexpr u32 kServeAdmission = 15;
 constexpr u32 kServeShard = 20;
 constexpr u32 kServeWorker = 30;
 constexpr u32 kSweepCallback = 40;
@@ -240,6 +244,20 @@ class CondVar
     CondVar &operator=(const CondVar &) = delete;
 
     void wait(UniqueLock &lock) { inner.wait(lock.inner); }
+
+    /**
+     * Bounded wait; false when the timeout expired first. Callers
+     * re-check their guarded predicate either way (same no-predicate
+     * rule as wait()).
+     */
+    bool
+    waitFor(UniqueLock &lock, u32 timeoutMs)
+    {
+        return inner.wait_for(lock.inner,
+                              std::chrono::milliseconds(timeoutMs)) ==
+               std::cv_status::no_timeout;
+    }
+
     void notifyOne() { inner.notify_one(); }
     void notifyAll() { inner.notify_all(); }
 

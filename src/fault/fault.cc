@@ -17,6 +17,11 @@ faultSiteName(FaultSite site)
       case FaultSite::TraceWrite: return "trace";
       case FaultSite::JournalWrite: return "journal";
       case FaultSite::ReportWrite: return "report";
+      case FaultSite::ConnAccept: return "accept";
+      case FaultSite::ConnReply: return "reply";
+      case FaultSite::ConnRead: return "read";
+      case FaultSite::ConnWrite: return "write";
+      case FaultSite::WorkerDispatch: return "worker";
       default: return "?";
     }
 }
@@ -35,6 +40,10 @@ clauseKindName(FaultClause::Kind kind)
       case FaultClause::Kind::BitFlip: return "bitflip";
       case FaultClause::Kind::JobFail: return "fail";
       case FaultClause::Kind::JobHang: return "hang";
+      case FaultClause::Kind::ConnReset: return "conn-reset";
+      case FaultClause::Kind::Stall: return "stall";
+      case FaultClause::Kind::TornFrame: return "torn-frame";
+      case FaultClause::Kind::WorkerKill: return "kill";
       default: return "?";
     }
 }
@@ -94,15 +103,19 @@ FaultPlan::reset(const std::string &spec)
         const std::string kind_name = clause.substr(0, at_pos);
         std::string rest = clause.substr(at_pos + 1);
 
-        // Split off =TIMES then #N from the tail.
+        // Split off =TIMES (for stall clauses: =MS) then #N from the
+        // tail.
         u64 times = 1;
+        bool has_eq = false;
         const auto eq_pos = rest.find('=');
         if (eq_pos != std::string::npos) {
             times = parseNumber(rest.substr(eq_pos + 1), clause);
             rest = rest.substr(0, eq_pos);
+            has_eq = true;
             if (times == 0)
-                fatal("fault spec clause '", clause,
-                      "': zero repeat count");
+                fatal("fault spec clause '", clause, "': zero ",
+                      kind_name == "stall" ? "stall duration"
+                                           : "repeat count");
         }
         u64 at = 0;
         bool has_at = false;
@@ -139,6 +152,54 @@ FaultPlan::reset(const std::string &spec)
                 fatal("fault spec clause '", clause,
                       "': missing #B block ordinal");
             parsed_clause.kind = FaultClause::Kind::BitFlip;
+        } else if (kind_name == "conn-reset") {
+            if (rest == "accept") {
+                parsed_clause.site = FaultSite::ConnAccept;
+            } else if (rest == "reply") {
+                parsed_clause.site = FaultSite::ConnReply;
+            } else {
+                fatal("fault spec clause '", clause,
+                      "': conn-reset targets accept or reply");
+            }
+            if (!has_at)
+                fatal("fault spec clause '", clause,
+                      "': missing #K connection ordinal");
+            parsed_clause.kind = FaultClause::Kind::ConnReset;
+        } else if (kind_name == "stall") {
+            if (rest == "read") {
+                parsed_clause.site = FaultSite::ConnRead;
+            } else if (rest == "write") {
+                parsed_clause.site = FaultSite::ConnWrite;
+            } else {
+                fatal("fault spec clause '", clause,
+                      "': stall targets read or write");
+            }
+            if (!has_at)
+                fatal("fault spec clause '", clause,
+                      "': missing #K op ordinal");
+            if (!has_eq)
+                fatal("fault spec clause '", clause,
+                      "': stall needs =MS milliseconds");
+            // For stall, the =N tail is a duration, not a repeat
+            // count; the clause fires once.
+            parsed_clause.stallMs = times;
+            parsed_clause.times = 1;
+            parsed_clause.kind = FaultClause::Kind::Stall;
+        } else if (kind_name == "torn-frame") {
+            if (rest != "reply")
+                fatal("fault spec clause '", clause,
+                      "': torn-frame targets the reply site");
+            if (!has_at)
+                fatal("fault spec clause '", clause,
+                      "': missing #K reply ordinal");
+            parsed_clause.site = FaultSite::ConnReply;
+            parsed_clause.kind = FaultClause::Kind::TornFrame;
+        } else if (kind_name == "kill" && rest == "worker") {
+            if (!has_at)
+                fatal("fault spec clause '", clause,
+                      "': missing #K dispatch ordinal");
+            parsed_clause.site = FaultSite::WorkerDispatch;
+            parsed_clause.kind = FaultClause::Kind::WorkerKill;
         } else if (kind_name == "short-write" || kind_name == "enospc" ||
                    kind_name == "kill") {
             parsed_clause.site = parseSite(rest, clause);
@@ -182,11 +243,16 @@ FaultPlan::describe() const
           case FaultClause::Kind::BitFlip:
             os << "@store#" << clause.at;
             break;
+          case FaultClause::Kind::Stall:
+            os << "@" << faultSiteName(clause.site) << "#"
+               << clause.at << "=" << clause.stallMs;
+            break;
           default:
             os << "@" << faultSiteName(clause.site) << "#"
                << clause.at;
         }
-        if (clause.times != 1)
+        if (clause.times != 1 &&
+            clause.kind != FaultClause::Kind::Stall)
             os << "=" << clause.times;
     }
     return os.str();
@@ -275,6 +341,104 @@ FaultPlan::onJob(u64 index)
         }
     }
     return decision;
+}
+
+bool
+FaultPlan::onAccept()
+{
+    if (!active())
+        return false;
+    LockGuard lock(mutex);
+    const u64 op =
+        writeOps[static_cast<u32>(FaultSite::ConnAccept)]++;
+    for (FaultClause &clause : clauses) {
+        if (clause.kind != FaultClause::Kind::ConnReset ||
+            clause.site != FaultSite::ConnAccept ||
+            clause.at != op || clause.fired >= clause.times)
+            continue;
+        clause.fired++;
+        return true;
+    }
+    return false;
+}
+
+FaultPlan::ReplyAction
+FaultPlan::onReply()
+{
+    if (!active())
+        return ReplyAction::None;
+    LockGuard lock(mutex);
+    // conn-reset@reply and torn-frame@reply consume the same reply
+    // ordinal, so one schedule orders them deterministically.
+    const u64 op = writeOps[static_cast<u32>(FaultSite::ConnReply)]++;
+    for (FaultClause &clause : clauses) {
+        const bool reply_kind =
+            (clause.kind == FaultClause::Kind::ConnReset &&
+             clause.site == FaultSite::ConnReply) ||
+            clause.kind == FaultClause::Kind::TornFrame;
+        if (!reply_kind || clause.at != op ||
+            clause.fired >= clause.times)
+            continue;
+        clause.fired++;
+        return clause.kind == FaultClause::Kind::TornFrame
+                   ? ReplyAction::Torn
+                   : ReplyAction::Reset;
+    }
+    return ReplyAction::None;
+}
+
+u64
+FaultPlan::onConnRead()
+{
+    if (!active())
+        return 0;
+    LockGuard lock(mutex);
+    const u64 op = writeOps[static_cast<u32>(FaultSite::ConnRead)]++;
+    for (FaultClause &clause : clauses) {
+        if (clause.kind != FaultClause::Kind::Stall ||
+            clause.site != FaultSite::ConnRead || clause.at != op ||
+            clause.fired >= clause.times)
+            continue;
+        clause.fired++;
+        return clause.stallMs;
+    }
+    return 0;
+}
+
+u64
+FaultPlan::onConnWrite()
+{
+    if (!active())
+        return 0;
+    LockGuard lock(mutex);
+    const u64 op = writeOps[static_cast<u32>(FaultSite::ConnWrite)]++;
+    for (FaultClause &clause : clauses) {
+        if (clause.kind != FaultClause::Kind::Stall ||
+            clause.site != FaultSite::ConnWrite || clause.at != op ||
+            clause.fired >= clause.times)
+            continue;
+        clause.fired++;
+        return clause.stallMs;
+    }
+    return 0;
+}
+
+bool
+FaultPlan::onWorkerDispatch()
+{
+    if (!active())
+        return false;
+    LockGuard lock(mutex);
+    const u64 op =
+        writeOps[static_cast<u32>(FaultSite::WorkerDispatch)]++;
+    for (FaultClause &clause : clauses) {
+        if (clause.kind != FaultClause::Kind::WorkerKill ||
+            clause.at != op || clause.fired >= clause.times)
+            continue;
+        clause.fired++;
+        return true;
+    }
+    return false;
 }
 
 FaultPlan &

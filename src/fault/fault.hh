@@ -28,11 +28,27 @@
  *                          first TIMES attempts (default 1)
  *   hang@job#J             sweep job with grid index J hangs until
  *                          its deadline (bounded when no timeout)
+ *   conn-reset@accept#K    K-th accepted connection is reset (closed
+ *                          with no reply) as soon as it is admitted
+ *   conn-reset@reply#K     K-th server reply is dropped and the
+ *                          connection reset instead of answered
+ *   stall@read#K=MS        K-th server-side frame read stalls MS
+ *                          milliseconds before the bytes are read
+ *   stall@write#K=MS       K-th server reply stalls MS milliseconds
+ *                          before it is written
+ *   torn-frame@reply#K     K-th server reply writes only a prefix of
+ *                          the frame, then the connection is reset
+ *   kill@worker#K          K-th job dispatched to the worker pool
+ *                          SIGKILLs the worker before it can answer
  *
  * Sites: store (.icst writes), trace (.trc writes), journal (sweep
- * journal appends), report (sweep/salvage report output). Write-op
- * ordinals are global per site; they are reproducible whenever the
- * writer order is (single-worker sweeps, single captures). Job
+ * journal appends), report (sweep/salvage report output), accept /
+ * reply / read / write (icicled connection handling), worker (job
+ * dispatch to the serve pool). Write-op ordinals are global per
+ * site; they are reproducible whenever the writer order is
+ * (single-worker sweeps, single captures, single-client serving).
+ * conn-reset@reply and torn-frame@reply share the reply ordinal
+ * counter, so one schedule interleaves them deterministically. Job
  * clauses key on the grid index and are reproducible at any worker
  * count. Each clause fires a bounded number of times, so a plan
  * describes a finite, replayable failure schedule.
@@ -52,16 +68,21 @@
 namespace icicle
 {
 
-/** Write-path hook sites a fault clause can target. */
+/** Write-path and serve-path hook sites a fault clause can target. */
 enum class FaultSite : u8
 {
     StoreWrite,
     TraceWrite,
     JournalWrite,
     ReportWrite,
+    ConnAccept,     ///< icicled accept loop, per admitted connection
+    ConnReply,      ///< icicled reply writes (reset + torn share it)
+    ConnRead,       ///< icicled per-connection frame reads
+    ConnWrite,      ///< icicled reply writes targeted by stall
+    WorkerDispatch, ///< serve-pool job dispatch (parent side)
 };
 
-constexpr u32 kNumFaultSites = 4;
+constexpr u32 kNumFaultSites = 9;
 
 const char *faultSiteName(FaultSite site);
 
@@ -77,6 +98,10 @@ struct FaultClause
         BitFlip,
         JobFail,
         JobHang,
+        ConnReset,
+        Stall,
+        TornFrame,
+        WorkerKill,
     };
 
     Kind kind;
@@ -87,6 +112,8 @@ struct FaultClause
     u64 times = 1;
     /** Times fired so far (guarded by the plan mutex). */
     u64 fired = 0;
+    /** Stall clauses only: milliseconds to sleep. */
+    u64 stallMs = 0;
 };
 
 /**
@@ -151,6 +178,43 @@ class FaultPlan
 
     /** Consume one attempt of sweep job `index`. */
     JobDecision onJob(u64 index);
+
+    // ---- serve-path hooks ----------------------------------------
+
+    /** What a server reply write should do. */
+    enum class ReplyAction : u8
+    {
+        None,  ///< reply normally
+        Reset, ///< drop the reply, close the connection
+        Torn,  ///< write a prefix of the frame, then close
+    };
+
+    /**
+     * Consume one accepted connection; true when the plan wants it
+     * reset (closed with no reply) on admission.
+     */
+    bool onAccept();
+
+    /**
+     * Consume one server reply (conn-reset@reply and
+     * torn-frame@reply share the ConnReply ordinal counter).
+     */
+    ReplyAction onReply();
+
+    /**
+     * Consume one server-side frame read; returns milliseconds to
+     * stall before reading (0 = no stall).
+     */
+    u64 onConnRead();
+
+    /** Consume one server reply write; ms to stall first. */
+    u64 onConnWrite();
+
+    /**
+     * Consume one parent-side job dispatch; true when the plan wants
+     * the worker SIGKILLed before it can answer.
+     */
+    bool onWorkerDispatch();
 
   private:
     /**

@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include "common/logging.hh"
+#include "fault/fault.hh"
 
 namespace icicle
 {
@@ -162,6 +163,12 @@ WorkerPool::runJob(u32 shard, const JobRequest &request,
             spawn(worker);
             restartCount.fetch_add(1, std::memory_order_relaxed);
         }
+        // Injected worker crash (kill@worker#K): SIGKILL the child
+        // at dispatch, parent-side, so the fault works even though
+        // workers forked before the plan was armed. The dispatch
+        // below then finds a corpse and the respawn path recovers.
+        if (faultPlan().onWorkerDispatch() && worker.pid > 0)
+            ::kill(worker.pid, SIGKILL);
         if (!writeFrame(worker.toChild, MsgType::JobRequest,
                         encodeJobRequest(request))) {
             reap(worker);

@@ -1,5 +1,6 @@
 #include "serve/protocol.hh"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -123,12 +124,13 @@ msgTypeName(MsgType type)
       case MsgType::Error: return "error";
       case MsgType::JobRequest: return "job-request";
       case MsgType::JobResponse: return "job-response";
+      case MsgType::Overloaded: return "overloaded";
     }
     return "unknown";
 }
 
-bool
-writeFrame(int fd, MsgType type, const std::string &payload)
+std::string
+encodeFrame(MsgType type, const std::string &payload)
 {
     std::string frame;
     wire::put32(frame, kServeMagic);
@@ -136,7 +138,20 @@ writeFrame(int fd, MsgType type, const std::string &payload)
     wire::put32(frame, static_cast<u32>(payload.size()));
     frame += payload;
     wire::put32(frame, crc32(payload.data(), payload.size()));
+    return frame;
+}
+
+bool
+writeFrame(int fd, MsgType type, const std::string &payload)
+{
+    const std::string frame = encodeFrame(type, payload);
     return writeAll(fd, frame.data(), frame.size());
+}
+
+bool
+writeRaw(int fd, const std::string &data, size_t bytes)
+{
+    return writeAll(fd, data.data(), std::min(bytes, data.size()));
 }
 
 FrameRead
@@ -173,7 +188,7 @@ readFrameDeadline(int fd, MsgType &type, std::string &payload,
         return FrameRead::Error;
     const u8 raw_type = header[4];
     if (raw_type < static_cast<u8>(MsgType::Ping) ||
-        raw_type > static_cast<u8>(MsgType::JobResponse))
+        raw_type > static_cast<u8>(MsgType::Overloaded))
         return FrameRead::Error;
 
     std::vector<unsigned char> body(static_cast<size_t>(length) + 4);
@@ -380,6 +395,29 @@ decodeJobReply(const std::string &payload, JobReply &reply)
     return decodeSweepResult(
         reinterpret_cast<const unsigned char *>(result.data()),
         result.size(), 1, reply.result);
+}
+
+std::string
+encodeOverloadNotice(const OverloadNotice &notice)
+{
+    using namespace wire;
+    std::string p;
+    put32(p, notice.retryAfterMs);
+    putStr(p, notice.reason);
+    return p;
+}
+
+bool
+decodeOverloadNotice(const std::string &payload,
+                     OverloadNotice &notice)
+{
+    wire::Cursor cur{
+        reinterpret_cast<const unsigned char *>(payload.data()),
+        payload.size()};
+    notice = OverloadNotice{};
+    notice.retryAfterMs = cur.get32();
+    notice.reason = cur.getStr();
+    return cur.atEnd();
 }
 
 } // namespace icicle

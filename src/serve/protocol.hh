@@ -60,6 +60,12 @@ enum class MsgType : u8
     JobRequest = 12,
     /** Pipe-only: worker -> daemon job outcome. */
     JobResponse = 13,
+    /**
+     * Response-only: the daemon shed this request at the admission
+     * gate. Payload carries a retry-after-ms hint; the request was
+     * not executed, so retrying it is always safe.
+     */
+    Overloaded = 14,
 };
 
 const char *msgTypeName(MsgType type);
@@ -73,8 +79,17 @@ enum class FrameRead : u8
     Timeout, ///< deadline expired (readFrameDeadline only)
 };
 
+/**
+ * Render one complete frame (header + payload + CRC) to a buffer.
+ * Exposed so fault injection can write deliberate frame prefixes.
+ */
+std::string encodeFrame(MsgType type, const std::string &payload);
+
 /** Write one frame; false on any write error (e.g. EPIPE). */
 bool writeFrame(int fd, MsgType type, const std::string &payload);
+
+/** Write the first `bytes` bytes of raw data; false on error. */
+bool writeRaw(int fd, const std::string &data, size_t bytes);
 
 /** Read one full frame, validating magic, bounds, and CRC. */
 FrameRead readFrame(int fd, MsgType &type, std::string &payload);
@@ -171,6 +186,19 @@ struct JobReply
 
 std::string encodeJobReply(const JobReply &reply);
 bool decodeJobReply(const std::string &payload, JobReply &reply);
+
+/** The admission gate's shed notice. */
+struct OverloadNotice
+{
+    /** Client backoff hint before retrying (milliseconds). */
+    u32 retryAfterMs = 0;
+    /** What was saturated: "conns" or "queue". */
+    std::string reason;
+};
+
+std::string encodeOverloadNotice(const OverloadNotice &notice);
+bool decodeOverloadNotice(const std::string &payload,
+                          OverloadNotice &notice);
 
 } // namespace icicle
 

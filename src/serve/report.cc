@@ -131,6 +131,60 @@ validateServeReport(const JsonValue &report, std::string *error)
         if (!requireNumber(*speedup, key, "speedup", error))
             return false;
     }
+
+    const JsonValue *robustness =
+        requireObject(report, "robustness", error);
+    if (!robustness)
+        return false;
+    const JsonValue *client = robustness->get("client");
+    if (!client || !client->isObject())
+        return failValidate(error,
+                            "robustness.client must be an object");
+    for (const char *key :
+         {"attempts", "retries", "sheds_seen", "timeouts"}) {
+        if (!requireNumber(*client, key, "robustness.client", error))
+            return false;
+    }
+    const double attempts = client->get("attempts")->number;
+    if (client->get("retries")->number > attempts)
+        return failValidate(
+            error, "robustness.client: retries must be <= attempts");
+    if (attempts < requests)
+        return failValidate(
+            error, "robustness.client: attempts must be >= "
+                   "totals.requests (each request costs >= 1)");
+    const JsonValue *server = robustness->get("server");
+    if (!server || !server->isObject())
+        return failValidate(error,
+                            "robustness.server must be an object");
+    for (const char *key :
+         {"shed_conns", "shed_requests", "publish_failures",
+          "degraded_points"}) {
+        if (!requireNumber(*server, key, "robustness.server", error))
+            return false;
+    }
+    if (!requireNumber(*server, "degraded", "robustness.server",
+                       error))
+        return false;
+    const double degraded = server->get("degraded")->number;
+    if (degraded != 0 && degraded != 1)
+        return failValidate(
+            error, "robustness.server: degraded must be 0 or 1");
+    const JsonValue *robust_latency = robustness->get("latency_us");
+    if (!robust_latency || !robust_latency->isObject())
+        return failValidate(
+            error, "robustness.latency_us must be an object");
+    for (const char *side : {"attempt", "total"}) {
+        const JsonValue *v = robust_latency->get(side);
+        const std::string where =
+            std::string("robustness.latency_us.") + side;
+        if (!v || !v->isObject())
+            return failValidate(error, where + " must be an object");
+        for (const char *field : {"count", "p50", "p99", "max"}) {
+            if (!requireNumber(*v, field, where, error))
+                return false;
+        }
+    }
     return true;
 }
 
@@ -160,6 +214,17 @@ checkServeReport(const JsonValue &report, double min_hit_rate,
     if (errors != 0)
         failures += "totals.errors is " + std::to_string(errors) +
                     ", wanted 0\n";
+    // The hit-rate and speedup gates above are about the cache; this
+    // one is about whether the cache was even in play — a daemon
+    // that degraded to compute-only serving mid-bench cannot back
+    // the caching claim, whatever the percentiles say.
+    const double degraded = report.get("robustness")
+                                ->get("server")
+                                ->get("degraded")
+                                ->number;
+    if (degraded != 0)
+        failures += "robustness.server.degraded is 1: the daemon "
+                    "fell back to compute-only serving\n";
     if (!failures.empty())
         return failValidate(error, failures);
     return true;

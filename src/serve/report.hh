@@ -31,6 +31,8 @@ bool validateServeReport(const JsonValue &report, std::string *error);
  *   - totals.hot_hit_rate >= min_hit_rate
  *   - speedup.p50_miss_over_p99_hit >= min_speedup
  *   - totals.errors == 0
+ *   - robustness.server.degraded == 0 (a daemon that fell back to
+ *     compute-only serving mid-bench invalidates the caching claim)
  * Returns true when all pass; otherwise fills *error with every
  * failed gate.
  */

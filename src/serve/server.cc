@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <sstream>
@@ -12,6 +13,7 @@
 #include <unistd.h>
 
 #include "common/logging.hh"
+#include "fault/fault.hh"
 #include "workloads/workloads.hh"
 
 namespace icicle
@@ -26,6 +28,10 @@ IcicleServer::IcicleServer(const ServerOptions &options)
     for (u32 s = 0; s < pool.shards(); s++) {
         shardMutexes.push_back(std::make_unique<Mutex>(
             "serve.shard", lockrank::kServeShard));
+    }
+    {
+        LockGuard lock(admissionMutex);
+        shardQueue.assign(pool.shards(), 0);
     }
     sockaddr_un addr{};
     addr.sun_family = AF_UNIX;
@@ -113,9 +119,30 @@ IcicleServer::run()
                 continue;
             break;
         }
+        // Injected connection reset: the peer sees EOF with no
+        // reply, exactly like a daemon crash between accept and
+        // read.
+        if (faultPlan().onAccept()) {
+            ::close(cfd);
+            continue;
+        }
+        // Admission gate, stage 1: in-flight connection cap. Shedding
+        // here costs one small frame write from the accept thread —
+        // cheap enough that an overloaded daemon still answers every
+        // knock with an explicit retry hint.
+        bool shed = false;
         {
             LockGuard lock(connMutex);
-            liveClients++;
+            if (opts.maxConns != 0 && liveClients >= opts.maxConns)
+                shed = true;
+            else
+                liveClients++;
+        }
+        if (shed) {
+            stats.shedConns.fetch_add(1, std::memory_order_relaxed);
+            sendOverloaded(cfd, "conns");
+            ::close(cfd);
+            continue;
         }
         // Detached: a joinable-but-finished thread keeps its stack
         // mapped until joined, which under connection churn is an
@@ -136,11 +163,20 @@ void
 IcicleServer::handleClient(int fd)
 {
     for (;;) {
+        // Injected read stall: the reply (and any response the peer
+        // awaits) is delayed past its deadline.
+        if (const u64 stall_ms = faultPlan().onConnRead()) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(stall_ms));
+        }
         MsgType type;
         std::string payload;
-        const FrameRead got = readFrame(fd, type, payload);
+        const FrameRead got =
+            readFrameDeadline(fd, type, payload, opts.idleTimeoutMs);
         // Corrupt framing means the rest of the stream cannot be
-        // trusted: drop the connection, never resynchronize.
+        // trusted: drop the connection, never resynchronize. A
+        // deadline miss (idle or byte-trickling peer) drops it too,
+        // reclaiming the thread.
         if (got != FrameRead::Ok)
             break;
         stats.requests.fetch_add(1, std::memory_order_relaxed);
@@ -158,7 +194,7 @@ IcicleServer::dispatch(int fd, MsgType type,
 {
     switch (type) {
       case MsgType::Ping:
-        return writeFrame(fd, MsgType::Pong, payload);
+        return sendReply(fd, MsgType::Pong, payload);
       case MsgType::SweepRequest:
         handleSweep(fd, payload);
         return true;
@@ -169,7 +205,7 @@ IcicleServer::dispatch(int fd, MsgType type,
         handleStats(fd);
         return true;
       case MsgType::Shutdown:
-        writeFrame(fd, MsgType::ShutdownAck, "");
+        sendReply(fd, MsgType::ShutdownAck, "");
         stop();
         return false;
       default:
@@ -183,41 +219,159 @@ IcicleServer::dispatch(int fd, MsgType type,
 void
 IcicleServer::sendError(int fd, const std::string &message)
 {
-    writeFrame(fd, MsgType::Error, message);
+    sendReply(fd, MsgType::Error, message);
+}
+
+bool
+IcicleServer::sendReply(int fd, MsgType type,
+                        const std::string &payload)
+{
+    FaultPlan &plan = faultPlan();
+    // Injected write stall first: the reply is late but intact.
+    if (const u64 stall_ms = plan.onConnWrite()) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(stall_ms));
+    }
+    switch (plan.onReply()) {
+      case FaultPlan::ReplyAction::Reset:
+        // Drop the reply on the floor; the caller drops the
+        // connection, so the peer sees EOF mid-exchange.
+        return false;
+      case FaultPlan::ReplyAction::Torn: {
+        // Half a frame, then EOF: the peer's CRC/short-read checks
+        // must reject it, never deliver a partial payload.
+        const std::string frame = encodeFrame(type, payload);
+        writeRaw(fd, frame, frame.size() / 2);
+        return false;
+      }
+      case FaultPlan::ReplyAction::None:
+        break;
+    }
+    return writeFrame(fd, type, payload);
+}
+
+void
+IcicleServer::sendOverloaded(int fd, const std::string &reason)
+{
+    OverloadNotice notice;
+    notice.retryAfterMs = opts.retryAfterMs;
+    notice.reason = reason;
+    // Deliberately not sendReply: shed notices must not consume
+    // reply-fault ordinals, or load timing would perturb a seeded
+    // schedule's targeting of real replies.
+    writeFrame(fd, MsgType::Overloaded,
+               encodeOverloadNotice(notice));
+}
+
+bool
+IcicleServer::admitShard(u32 shard)
+{
+    if (opts.maxQueue == 0)
+        return true;
+    UniqueLock lock(admissionMutex);
+    if (shardQueue[shard] >= opts.maxQueue) {
+        // One bounded grace wait absorbs a momentary burst; a shard
+        // still full afterwards is genuine overload and the request
+        // is shed.
+        admissionCv.waitFor(lock, opts.retryAfterMs);
+        if (shardQueue[shard] >= opts.maxQueue)
+            return false;
+    }
+    shardQueue[shard]++;
+    return true;
+}
+
+void
+IcicleServer::releaseShard(u32 shard)
+{
+    if (opts.maxQueue == 0)
+        return;
+    LockGuard lock(admissionMutex);
+    shardQueue[shard]--;
+    admissionCv.notifyAll();
+}
+
+void
+IcicleServer::publishGuarded(const ServeKey &key,
+                             const SweepResult &result)
+{
+    if (degraded.load(std::memory_order_relaxed)) {
+        stats.degradedPoints.fetch_add(1,
+                                       std::memory_order_relaxed);
+        return;
+    }
+    try {
+        cache.publish(key, result);
+        publishStrikes.store(0, std::memory_order_relaxed);
+    } catch (const FatalError &err) {
+        stats.publishFailures.fetch_add(1,
+                                        std::memory_order_relaxed);
+        const u32 strikes =
+            publishStrikes.fetch_add(1, std::memory_order_relaxed) +
+            1;
+        if (strikes >= opts.degradedAfter &&
+            !degraded.exchange(true)) {
+            warn("cache publication failed ", strikes,
+                 " times in a row (", err.what(),
+                 "); serving compute-only (degraded)");
+        }
+    }
 }
 
 bool
 IcicleServer::pointResult(const SweepPoint &point, u64 seed,
                           SweepResult &result, bool &hit,
-                          std::string &error)
+                          bool &shed, std::string &error)
 {
     const ServeKey key = serveCacheKey(point, seed);
     const u32 shard = static_cast<u32>(key.hash % pool.shards());
+    shed = false;
     hit = cache.lookup(key, result);
     if (!hit) {
+        // Admission gate, stage 2: reserve a miss-queue slot before
+        // contending on the shard mutex, so saturation becomes an
+        // explicit shed instead of an unbounded lock convoy.
+        if (!admitShard(shard)) {
+            shed = true;
+            return false;
+        }
         // Miss path: serialize on the shard, then re-check — a
         // second requester blocked here finds the entry the first
         // one published and never re-simulates (single-flight).
-        LockGuard lock(*shardMutexes[shard]);
-        if (cache.lookup(key, result)) {
-            hit = true;
-        } else {
-            JobRequest request;
-            request.point = point;
-            request.seed = seed;
-            JobReply reply;
-            if (!pool.runJob(shard, request, reply, error))
-                return false;
-            if (!reply.ok) {
-                error = reply.error;
-                return false;
+        // releaseShard stays outside the shard-lock scope on every
+        // path: it takes the admission mutex, which ranks above
+        // (outside) the shard mutexes.
+        bool job_ok = true;
+        {
+            LockGuard lock(*shardMutexes[shard]);
+            if (cache.lookup(key, result)) {
+                hit = true;
+            } else {
+                JobRequest request;
+                request.point = point;
+                request.seed = seed;
+                JobReply reply;
+                std::string job_error;
+                if (!pool.runJob(shard, request, reply, job_error) ||
+                    !reply.ok) {
+                    error = job_error.empty() ? reply.error
+                                              : job_error;
+                    job_ok = false;
+                } else {
+                    result = reply.result;
+                    // Only Ok results are memoised: failures and
+                    // timeouts must re-run, not stick. Publication
+                    // failures degrade to compute-only, never error
+                    // the request (the result in hand is still
+                    // correct).
+                    if (result.status == SweepStatus::Ok)
+                        publishGuarded(key, result);
+                }
             }
-            result = reply.result;
-            // Only Ok results are memoised: failures and timeouts
-            // must re-run, not stick.
-            if (result.status == SweepStatus::Ok)
-                cache.publish(key, result);
         }
+        releaseShard(shard);
+        if (!job_ok)
+            return false;
     }
     // The codec carries neither label nor point: rederive them, like
     // the journal's resume path does from its grid.
@@ -281,11 +435,22 @@ IcicleServer::handleSweep(int fd, const std::string &payload)
     std::vector<SweepResult> results(points.size());
     for (u64 i = 0; i < points.size(); i++) {
         bool hit = false;
+        bool shed = false;
         std::string error;
         if (!pointResult(points[i], query.seed, results[i], hit,
-                         error)) {
-            stats.errors.fetch_add(1, std::memory_order_relaxed);
-            sendError(fd, error);
+                         shed, error)) {
+            if (shed) {
+                // Not an error: the daemon is saturated. Points
+                // already served stay cached, so retrying the whole
+                // (deterministic, content-addressed) query is safe
+                // and cheap.
+                stats.shedRequests.fetch_add(
+                    1, std::memory_order_relaxed);
+                sendOverloaded(fd, "queue");
+            } else {
+                stats.errors.fetch_add(1, std::memory_order_relaxed);
+                sendError(fd, error);
+            }
             return;
         }
         results[i].index = i;
@@ -306,7 +471,7 @@ IcicleServer::handleSweep(int fd, const std::string &payload)
     else
         reply.report = formatSweepTable(results, false);
 
-    writeFrame(fd, MsgType::SweepResponse, encodeSweepReply(reply));
+    sendReply(fd, MsgType::SweepResponse, encodeSweepReply(reply));
 }
 
 StoreReader &
@@ -338,8 +503,8 @@ IcicleServer::handleWindow(int fd, const std::string &payload)
         reply.tma = reader.windowTma(query.begin, query.end,
                                      query.coreWidth);
         reply.blocksDecoded = reader.blocksDecoded();
-        writeFrame(fd, MsgType::WindowTmaResponse,
-                   encodeWindowReply(reply));
+        sendReply(fd, MsgType::WindowTmaResponse,
+                  encodeWindowReply(reply));
     } catch (const FatalError &err) {
         stats.errors.fetch_add(1, std::memory_order_relaxed);
         sendError(fd, err.what());
@@ -359,6 +524,13 @@ IcicleServer::statsText()
        << "cache_misses: " << snap.cacheMisses << "\n"
        << "jobs_simulated: " << snap.simulated << "\n"
        << "errors: " << snap.errors << "\n"
+       << "shed_conns: " << snap.shedConns << "\n"
+       << "shed_requests: " << snap.shedRequests << "\n"
+       << "publish_failures: " << snap.publishFailures << "\n"
+       << "degraded_points: " << snap.degradedPoints << "\n"
+       << "degraded: " << (degraded.load() ? 1 : 0) << "\n"
+       << "max_conns: " << opts.maxConns << "\n"
+       << "max_queue: " << opts.maxQueue << "\n"
        << "worker_restarts: " << pool.restarts() << "\n"
        << "shards: " << pool.shards() << "\n"
        << "cache_entries: " << cache.entriesOnDisk() << "\n";
@@ -368,7 +540,7 @@ IcicleServer::statsText()
 void
 IcicleServer::handleStats(int fd)
 {
-    writeFrame(fd, MsgType::StatsResponse, statsText());
+    sendReply(fd, MsgType::StatsResponse, statsText());
 }
 
 } // namespace icicle

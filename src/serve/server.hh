@@ -59,6 +59,32 @@ struct ServerOptions
      * child degrades to one retried job instead of a dead shard.
      */
     u32 jobTimeoutMs = 300'000;
+    /**
+     * Admission gate: max in-flight connections (0 = unbounded).
+     * Connections beyond the cap are shed with an Overloaded frame
+     * at accept instead of spawning a thread.
+     */
+    u32 maxConns = 0;
+    /**
+     * Admission gate: max requests queued-or-executing on one
+     * shard's miss path (0 = unbounded). A full shard gets one
+     * bounded grace wait, then the request is shed with Overloaded.
+     */
+    u32 maxQueue = 0;
+    /**
+     * Per-connection read deadline (0 = wait forever). An idle or
+     * byte-trickling client is dropped, reclaiming its thread.
+     */
+    u32 idleTimeoutMs = 0;
+    /** Retry-after hint carried in Overloaded replies, and the
+     * admission gate's grace-wait bound. */
+    u32 retryAfterMs = 50;
+    /**
+     * Consecutive cache-publish failures before the daemon flips to
+     * degraded compute-only serving (results still correct, nothing
+     * memoised; `degraded: 1` in stats).
+     */
+    u32 degradedAfter = 3;
 };
 
 /**
@@ -93,6 +119,14 @@ struct ServeStats
     std::atomic<u64> cacheMisses{0};
     std::atomic<u64> simulated{0};
     std::atomic<u64> errors{0};
+    /** Connections shed at accept (max-conns). */
+    std::atomic<u64> shedConns{0};
+    /** Requests shed at a full shard queue (max-queue). */
+    std::atomic<u64> shedRequests{0};
+    /** Cache publications that failed (ENOSPC and friends). */
+    std::atomic<u64> publishFailures{0};
+    /** Points served compute-only while degraded. */
+    std::atomic<u64> degradedPoints{0};
 
     /** Plain-integer copy taken by snapshot(). */
     struct Snapshot
@@ -105,6 +139,10 @@ struct ServeStats
         u64 cacheMisses = 0;
         u64 simulated = 0;
         u64 errors = 0;
+        u64 shedConns = 0;
+        u64 shedRequests = 0;
+        u64 publishFailures = 0;
+        u64 degradedPoints = 0;
     };
 
     /**
@@ -140,6 +178,13 @@ struct ServeStats
         s.cacheMisses = cacheMisses.load(std::memory_order_relaxed);
         s.simulated = simulated.load(std::memory_order_relaxed);
         s.errors = errors.load(std::memory_order_relaxed);
+        s.shedConns = shedConns.load(std::memory_order_relaxed);
+        s.shedRequests =
+            shedRequests.load(std::memory_order_relaxed);
+        s.publishFailures =
+            publishFailures.load(std::memory_order_relaxed);
+        s.degradedPoints =
+            degradedPoints.load(std::memory_order_relaxed);
         return s;
     }
 };
@@ -165,6 +210,11 @@ class IcicleServer
     /** Request shutdown from another thread (tests). */
     void stop();
 
+  public:
+    /** True once persistent publish failures flipped compute-only
+     * serving (sticky; visible to tests and stats). */
+    bool isDegraded() const { return degraded.load(); }
+
   private:
     void handleClient(int fd);
     /** False only when the connection must drop (protocol error). */
@@ -174,12 +224,31 @@ class IcicleServer
     void handleStats(int fd);
     std::string statsText();
     /** Run one point through cache + pool; false on worker failure
-     * (error filled). */
+     * (error filled) or shed (shed set, error empty). */
     bool pointResult(const SweepPoint &point, u64 seed,
-                     SweepResult &result, bool &hit,
+                     SweepResult &result, bool &hit, bool &shed,
                      std::string &error);
     StoreReader &readerFor(const std::string &path);
     void sendError(int fd, const std::string &message);
+    /**
+     * All server replies funnel through here: consults the fault
+     * plan's stall@write and {conn-reset,torn-frame}@reply hooks.
+     * False when the connection must drop (reset/torn/EPIPE).
+     */
+    bool sendReply(int fd, MsgType type, const std::string &payload);
+    /** Shed notice (accept- or queue-level). Bypasses the reply
+     * fault hooks so shed traffic does not perturb schedules. */
+    void sendOverloaded(int fd, const std::string &reason);
+    /**
+     * Reserve a slot on `shard`'s miss queue: one bounded grace
+     * wait when full, then false = shed.
+     */
+    bool admitShard(u32 shard);
+    void releaseShard(u32 shard);
+    /** Try to publish `result`; tolerates failure by counting a
+     * strike and flipping degraded mode at the threshold. */
+    void publishGuarded(const ServeKey &key,
+                        const SweepResult &result);
     /** Block until every connection thread has finished. */
     void waitForClients();
 
@@ -210,6 +279,24 @@ class IcicleServer
     Mutex connMutex{"serve.conn", lockrank::kServeConn};
     CondVar connCv;
     u64 liveClients ICICLE_GUARDED_BY(connMutex) = 0;
+
+    /**
+     * Admission gate: per-shard miss-queue depth. Connection threads
+     * take this (rank between serve.conn and serve.shard) to reserve
+     * a slot before contending on the shard mutex, so overload is
+     * shed with an explicit Overloaded reply instead of an unbounded
+     * convoy on the shard lock. The condvar is notified on every
+     * release; a full shard gets one bounded grace wait.
+     */
+    Mutex admissionMutex{"serve.admission",
+                         lockrank::kServeAdmission};
+    CondVar admissionCv;
+    std::vector<u32> shardQueue ICICLE_GUARDED_BY(admissionMutex);
+
+    /** Sticky compute-only flag (see ServerOptions::degradedAfter). */
+    std::atomic<bool> degraded{false};
+    /** Consecutive publish failures (reset on success). */
+    std::atomic<u32> publishStrikes{0};
 
     /** One shared reader per queried store (thread-safe queries).
      * The map is guarded; the readers themselves are internally

@@ -144,6 +144,120 @@ TEST_F(FaultTest, JobClauseFiresBoundedTimes)
     EXPECT_FALSE(faultPlan().onJob(3).fail) << "clause must expire";
 }
 
+// ---- serve-path (network-level) clauses -----------------------------
+
+TEST_F(FaultTest, ServeSiteNamesCoverEverySite)
+{
+    EXPECT_STREQ(faultSiteName(FaultSite::ConnAccept), "accept");
+    EXPECT_STREQ(faultSiteName(FaultSite::ConnReply), "reply");
+    EXPECT_STREQ(faultSiteName(FaultSite::ConnRead), "read");
+    EXPECT_STREQ(faultSiteName(FaultSite::ConnWrite), "write");
+    EXPECT_STREQ(faultSiteName(FaultSite::WorkerDispatch), "worker");
+}
+
+/**
+ * Parse → describe round-trip for every serve-path clause: the
+ * describe() rendering must be re-parseable and name the same site,
+ * ordinal, and (for stalls) duration — that string is what
+ * icicle-chaos records per episode, so a drift here breaks replay.
+ */
+TEST_F(FaultTest, ServeClausesParseAndDescribeRoundTrip)
+{
+    const char *clauses[] = {
+        "conn-reset@accept#2", "conn-reset@reply#0",
+        "stall@read#1=250",    "stall@write#3=1000",
+        "torn-frame@reply#4",  "kill@worker#1",
+    };
+    for (const char *clause : clauses) {
+        SCOPED_TRACE(clause);
+        setFaultSpec(clause);
+        EXPECT_TRUE(faultPlan().active());
+        const std::string desc = faultPlan().describe();
+        EXPECT_NE(desc.find(clause), std::string::npos) << desc;
+        // The rendering itself is a valid spec.
+        setFaultSpec(desc.substr(desc.find(", ") + 2));
+        EXPECT_TRUE(faultPlan().active());
+        setFaultSpec("");
+    }
+}
+
+TEST_F(FaultTest, ConnAcceptClauseFiresAtItsOrdinalOnce)
+{
+    setFaultSpec("conn-reset@accept#1");
+    EXPECT_FALSE(faultPlan().onAccept()); // conn 0
+    EXPECT_TRUE(faultPlan().onAccept());  // conn 1: fires
+    EXPECT_FALSE(faultPlan().onAccept()); // expired
+}
+
+TEST_F(FaultTest, ReplyResetAndTornShareOneOrdinalCounter)
+{
+    // The documented contract: conn-reset@reply and torn-frame@reply
+    // consume the same ConnReply ordinal stream, so one schedule
+    // interleaves them deterministically.
+    setFaultSpec("conn-reset@reply#0, torn-frame@reply#2");
+    EXPECT_EQ(faultPlan().onReply(),
+              FaultPlan::ReplyAction::Reset); // reply 0
+    EXPECT_EQ(faultPlan().onReply(),
+              FaultPlan::ReplyAction::None); // reply 1
+    EXPECT_EQ(faultPlan().onReply(),
+              FaultPlan::ReplyAction::Torn); // reply 2
+    EXPECT_EQ(faultPlan().onReply(), FaultPlan::ReplyAction::None);
+}
+
+TEST_F(FaultTest, StallClausesCarryDurationNotRepeatCount)
+{
+    // The =N tail of a stall clause is milliseconds; the clause
+    // still fires exactly once, at its ordinal.
+    setFaultSpec("stall@read#1=750, stall@write#0=200");
+    EXPECT_EQ(faultPlan().onConnRead(), 0u);    // read 0
+    EXPECT_EQ(faultPlan().onConnRead(), 750u);  // read 1: fires
+    EXPECT_EQ(faultPlan().onConnRead(), 0u);    // expired
+    EXPECT_EQ(faultPlan().onConnWrite(), 200u); // write 0: fires
+    EXPECT_EQ(faultPlan().onConnWrite(), 0u);
+}
+
+TEST_F(FaultTest, WorkerKillConsumesDispatchOrdinals)
+{
+    setFaultSpec("kill@worker#1");
+    EXPECT_FALSE(faultPlan().onWorkerDispatch()); // dispatch 0
+    EXPECT_TRUE(faultPlan().onWorkerDispatch());  // dispatch 1
+    EXPECT_FALSE(faultPlan().onWorkerDispatch());
+    // kill@worker is distinct from the write-site kill@SITE kinds:
+    // it must not consume or fire on write ops.
+    setFaultSpec("kill@worker#0");
+    EXPECT_EQ(faultPlan().onWrite(FaultSite::StoreWrite),
+              FaultPlan::WriteAction::None);
+    EXPECT_TRUE(faultPlan().onWorkerDispatch());
+}
+
+TEST_F(FaultTest, ServeSitesKeepIndependentOrdinalStreams)
+{
+    // Accept, read, write, and dispatch ordinals are per-site: ops
+    // at one site never advance another site's counter.
+    setFaultSpec("conn-reset@accept#0, stall@read#0=100, "
+                 "stall@write#0=100, kill@worker#0");
+    EXPECT_EQ(faultPlan().onConnRead(), 100u);
+    EXPECT_EQ(faultPlan().onConnWrite(), 100u);
+    EXPECT_TRUE(faultPlan().onAccept());
+    EXPECT_TRUE(faultPlan().onWorkerDispatch());
+}
+
+TEST_F(FaultTest, MalformedServeClausesAreFatal)
+{
+    // Wrong site for the kind.
+    EXPECT_THROW(setFaultSpec("conn-reset@store#0"), FatalError);
+    EXPECT_THROW(setFaultSpec("conn-reset@read#0"), FatalError);
+    EXPECT_THROW(setFaultSpec("stall@accept#0=100"), FatalError);
+    EXPECT_THROW(setFaultSpec("torn-frame@accept#0"), FatalError);
+    // Missing required pieces.
+    EXPECT_THROW(setFaultSpec("conn-reset@accept"), FatalError);
+    EXPECT_THROW(setFaultSpec("stall@read#0"), FatalError);
+    EXPECT_THROW(setFaultSpec("stall@read#0=0"), FatalError);
+    EXPECT_THROW(setFaultSpec("torn-frame@reply"), FatalError);
+    EXPECT_THROW(setFaultSpec("kill@worker"), FatalError);
+    EXPECT_FALSE(faultPlan().active());
+}
+
 // ---- AtomicFile ------------------------------------------------------
 
 TEST_F(FaultTest, AtomicFileCommitPublishesDiscardDoesNot)

@@ -9,10 +9,12 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <thread>
 
@@ -25,6 +27,7 @@
 #include "common/sync.hh"
 #include "fault/fault.hh"
 #include "serve/cache.hh"
+#include "serve/chaos.hh"
 #include "serve/client.hh"
 #include "serve/pool.hh"
 #include "serve/protocol.hh"
@@ -182,6 +185,32 @@ TEST(ServeProtocol, TruncatedPayloadsNeverDecode)
             decodeJobReply(reply_bytes.substr(0, len), decoded))
             << "prefix of length " << len << " decoded";
     }
+}
+
+TEST(ServeProtocol, OverloadNoticeRoundTripsAndRejectsTornPrefixes)
+{
+    OverloadNotice notice;
+    notice.retryAfterMs = 75;
+    notice.reason = "queue";
+    const std::string encoded = encodeOverloadNotice(notice);
+
+    OverloadNotice decoded;
+    ASSERT_TRUE(decodeOverloadNotice(encoded, decoded));
+    EXPECT_EQ(decoded.retryAfterMs, notice.retryAfterMs);
+    EXPECT_EQ(decoded.reason, notice.reason);
+
+    // Shed notices ride the same torn-frame-prone wire as every
+    // other reply: every strict prefix must be rejected, never
+    // misread as a shorter valid notice.
+    for (size_t len = 0; len < encoded.size(); len++) {
+        OverloadNotice torn;
+        EXPECT_FALSE(
+            decodeOverloadNotice(encoded.substr(0, len), torn))
+            << "prefix of length " << len << " decoded";
+    }
+    // Trailing garbage is not full consumption either.
+    OverloadNotice padded;
+    EXPECT_FALSE(decodeOverloadNotice(encoded + "x", padded));
 }
 
 TEST(ServeProtocol, FramesRoundTripAndCorruptionIsDetected)
@@ -478,6 +507,204 @@ TEST(ServeEndToEnd, CachedRepliesAreByteIdentical)
         client.ping();
         client.shutdown();
     }
+    daemon.join();
+}
+
+// ---- overload protection and client resilience ----------------------
+
+/**
+ * stall@read regression for the per-attempt reply deadline: a daemon
+ * that takes a frame but stalls before reading the next one must not
+ * hang the client past attemptTimeoutMs — the timeout fires, the
+ * client reconnects, and the retry (a fresh read ordinal) succeeds.
+ */
+TEST(ServeEndToEnd, StalledDaemonReadTripsClientTimeoutThenRetries)
+{
+    TempDir dir("serve_stall_read");
+    ServerOptions options;
+    options.socketPath = dir.path + "/icicled.sock";
+    options.cacheDir = dir.path + "/cache";
+    options.shards = 1;
+    IcicleServer server(options);
+    std::thread daemon([&] { server.run(); });
+
+    // Armed before the first connection, so the very first
+    // server-side frame read (ordinal 0) stalls well past the
+    // client's 200ms attempt deadline.
+    setFaultSpec("stall@read#0=1000");
+    ClientOptions copts;
+    copts.attemptTimeoutMs = 200;
+    copts.backoffBaseMs = 10;
+    {
+        ServeClient client(options.socketPath, copts);
+        EXPECT_EQ(client.ping("still-there"), "still-there");
+        EXPECT_GE(client.timeouts(), 1u);
+        EXPECT_GE(client.retries(), 1u);
+    }
+    setFaultSpec("");
+
+    ServeClient finisher(options.socketPath);
+    finisher.shutdown();
+    daemon.join();
+}
+
+/**
+ * Admission gate, stage 1: with the connection cap full, further
+ * connections are shed with an Overloaded notice (visible in the
+ * client's counters and the daemon's), and once the cap frees the
+ * same retry policy gets a client through — shedding preserves
+ * availability instead of letting load wedge the daemon.
+ */
+TEST(ServeEndToEnd, ConnectionCapShedsThenRecovers)
+{
+    TempDir dir("serve_shed_conns");
+    ServerOptions options;
+    options.socketPath = dir.path + "/icicled.sock";
+    options.cacheDir = dir.path + "/cache";
+    options.shards = 1;
+    options.maxConns = 1;
+    IcicleServer server(options);
+    std::thread daemon([&] { server.run(); });
+
+    auto holder = std::make_unique<ServeClient>(options.socketPath);
+    EXPECT_EQ(holder->ping("occupy"), "occupy");
+
+    // While the one admitted connection lives, every attempt of a
+    // second client is shed until its retry budget runs out.
+    {
+        ClientOptions copts;
+        copts.maxRetries = 2;
+        copts.backoffBaseMs = 5;
+        copts.backoffCapMs = 20;
+        ServeClient shed(options.socketPath, copts);
+        EXPECT_THROW(shed.ping(), FatalError);
+        EXPECT_GE(shed.shedsSeen(), 1u);
+        EXPECT_EQ(shed.attempts(), 3u); // first try + 2 retries
+    }
+
+    // Cap freed: a default-policy client absorbs any straggling shed
+    // (the daemon counts the holder's close asynchronously) and gets
+    // admitted.
+    holder.reset();
+    ServeClient after(options.socketPath);
+    EXPECT_EQ(after.ping("admitted"), "admitted");
+    const std::string stats = after.stats();
+    EXPECT_GE(statsValue(stats, "shed_conns"), 3u);
+    after.shutdown();
+    daemon.join();
+}
+
+/**
+ * Admission gate, stage 2: with one shard and a one-deep miss queue,
+ * a second concurrent miss is shed with a retry hint instead of
+ * convoying on the shard mutex — and the shed client's retry/backoff
+ * absorbs it, succeeding once the shard drains.
+ */
+TEST(ServeEndToEnd, QueueCapShedsMissesUntilTheShardDrains)
+{
+    TempDir dir("serve_shed_queue");
+    // The slow miss is manufactured, not simulated: hang@job stalls
+    // the occupant's job in its worker for a bounded beat (~200ms in
+    // the unbounded child) before it completes — the micro workloads
+    // themselves finish far too fast to hold a queue slot reliably.
+    // Armed before the fork so the workers inherit it; the 500ms job
+    // deadline is headroom above the stall, so no worker is killed.
+    setFaultSpec("hang@job#0");
+    ServerOptions options;
+    options.socketPath = dir.path + "/icicled.sock";
+    options.cacheDir = dir.path + "/cache";
+    options.shards = 1;
+    options.maxQueue = 1;
+    options.retryAfterMs = 10;
+    options.jobTimeoutMs = 500;
+    IcicleServer server(options);
+    std::thread daemon([&] { server.run(); });
+
+    SweepQuery slow;
+    slow.cores = {"rocket"};
+    slow.workloads = {"towers"};
+    slow.archs = {CounterArch::AddWires};
+    slow.maxCycles = 50'000;
+    slow.format = "csv";
+    SweepQuery blocked = slow;
+    blocked.workloads = {"vvadd"};
+
+    std::thread occupant([&] {
+        ServeClient a(options.socketPath);
+        // The job stalls in the worker for its ~200ms hang beat and
+        // then completes — well inside the 500ms deadline, but long
+        // enough to hold the single queue slot while B knocks.
+        const SweepReply reply = a.sweep(slow);
+        EXPECT_TRUE(reply.allOk);
+    });
+    // Let the stalled miss take the single queue slot, then disarm
+    // so any worker forked from here on starts from the clean plan.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    setFaultSpec("");
+    ClientOptions copts;
+    copts.maxRetries = 50;
+    copts.backoffBaseMs = 10;
+    copts.backoffCapMs = 50;
+    ServeClient b(options.socketPath, copts);
+    const SweepReply reply = b.sweep(blocked);
+    EXPECT_TRUE(reply.allOk);
+    occupant.join();
+
+    EXPECT_GE(b.shedsSeen(), 1u);
+    EXPECT_GE(statsValue(b.stats(), "shed_requests"), 1u);
+    b.shutdown();
+    daemon.join();
+}
+
+/**
+ * Graceful degradation: persistent cache-publish failure (injected
+ * ENOSPC at the StoreWrite site) must flip the daemon into
+ * compute-only serving after degradedAfter consecutive strikes —
+ * requests keep succeeding with byte-identical reports, they just
+ * stop memoising. The workers were forked before the spec was armed,
+ * so only the parent-side publish path sees the fault.
+ */
+TEST(ServeEndToEnd, PersistentPublishFailureDegradesToComputeOnly)
+{
+    TempDir dir("serve_degraded");
+    ServerOptions options;
+    options.socketPath = dir.path + "/icicled.sock";
+    options.cacheDir = dir.path + "/cache";
+    options.shards = 1;
+    options.degradedAfter = 2;
+    IcicleServer server(options);
+    std::thread daemon([&] { server.run(); });
+    setFaultSpec("enospc@store#0,enospc@store#1");
+
+    ServeClient client(options.socketPath);
+    SweepQuery query;
+    query.cores = {"rocket"};
+    query.workloads = {"vvadd", "towers"};
+    query.archs = {CounterArch::AddWires};
+    query.maxCycles = 200'000;
+    query.format = "csv";
+
+    // Both publishes fail: the requests still succeed (the computed
+    // result in hand is correct), and strike two flips degraded.
+    const SweepReply cold = client.sweep(query);
+    EXPECT_TRUE(cold.allOk);
+    EXPECT_EQ(cold.simulated, 2u);
+    EXPECT_TRUE(server.isDegraded());
+
+    // Degraded = compute-only: the same grid misses and
+    // re-simulates, with byte-identical output.
+    const SweepReply again = client.sweep(query);
+    EXPECT_TRUE(again.allOk);
+    EXPECT_EQ(again.cacheHits, 0u);
+    EXPECT_EQ(again.simulated, 2u);
+    EXPECT_EQ(again.report, cold.report);
+
+    const std::string stats = client.stats();
+    EXPECT_GE(statsValue(stats, "publish_failures"), 2u);
+    EXPECT_EQ(statsValue(stats, "degraded"), 1u);
+    EXPECT_GE(statsValue(stats, "degraded_points"), 2u);
+    setFaultSpec("");
+    client.shutdown();
     daemon.join();
 }
 

@@ -13,6 +13,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -20,6 +22,10 @@
 #include "common/lockorder.hh"
 #include "common/logging.hh"
 #include "common/sync.hh"
+#include "fault/fault.hh"
+#include "serve/chaos.hh"
+#include "serve/client.hh"
+#include "serve/server.hh"
 
 #if defined(__SANITIZE_THREAD__)
 #define ICICLE_TSAN_BUILD 1
@@ -419,6 +425,97 @@ TEST_F(SyncTest, MutantHookIsFatalWithoutTheMutantBuild)
     EXPECT_THROW(lockorder::runRankInversionMutant(), FatalError);
 }
 #endif
+
+// ---- the serving path's lock graph ----------------------------------
+
+/**
+ * A miniature chaos drive (clean lane, admission gate armed) run
+ * under this fixture's lock-order runtime: every lock nesting the
+ * serving path exercises — conn bookkeeping, admission, shard,
+ * worker, stats — lands in the graph, and the graph must come back
+ * cycle-free with the admission class registered at its declared
+ * place. This is the executable form of DESIGN.md's rank table for
+ * the overload-protection locks.
+ */
+TEST_F(SyncTest, ChaosDriveKeepsTheServeLockGraphCycleFree)
+{
+    const std::string dir =
+        std::string(::testing::TempDir()) + "sync_chaos";
+    std::filesystem::remove_all(dir);
+
+    ChaosOptions opts;
+    opts.dir = dir;
+    opts.clean = true;
+    opts.episodes = 1;
+    opts.clients = 2;
+    opts.requestsPerClient = 1;
+    opts.maxCycles = 20'000;
+    opts.shards = 1;
+    opts.maxConns = 8;
+    opts.maxQueue = 2;
+    const ChaosVerdict verdict = runChaos(opts);
+    EXPECT_TRUE(verdict.pass()) << verdict.format();
+
+    const LockOrderReport report = lockorder::lockOrderReport();
+    EXPECT_TRUE(report.clean()) << report.format();
+    EXPECT_TRUE(hasNode(report, "serve.admission"));
+
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+}
+
+/**
+ * Regression for the failure-path admission release: a failed job
+ * under an armed miss queue must give back its queue slot AFTER the
+ * shard mutex drops, never under it — serve.admission (rank 15) is
+ * an outer lock relative to the shards (rank 20), so releasing
+ * inside the shard scope is a rank inversion the runtime flags.
+ */
+TEST_F(SyncTest, FailedJobReleasesAdmissionSlotOutsideShardLock)
+{
+    const std::string dir =
+        std::string(::testing::TempDir()) + "sync_admission";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+
+    ServerOptions options;
+    options.socketPath = dir + "/icicled.sock";
+    options.cacheDir = dir + "/cache";
+    options.shards = 1;
+    options.maxQueue = 1;
+    IcicleServer server(options);
+    std::thread daemon([&] { server.run(); });
+    // Both dispatch attempts of the first job SIGKILL their worker
+    // (runJob retries once on a respawned worker): runJob fails, and
+    // pointResult walks the error path while a queue slot is
+    // reserved.
+    setFaultSpec("kill@worker#0, kill@worker#1");
+
+    ClientOptions copts;
+    copts.maxRetries = 0;
+    ServeClient client(options.socketPath, copts);
+    SweepQuery query;
+    query.cores = {"rocket"};
+    query.workloads = {"vvadd"};
+    query.archs = {CounterArch::AddWires};
+    query.maxCycles = 20'000;
+    query.format = "csv";
+    // The daemon answers with a typed Error frame (not retriable).
+    EXPECT_THROW(client.sweep(query), FatalError);
+    setFaultSpec("");
+    client.shutdown();
+    daemon.join();
+
+    const LockOrderReport report = lockorder::lockOrderReport();
+    EXPECT_EQ(findViolation(report, "rank-inversion",
+                            "serve.admission"),
+              nullptr)
+        << report.format();
+    EXPECT_TRUE(report.clean()) << report.format();
+
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+}
 
 } // namespace
 } // namespace icicle

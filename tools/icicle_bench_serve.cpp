@@ -25,11 +25,13 @@
  */
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -39,6 +41,7 @@
 #include "common/logging.hh"
 #include "fault/atomic_file.hh"
 #include "selfprof/selfprof.hh"
+#include "serve/chaos.hh"
 #include "serve/client.hh"
 #include "serve/report.hh"
 
@@ -92,10 +95,22 @@ struct Options
 /** One measured request. */
 struct Sample
 {
+    /** Wall latency of the whole exchange, retries included. */
     double micros = 0;
+    /** Exchange attempts this request cost (>= 1). */
+    u64 attempts = 1;
     bool hot = false;
     bool hit = false;
     bool error = false;
+};
+
+/** Cumulative ServeClient robustness counters for one thread. */
+struct ClientCounters
+{
+    u64 attempts = 0;
+    u64 retries = 0;
+    u64 shedsSeen = 0;
+    u64 timeouts = 0;
 };
 
 /** The micro workloads every hot key draws from. */
@@ -148,12 +163,16 @@ runLoad(const Options &opts)
     // Cold seeds are globally unique and disjoint from hot seeds.
     std::atomic<u64> cold_seed{1u << 20};
     std::vector<std::vector<Sample>> per_thread(opts.clients);
+    std::vector<ClientCounters> per_thread_counters(opts.clients);
     std::vector<std::thread> threads;
     for (u32 t = 0; t < opts.clients; t++) {
         threads.emplace_back([&, t] {
             std::vector<Sample> &samples = per_thread[t];
+            // Owned via pointer so the counters survive into the
+            // post-loop read even when a request raises mid-run.
+            std::unique_ptr<ServeClient> client;
             try {
-                ServeClient client(opts.socket);
+                client = std::make_unique<ServeClient>(opts.socket);
                 // Deterministic per-thread LCG for the hot/cold
                 // draw (no global RNG state).
                 u64 lcg = 0x9e3779b97f4a7c15ull + t;
@@ -168,9 +187,10 @@ runLoad(const Options &opts)
                     const u64 seed =
                         sample.hot ? (lcg >> 33) % opts.hotKeys
                                    : cold_seed.fetch_add(1);
+                    const u64 attempts_before = client->attempts();
                     const auto begin =
                         std::chrono::steady_clock::now();
-                    const SweepReply reply = client.sweep(
+                    const SweepReply reply = client->sweep(
                         pointQuery(seed, opts.maxCycles));
                     const auto end =
                         std::chrono::steady_clock::now();
@@ -178,6 +198,8 @@ runLoad(const Options &opts)
                         std::chrono::duration<double, std::micro>(
                             end - begin)
                             .count();
+                    sample.attempts = std::max<u64>(
+                        1, client->attempts() - attempts_before);
                     sample.hit = reply.cacheHits == reply.points &&
                                  reply.points > 0;
                     sample.error = !reply.allOk;
@@ -190,15 +212,40 @@ runLoad(const Options &opts)
                 std::fprintf(stderr, "client %u: %s\n", t,
                              err.what());
             }
+            if (client) {
+                ClientCounters &counters = per_thread_counters[t];
+                counters.attempts = client->attempts();
+                counters.retries = client->retries();
+                counters.shedsSeen = client->shedsSeen();
+                counters.timeouts = client->timeouts();
+            }
         });
     }
     for (std::thread &thread : threads)
         thread.join();
 
+    // Daemon-side robustness counters, read after the load drains so
+    // they cover the whole measured phase.
+    u64 shed_conns = 0, shed_requests = 0, publish_failures = 0;
+    u64 degraded_points = 0, degraded = 0;
+    {
+        ServeClient probe(opts.socket);
+        const std::string stats = probe.stats();
+        shed_conns = statsValue(stats, "shed_conns");
+        shed_requests = statsValue(stats, "shed_requests");
+        publish_failures = statsValue(stats, "publish_failures");
+        degraded_points = statsValue(stats, "degraded_points");
+        degraded = statsValue(stats, "degraded");
+    }
+
     // Aggregate.
     u64 requests = 0, hot_requests = 0, cold_requests = 0;
     u64 hits = 0, misses = 0, hot_hits = 0, errors = 0;
     std::vector<double> hit_us, miss_us;
+    // total = wall latency per request (retries + backoff included);
+    // attempt = the same latency amortised per exchange attempt, so
+    // the gap between the two distributions is the retry tax.
+    std::vector<double> total_us, attempt_us;
     for (const auto &samples : per_thread) {
         for (const Sample &sample : samples) {
             if (sample.error) {
@@ -207,6 +254,10 @@ runLoad(const Options &opts)
             }
             requests++;
             (sample.hot ? hot_requests : cold_requests)++;
+            total_us.push_back(sample.micros);
+            attempt_us.push_back(
+                sample.micros /
+                static_cast<double>(sample.attempts));
             if (sample.hit) {
                 hits++;
                 hot_hits += sample.hot ? 1 : 0;
@@ -217,8 +268,17 @@ runLoad(const Options &opts)
             }
         }
     }
+    ClientCounters client_totals;
+    for (const ClientCounters &counters : per_thread_counters) {
+        client_totals.attempts += counters.attempts;
+        client_totals.retries += counters.retries;
+        client_totals.shedsSeen += counters.shedsSeen;
+        client_totals.timeouts += counters.timeouts;
+    }
     std::sort(hit_us.begin(), hit_us.end());
     std::sort(miss_us.begin(), miss_us.end());
+    std::sort(total_us.begin(), total_us.end());
+    std::sort(attempt_us.begin(), attempt_us.end());
     const double hot_hit_rate =
         hot_requests
             ? static_cast<double>(hot_hits) /
@@ -270,6 +330,37 @@ runLoad(const Options &opts)
        << fmtDouble(hit_p99 > 0 ? miss_p50 / hit_p99 : 0) << ",\n"
        << "    \"p99_miss_over_p99_hit\": "
        << fmtDouble(hit_p99 > 0 ? miss_p99 / hit_p99 : 0) << "\n"
+       << "  },\n"
+       << "  \"robustness\": {\n"
+       << "    \"client\": {\n"
+       << "      \"attempts\": " << client_totals.attempts << ",\n"
+       << "      \"retries\": " << client_totals.retries << ",\n"
+       << "      \"sheds_seen\": " << client_totals.shedsSeen
+       << ",\n"
+       << "      \"timeouts\": " << client_totals.timeouts << "\n"
+       << "    },\n"
+       << "    \"server\": {\n"
+       << "      \"shed_conns\": " << shed_conns << ",\n"
+       << "      \"shed_requests\": " << shed_requests << ",\n"
+       << "      \"publish_failures\": " << publish_failures
+       << ",\n"
+       << "      \"degraded_points\": " << degraded_points << ",\n"
+       << "      \"degraded\": " << degraded << "\n"
+       << "    },\n"
+       << "    \"latency_us\": {\n"
+       << "      \"attempt\": { \"count\": " << attempt_us.size()
+       << ", \"p50\": " << fmtDouble(percentile(attempt_us, 0.50))
+       << ", \"p99\": " << fmtDouble(percentile(attempt_us, 0.99))
+       << ", \"max\": "
+       << fmtDouble(attempt_us.empty() ? 0 : attempt_us.back())
+       << " },\n"
+       << "      \"total\": { \"count\": " << total_us.size()
+       << ", \"p50\": " << fmtDouble(percentile(total_us, 0.50))
+       << ", \"p99\": " << fmtDouble(percentile(total_us, 0.99))
+       << ", \"max\": "
+       << fmtDouble(total_us.empty() ? 0 : total_us.back())
+       << " }\n"
+       << "    }\n"
        << "  }\n"
        << "}\n";
 
@@ -277,6 +368,9 @@ runLoad(const Options &opts)
     std::printf("%llu requests (%llu hot / %llu cold): "
                 "%llu hits, %llu misses, hot hit rate %.3f\n"
                 "latency p50/p99 us: hit %.1f/%.1f, miss %.1f/%.1f\n"
+                "robustness: %llu attempts, %llu retries, "
+                "%llu sheds, %llu timeouts, server shed %llu/%llu, "
+                "degraded %llu\n"
                 "report: %s\n",
                 static_cast<unsigned long long>(requests),
                 static_cast<unsigned long long>(hot_requests),
@@ -284,6 +378,17 @@ runLoad(const Options &opts)
                 static_cast<unsigned long long>(hits),
                 static_cast<unsigned long long>(misses),
                 hot_hit_rate, hit_p50, hit_p99, miss_p50, miss_p99,
+                static_cast<unsigned long long>(
+                    client_totals.attempts),
+                static_cast<unsigned long long>(
+                    client_totals.retries),
+                static_cast<unsigned long long>(
+                    client_totals.shedsSeen),
+                static_cast<unsigned long long>(
+                    client_totals.timeouts),
+                static_cast<unsigned long long>(shed_conns),
+                static_cast<unsigned long long>(shed_requests),
+                static_cast<unsigned long long>(degraded),
                 opts.outPath.c_str());
     return errors == 0 ? 0 : 1;
 }
@@ -371,7 +476,8 @@ main(int argc, char **argv)
                 return 1;
             }
             std::printf("%s: gates pass (hit rate >= %g, "
-                        "speedup >= %g)\n",
+                        "speedup >= %g, errors == 0, "
+                        "not degraded)\n",
                         opts.checkPath.c_str(), opts.minHitRate,
                         opts.minSpeedup);
             return 0;

@@ -48,12 +48,16 @@ constexpr char kUsage[] =
     "  --socket PATH     daemon socket (default: $ICICLED_SOCKET)\n"
     "\n"
     "  serve [--cache-dir DIR] [--shards N] [--job-timeout MS]\n"
+    "        [--max-conns N] [--max-queue N] [--idle-timeout MS]\n"
     "      run the daemon in the foreground: jobs shard across N\n"
     "      worker processes (default 2), results memoise in the\n"
     "      content-addressed cache under DIR (default\n"
     "      icicled-cache next to the socket); a worker that sends\n"
     "      no reply within MS (default 300000, 0 = forever) is\n"
-    "      killed and respawned\n"
+    "      killed and respawned; --max-conns/--max-queue bound the\n"
+    "      admission gate (excess load is shed with an Overloaded\n"
+    "      retry hint, default 0 = unbounded); --idle-timeout drops\n"
+    "      connections with no complete frame within MS (default 0)\n"
     "  sweep [--cores A,B] [--workloads A,B] [--archs A,B]\n"
     "        [--cycles N] [--seed N] [--format text|csv|json]\n"
     "      submit a sweep grid; the printed report is\n"
@@ -66,7 +70,17 @@ constexpr char kUsage[] =
     "  ping\n"
     "      round-trip a frame; exit 0 when the daemon answers\n"
     "  shutdown\n"
-    "      ask the daemon to exit and wait for the acknowledgment\n";
+    "      ask the daemon to exit and wait for the acknowledgment\n"
+    "\n"
+    "client resilience (sweep/window/stats/ping/shutdown):\n"
+    "  --timeout MS      per-attempt reply deadline (default 30000,\n"
+    "                    0 = wait forever)\n"
+    "  --deadline MS     total deadline across retries (default\n"
+    "                    120000, 0 = none)\n"
+    "  --retries N       retry budget on idempotent-safe failures:\n"
+    "                    shed (Overloaded), torn/CRC-failed reply,\n"
+    "                    reset, attempt timeout (default 4;\n"
+    "                    shutdown never retries)\n";
 
 std::vector<std::string>
 splitList(const std::string &text)
@@ -90,6 +104,10 @@ struct Args
     std::string cacheDir;
     u32 shards = 2;
     u32 jobTimeoutMs = 300'000;
+    u32 maxConns = 0;
+    u32 maxQueue = 0;
+    u32 idleTimeoutMs = 0;
+    ClientOptions client;
     SweepQuery query;
     std::string store;
     bool hasWindow = false;
@@ -125,6 +143,22 @@ parseArgs(int argc, char **argv, int first, Args &args, int *status)
             args.shards = static_cast<u32>(std::stoul(value()));
         } else if (arg == "--job-timeout") {
             args.jobTimeoutMs = static_cast<u32>(std::stoul(value()));
+        } else if (arg == "--max-conns") {
+            args.maxConns = static_cast<u32>(std::stoul(value()));
+        } else if (arg == "--max-queue") {
+            args.maxQueue = static_cast<u32>(std::stoul(value()));
+        } else if (arg == "--idle-timeout") {
+            args.idleTimeoutMs =
+                static_cast<u32>(std::stoul(value()));
+        } else if (arg == "--timeout") {
+            args.client.attemptTimeoutMs =
+                static_cast<u32>(std::stoul(value()));
+        } else if (arg == "--deadline") {
+            args.client.totalDeadlineMs =
+                static_cast<u32>(std::stoul(value()));
+        } else if (arg == "--retries") {
+            args.client.maxRetries =
+                static_cast<u32>(std::stoul(value()));
         } else if (arg == "--cores") {
             for (const std::string &core : splitList(value()))
                 args.query.cores.push_back(core);
@@ -187,6 +221,9 @@ cmdServe(const Args &args)
                            : args.cacheDir;
     options.shards = args.shards;
     options.jobTimeoutMs = args.jobTimeoutMs;
+    options.maxConns = args.maxConns;
+    options.maxQueue = args.maxQueue;
+    options.idleTimeoutMs = args.idleTimeoutMs;
     IcicleServer server(options);
     std::fprintf(stderr,
                  "icicled: serving on %s (%u shards, cache %s)\n",
@@ -205,7 +242,7 @@ cmdSweep(Args &args)
     }
     if (args.query.cores.empty())
         args.query.cores.push_back("rocket");
-    ServeClient client(args.socket);
+    ServeClient client(args.socket, args.client);
     const SweepReply reply = client.sweep(args.query);
     std::fputs(reply.report.c_str(), stdout);
     return reply.allOk ? 0 : 1;
@@ -219,7 +256,7 @@ cmdWindow(const Args &args)
                      "window needs --store and --window A:B\n");
         return cli::usageExit(stderr, kUsage);
     }
-    ServeClient client(args.socket);
+    ServeClient client(args.socket, args.client);
     WindowQuery query;
     query.storePath = args.store;
     query.begin = args.begin;
@@ -262,18 +299,18 @@ main(int argc, char **argv)
         if (command == "window")
             return cmdWindow(args);
         if (command == "stats") {
-            ServeClient client(args.socket);
+            ServeClient client(args.socket, args.client);
             std::fputs(client.stats().c_str(), stdout);
             return 0;
         }
         if (command == "ping") {
-            ServeClient client(args.socket);
+            ServeClient client(args.socket, args.client);
             client.ping();
             std::printf("pong\n");
             return 0;
         }
         if (command == "shutdown") {
-            ServeClient client(args.socket);
+            ServeClient client(args.socket, args.client);
             client.shutdown();
             return 0;
         }
